@@ -1,0 +1,621 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6) from this reproduction's mechanisms — the verification
+   obligation suites for Tables 1-2 / Figures 2-3 and the calibrated
+   cycle model plus the functional data paths for Table 3 / Figures 4-7.
+   See EXPERIMENTS.md for the paper-vs-measured record.
+
+   Usage: main.exe [table1|table2|table3|fig2|...|fig7|bechamel|all] *)
+
+module Cost = Atmo_sim.Cost
+module Pipeline = Atmo_sim.Pipeline
+module Clock = Atmo_hw.Clock
+module Runner = Atmo_verif.Runner
+module Catalog = Atmo_verif.Catalog
+module Effort = Atmo_verif.Effort
+module Obligation = Atmo_verif.Obligation
+module Kernel = Atmo_core.Kernel
+module Syscall = Atmo_spec.Syscall
+module Message = Atmo_pm.Message
+module Page_state = Atmo_pmem.Page_state
+module Pte = Atmo_hw.Pte_bits
+
+let cost = Cost.default
+let line fmt = Format.printf (fmt ^^ "@.")
+let section title = line "@.== %s ==@." title
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: proof effort across systems                                *)
+
+let table1 () =
+  section "Table 1: proof effort for existing verification projects";
+  line "%-12s %-10s %-14s %10s" "Name" "Language" "Spec Lang." "Ratio";
+  List.iter
+    (fun (r : Effort.row) ->
+      line "%-12s %-10s %-14s %9.1f:1" r.Effort.system r.Effort.language
+        r.Effort.spec_language r.Effort.ratio)
+    Effort.table1;
+  match Effort.measure_repo ~root:"." with
+  | Some s ->
+    line "";
+    line "this reproduction (measured): %d spec/check lines, %d exec lines, %d test lines"
+      s.Effort.spec_lines s.Effort.exec_lines s.Effort.test_lines;
+    line "check-to-code ratio: %.2f:1 (the paper's Atmosphere: 3.32:1)" s.Effort.ratio
+  | None -> line "(repo sources not reachable; skipping measured ratio)"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: verification time                                          *)
+
+let parallel_threads =
+  (* the paper reports 1- and 8-thread verification; parallel discharge
+     only makes sense when the host actually has cores to give *)
+  min 8 (Domain.recommended_domain_count ())
+
+let run_suite name obls =
+  let r1 = Runner.run ~threads:1 obls in
+  let par =
+    if parallel_threads >= 2 then
+      let r = Runner.run ~threads:parallel_threads obls in
+      Printf.sprintf "%d threads %8.1f ms" parallel_threads (r.Runner.wall_s *. 1000.)
+    else "(single-core host: parallel discharge skipped)"
+  in
+  let status = if Runner.all_ok r1 then "ok" else "FAIL" in
+  line "%-22s %4d obligations   1 thread %8.1f ms   %s   %s" name
+    (List.length obls) (r1.Runner.wall_s *. 1000.) par status;
+  List.iter
+    (fun (f : Obligation.result) ->
+      line "    FAILED %s: %s" f.Obligation.name
+        (Option.value ~default:"?" f.Obligation.detail))
+    (Runner.failures r1);
+  r1
+
+let table2 () =
+  section "Table 2: verification time (discharge of the obligation suites)";
+  line "(paper, CloudLab c220g5, 1 thread / 8 threads:";
+  line "   NrOS page table 1m52s / 51s      (5329 proof, 400 exec, 13.3)";
+  line "   Atmo page table 33s / -          (2168 proof, 496 exec, 4.37)";
+  line "   Mimalloc 8m12s / 1m40s           (13703 proof, 3178 exec, 4.3)";
+  line "   VeriSMo 61m24s / 12m11s          (16101 proof, 7915 exec, 2.0)";
+  line "   Atmosphere 3m29s / 1m07s         (20098 proof, 6048 exec, 3.32)";
+  line " Mimalloc and VeriSMo are external artifacts: reported only.";
+  line " This reproduction discharges executable obligations instead of SMT";
+  line " queries, so absolute times differ; the flat-vs-recursive ordering is";
+  line " the result under test.)";
+  line "";
+  let pt = Catalog.build_pt ~mappings:4096 in
+  let nros = Catalog.pt_obligations_recursive pt in
+  let flat = Catalog.pt_obligations_flat pt in
+  let r_nros = run_suite "NrOS-style page table" nros in
+  let r_flat = run_suite "Atmo page table (flat)" flat in
+  (match Catalog.full_suite ~scale:6 with
+   | Ok suite -> ignore (run_suite "Atmosphere (full)" suite)
+   | Error msg -> line "full suite failed to build: %s" msg);
+  line "";
+  (* compare the two obligations both formulations share *)
+  let time_of r names =
+    List.fold_left
+      (fun acc (x : Obligation.result) ->
+        if List.exists (fun n -> x.Obligation.name = n) names then
+          acc +. x.Obligation.elapsed_s
+        else acc)
+      0. r.Runner.results
+  in
+  let flat_t = time_of r_flat [ "pt/refinement"; "pt/structure" ] in
+  let nros_t = time_of r_nros [ "nros_pt/refinement"; "nros_pt/structure" ] in
+  line "flat / recursive page-table check-time ratio: %.2fx faster flat"
+    (nros_t /. Float.max 1e-9 flat_t);
+  line "(paper: Atmosphere's page table verifies >3x faster than NrOS's on one thread)";
+  (* the same ablation on the container tree: ghost-field (flat)
+     invariants vs structural re-derivation *)
+  (match Catalog.build_tree ~depth:40 ~fanout:4 with
+   | Error msg -> line "tree world failed: %s" msg
+   | Ok tree ->
+     let r_tf = run_suite "container tree (flat)" (Catalog.pm_tree_obligations_flat tree) in
+     let r_tr =
+       run_suite "container tree (recursive)" (Catalog.pm_tree_obligations_recursive tree)
+     in
+     line "container-tree ablation: flat %.2f ms vs recursive %.2f ms"
+       (Runner.total_check_time r_tf *. 1000.)
+       (Runner.total_check_time r_tr *. 1000.);
+     line "(exhaustive evaluation of the flat forall-c-forall-d quantifiers is not";
+     line " necessarily cheaper than one structural derivation: the paper's flat";
+     line " advantage is about SMT proof effort, which the page-table ablation above";
+     line " mirrors; see EXPERIMENTS.md)")
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: the big-lock design under SMP                             *)
+
+let ablation () =
+  section "Ablation: multiprocessor scaling under the big kernel lock (§3)";
+  line "(the paper chooses a big lock to simplify verification; this measures";
+  line " what that choice costs: kernel-heavy work saturates at the lock,";
+  line " user-heavy work scales with CPUs)";
+  line "";
+  let boot_params =
+    { Kernel.default_boot with Kernel.cpus = Atmo_util.Iset.of_range ~lo:0 ~hi:8 }
+  in
+  let run ~cpus ~think =
+    match Kernel.boot boot_params with
+    | Error _ -> None
+    | Ok (k, init) ->
+      let threads =
+        init
+        :: List.init (cpus - 1) (fun _ ->
+               match Kernel.step k ~thread:init Syscall.New_thread with
+               | Syscall.Rptr t -> t
+               | _ -> init)
+      in
+      let programs =
+        List.map
+          (fun thread ->
+            { Atmo_sim.Smp.thread; think_cycles = think; call_of = (fun _ -> Syscall.Yield) })
+          threads
+      in
+      (match Atmo_sim.Smp.run k ~cost ~cpus ~programs ~iterations:200 with
+       | Ok s -> Some s
+       | Error _ -> None)
+  in
+  let show label think =
+    line "-- %s (think %d cycles per kernel entry) --" label think;
+    List.iter
+      (fun cpus ->
+        match run ~cpus ~think with
+        | Some s ->
+          line "  %d CPU%s %8.2f M syscalls/s   lock wait %5.1f%% of wall" cpus
+            (if cpus = 1 then " " else "s")
+            (Atmo_sim.Smp.throughput s /. 1e6)
+            (100. *. float_of_int s.Atmo_sim.Smp.lock_wait_cycles
+             /. float_of_int (max 1 (s.Atmo_sim.Smp.wall_cycles * cpus)))
+        | None -> line "  %d CPUs: run failed" cpus)
+      [ 1; 2; 4; 8 ]
+  in
+  show "kernel-heavy" 100;
+  show "balanced" 2_000;
+  show "user-heavy" 20_000
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: IPC and mapping latency                                    *)
+
+let table3 () =
+  section "Table 3: latency of communication and typical system calls (cycles)";
+  line "%-14s %12s %8s" "System call" "Atmosphere" "seL4";
+  line "%-14s %12d %8d" "Call/reply" (Cost.atmo_call_reply cost)
+    (Atmo_baselines.Sel4.call_reply_cycles cost);
+  line "%-14s %12d %8d" "Map a page" cost.Cost.map_page
+    (Atmo_baselines.Sel4.map_page_cycles cost);
+  line "(paper: call/reply 1058 vs 1026; map 1984 vs 2650)";
+  (* sanity: drive the functional kernel through the same paths *)
+  (match Kernel.boot Kernel.default_boot with
+   | Error _ -> ()
+   | Ok (k, init) ->
+     let t0 = Unix.gettimeofday () in
+     let n = 20000 in
+     (match Kernel.step k ~thread:init (Syscall.New_endpoint { slot = 0 }) with
+      | Syscall.Rptr _ ->
+        for i = 0 to n - 1 do
+          ignore
+            (Kernel.step k ~thread:init
+               (Syscall.Mmap
+                  { va = 0x4000_0000; count = 1; size = Page_state.S4k; perm = Pte.perm_rw }));
+          ignore
+            (Kernel.step k ~thread:init
+               (Syscall.Munmap { va = 0x4000_0000; count = 1; size = Page_state.S4k }));
+          ignore i
+        done;
+        line "(functional model: %d mmap+munmap pairs in %.1f ms)" n
+          ((Unix.gettimeofday () -. t0) *. 1000.)
+      | _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: per-function verification time                            *)
+
+let fig2 () =
+  section "Figure 2: verification time for each function (per-obligation discharge)";
+  match Catalog.full_suite ~scale:6 with
+  | Error msg -> line "suite failed to build: %s" msg
+  | Ok suite ->
+    let report = Runner.run ~threads:1 suite in
+    let sorted =
+      List.sort
+        (fun (a : Obligation.result) b -> compare b.Obligation.elapsed_s a.Obligation.elapsed_s)
+        report.Runner.results
+    in
+    let worst = match sorted with [] -> 1e-9 | r :: _ -> r.Obligation.elapsed_s in
+    List.iter
+      (fun (r : Obligation.result) ->
+        let bar = int_of_float (40. *. r.Obligation.elapsed_s /. worst) in
+        line "%-32s %9.3f ms %s%s" r.Obligation.name (r.Obligation.elapsed_s *. 1000.)
+          (String.make (max bar 1) '#')
+          (if r.Obligation.ok then "" else "  FAIL"))
+      sorted;
+    line "";
+    line "total: %.1f ms over %d obligations (paper: all functions < 20 s, most < 4 s)"
+      (Runner.total_check_time report *. 1000.)
+      (List.length sorted);
+    (* scaling: discharge time as the kernel state grows — the flat
+       formulations keep this near-linear *)
+    line "";
+    line "state-invariant discharge time vs world scale:";
+    List.iter
+      (fun scale ->
+        match Catalog.build_world ~scale with
+        | Error msg -> line "  scale %2d: %s" scale msg
+        | Ok (k, _) ->
+          let r = Runner.run ~threads:1 (Catalog.kernel_obligations k) in
+          line "  scale %2d (%3d containers): %7.2f ms" scale
+            (Atmo_pm.Perm_map.cardinal k.Kernel.pm.Atmo_pm.Proc_mgr.cntr_perms)
+            (Runner.total_check_time r *. 1000.))
+      [ 2; 4; 8; 16; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: development history                                       *)
+
+let fig3 () =
+  section "Figure 3: commit history (reconstruction of the three versions)";
+  line "%-6s %-8s %10s %10s" "month" "version" "exec LoC" "proof LoC";
+  List.iter
+    (fun (p : Effort.month_point) ->
+      line "%-6d v%-7d %10d %10d  %s" p.Effort.month p.Effort.version p.Effort.exec_loc
+        p.Effort.proof_loc
+        (String.make (p.Effort.proof_loc / 600) '*'))
+    Effort.fig3_series;
+  line "(clean-slate rewrites at months 2 and 10; v3 starts from ~50%% of v2's code)"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: ixgbe driver performance                                  *)
+
+let packet_configs =
+  [ Pipeline.Atmo_driver; Pipeline.Atmo_c2; Pipeline.Atmo_c1 1; Pipeline.Atmo_c1 32 ]
+
+let fig4 () =
+  section "Figure 4: ixgbe driver performance (64B UDP, Mpps per core)";
+  let app = 56 (* echo-style benchmark app per packet *) in
+  let drv = cost.Cost.driver_per_packet in
+  let cap = cost.Cost.nic_line_rate_pps in
+  line "%-14s %8.2f Mpps" "linux"
+    (Atmo_baselines.Linux_model.packet_pps cost ~app_cycles:app /. 1e6);
+  line "%-14s %8.2f Mpps" "dpdk"
+    (Atmo_baselines.Dpdk_model.packet_pps cost ~app_cycles:app /. 1e6);
+  List.iter
+    (fun config ->
+      line "%-14s %8.2f Mpps" (Pipeline.name config)
+        (Pipeline.throughput ~cost ~app_cycles:app ~driver_cycles:drv ~device_cap:cap
+           config
+         /. 1e6))
+    packet_configs;
+  line "(paper: linux 0.89; dpdk/atmo-driver/atmo-c2 at 14.2 line rate;";
+  line " atmo-c1-b1 2.3; atmo-c1-b32 11.1)";
+  (* exercise the functional NIC path: frames through rings and IOMMU *)
+  let frames = 2000 in
+  let mem = Atmo_hw.Phys_mem.create ~page_count:1024 in
+  let iommu = Atmo_hw.Iommu.create mem in
+  let clock = Clock.create () in
+  (* identity-mapped IOMMU domain over the buffer arena *)
+  let alloc = Atmo_pmem.Page_alloc.create mem ~reserved_frames:0 in
+  (match Atmo_pt.Page_table.create mem alloc with
+   | Error _ -> ()
+   | Ok pt ->
+     let map_identity addr =
+       ignore (Atmo_pt.Page_table.map_4k pt ~vaddr:addr ~frame:addr ~perm:Pte.perm_rw)
+     in
+     let ring_page =
+       match Atmo_pmem.Page_alloc.alloc_4k alloc ~purpose:Atmo_pmem.Page_alloc.User with
+       | Some a -> a
+       | None -> 0
+     in
+     let bufs =
+       Array.init 64 (fun _ ->
+           match Atmo_pmem.Page_alloc.alloc_4k alloc ~purpose:Atmo_pmem.Page_alloc.User with
+           | Some a -> a
+           | None -> 0)
+     in
+     map_identity ring_page;
+     Array.iter map_identity bufs;
+     Atmo_hw.Iommu.attach iommu ~device:0 ~root:(Atmo_pt.Page_table.cr3 pt);
+     let nic = Atmo_drivers.Ixgbe.create mem iommu ~device:0 ~clock ~cost in
+     (match
+        Atmo_drivers.Ixgbe.setup_rx nic ~ring_iova:ring_page
+          ~buffers:(Array.map (fun a -> (a, 2048)) bufs)
+      with
+      | Error msg -> line "ixgbe setup failed: %s" msg
+      | Ok () ->
+        let flow = Atmo_net.Packet.flow_of_ints ~src:1 ~dst:2 ~sport:1000 ~dport:53 in
+        let received = ref 0 in
+        for _ = 1 to frames do
+          ignore
+            (Atmo_drivers.Ixgbe.wire_deliver nic
+               (Atmo_net.Packet.build flow ~payload:(Bytes.make 22 'x')));
+          received := !received + List.length (Atmo_drivers.Ixgbe.rx_burst nic ~max:32)
+        done;
+        line "(functional path: %d/%d frames through descriptor rings + IOMMU, %d drops)"
+          !received frames
+          (Atmo_drivers.Ixgbe.rx_drops nic)))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: NVMe driver performance                                   *)
+
+let fig5 () =
+  section "Figure 5: NVMe driver performance (4KiB sequential, KIOPS per core)";
+  let app = 300 (* submission + completion handling per IO *) in
+  let drv = cost.Cost.spdk_per_io (* polled NVMe driver per IO *) in
+  let show op cap penalty =
+    line "-- sequential %s --" op;
+    List.iter
+      (fun batch ->
+        line "  batch %-3d  linux %8.1f   spdk %8.1f   %s" batch
+          ((if op = "read" then Atmo_baselines.Linux_model.nvme_read_iops cost ~batch
+            else Atmo_baselines.Linux_model.nvme_write_iops cost ~batch)
+           /. 1e3)
+          ((if op = "read" then Atmo_baselines.Dpdk_model.nvme_read_iops cost ~batch
+            else Atmo_baselines.Dpdk_model.nvme_write_iops cost ~batch)
+           /. 1e3)
+          (String.concat "   "
+             (List.map
+                (fun config ->
+                  let capped = cap /. penalty in
+                  Printf.sprintf "%s %8.1f" (Pipeline.name config)
+                    (Pipeline.throughput ~cost ~app_cycles:app ~driver_cycles:drv
+                       ~device_cap:capped config
+                     /. 1e3))
+                [ Pipeline.Atmo_driver; Pipeline.Atmo_c2; Pipeline.Atmo_c1 batch ])))
+      [ 1; 32 ]
+  in
+  show "read" cost.Cost.nvme_read_cap_iops 1.0;
+  show "write" cost.Cost.nvme_write_cap_iops (1. +. cost.Cost.nvme_atmo_write_penalty);
+  line "(paper: reads linux 13K/141K, atmo=spdk at device max;";
+  line " writes linux within 3%% of 256K, atmo ~232K: 10%% overhead)";
+  (* functional device: submit/poll through the queue-pair model *)
+  let clock = Clock.create () in
+  let dev = Atmo_drivers.Nvme.create ~clock ~cost ~capacity_blocks:4096 in
+  let block = Bytes.make Atmo_drivers.Nvme.block_bytes 'd' in
+  let writes = 256 in
+  for lba = 0 to writes - 1 do
+    ignore (Atmo_drivers.Nvme.submit_write dev ~lba ~data:block)
+  done;
+  let completed = List.length (Atmo_drivers.Nvme.wait_all dev) in
+  line "(functional path: %d/%d writes completed in %.2f virtual ms)" completed writes
+    (Clock.seconds clock *. 1e3)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: Maglev and httpd                                          *)
+
+let maglev_work = 150 (* per-packet lookup + header rewrite *)
+
+let fig6 () =
+  section "Figure 6: Maglev load balancer (Mpps) and httpd (Krps)";
+  let drv = cost.Cost.driver_per_packet in
+  let cap = cost.Cost.nic_line_rate_pps in
+  line "-- maglev --";
+  line "%-14s %8.2f Mpps" "linux"
+    (Atmo_baselines.Linux_model.packet_pps cost ~app_cycles:maglev_work /. 1e6);
+  line "%-14s %8.2f Mpps" "dpdk"
+    (Atmo_baselines.Dpdk_model.packet_pps cost ~app_cycles:maglev_work /. 1e6);
+  List.iter
+    (fun config ->
+      line "%-14s %8.2f Mpps" (Pipeline.name config)
+        (Pipeline.throughput ~cost ~app_cycles:maglev_work ~driver_cycles:drv
+           ~device_cap:cap config
+         /. 1e6))
+    [ Pipeline.Atmo_c2; Pipeline.Atmo_c1 1; Pipeline.Atmo_c1 32 ];
+  line "(paper: linux 1.0; dpdk 9.72; atmo-c2 13.3; atmo-c1-b1 1.66; atmo-c1-b32 8.8)";
+  (* functional maglev: steer real frames, report balance *)
+  let backends = List.init 8 (fun i -> Printf.sprintf "backend-%d" i) in
+  let lb = Atmo_net.Maglev.create ~backends ~table_size:65537 in
+  let counts = Hashtbl.create 8 in
+  for i = 0 to 9999 do
+    let flow =
+      Atmo_net.Packet.flow_of_ints ~src:(0x0a000000 + i) ~dst:0x0b000001
+        ~sport:(1024 + (i mod 50000)) ~dport:80
+    in
+    let frame = Atmo_net.Packet.build flow ~payload:Bytes.empty in
+    match Atmo_net.Maglev.lookup_packet lb frame with
+    | Some b -> Hashtbl.replace counts b (1 + Option.value ~default:0 (Hashtbl.find_opt counts b))
+    | None -> ()
+  done;
+  let mn = Hashtbl.fold (fun _ v acc -> min v acc) counts max_int in
+  let mx = Hashtbl.fold (fun _ v acc -> max v acc) counts 0 in
+  line "(functional path: 10000 flows over %d backends, min/max per backend %d/%d)"
+    (List.length backends) mn mx;
+  line "";
+  line "-- httpd --";
+  let request_work = 20000 in
+  line "%-14s %8.1f Krps" "nginx(linux)"
+    (Atmo_baselines.Nginx_model.requests_per_second cost ~request_work /. 1e3);
+  line "%-14s %8.1f Krps" "atmo-httpd"
+    (cost.Cost.frequency_hz
+     /. float_of_int (request_work + cost.Cost.atmo_httpd_overhead)
+     /. 1e3);
+  line "(paper: nginx 70.9 Krps; httpd 99.4 Krps)";
+  (* functional httpd: serve real requests round-robin over connections *)
+  let server =
+    Atmo_net.Httpd.create ~routes:[ ("/", "<html>hello</html>"); ("/about", "<html>atmo</html>") ]
+  in
+  let conns = List.init 20 (fun _ -> Atmo_net.Httpd.open_conn server) in
+  List.iteri
+    (fun i c ->
+      for _ = 0 to 4 do
+        Atmo_net.Httpd.submit c
+          (Printf.sprintf "GET %s HTTP/1.1\r\nHost: x\r\n\r\n"
+             (if i mod 2 = 0 then "/" else "/about"))
+      done)
+    conns;
+  let served = ref 0 in
+  for _round = 0 to 5 do
+    served := !served + Atmo_net.Httpd.poll_round server conns
+  done;
+  line "(functional path: %d requests served over %d connections)" !served
+    (List.length conns)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: key-value store                                           *)
+
+let fig7 () =
+  section "Figure 7: key-value store (Mops, GET-heavy)";
+  let kv_cycles ~table_entries ~kv_bytes =
+    (* base lookup + per-byte handling + locality penalty for the table
+       that exceeds the last-level cache *)
+    180 + (2 * 2 * kv_bytes) + (if table_entries > 4_000_000 then 60 else 0)
+  in
+  let drv = cost.Cost.driver_per_packet in
+  let cap = cost.Cost.nic_line_rate_pps in
+  List.iter
+    (fun table_entries ->
+      line "-- table with %dM entries --" (table_entries / 1_000_000);
+      List.iter
+        (fun kv_bytes ->
+          let app = kv_cycles ~table_entries ~kv_bytes in
+          line "  <%2dB,%2dB>  linux-dpdk %6.2f   atmo-c2 %6.2f   atmo-c1-b32 %6.2f"
+            kv_bytes kv_bytes
+            (Atmo_baselines.Dpdk_model.packet_pps cost ~app_cycles:app /. 1e6)
+            (Pipeline.throughput ~cost ~app_cycles:app ~driver_cycles:drv
+               ~device_cap:cap Pipeline.Atmo_c2
+             /. 1e6)
+            (Pipeline.throughput ~cost ~app_cycles:app ~driver_cycles:drv
+               ~device_cap:cap (Pipeline.Atmo_c1 32)
+             /. 1e6))
+        [ 8; 16; 32 ])
+    [ 1_000_000; 8_000_000 ];
+  line "(shape: atmo-c2 >= dpdk > atmo-c1-b32; larger kv sizes and the 8M table cost";
+  line " throughput via per-byte work and cache locality, as in the paper)";
+  (* functional store: zipfian GET-heavy traffic against the real table *)
+  let store = Atmo_net.Kv_store.create ~entries:100_003 in
+  let w = Atmo_net.Workload.create ~seed:11 ~keys:50_000 (Atmo_net.Workload.Zipfian 0.99) in
+  let hits = ref 0 and sets = ref 0 and gets = ref 0 in
+  List.iter
+    (fun op ->
+      match op with
+      | Atmo_net.Workload.Set k ->
+        incr sets;
+        ignore
+          (Atmo_net.Kv_store.set store
+             ~key:(Atmo_net.Workload.key_bytes k ~size:16)
+             ~value:(Bytes.make 16 'v'))
+      | Atmo_net.Workload.Get k ->
+        incr gets;
+        if Atmo_net.Kv_store.get store ~key:(Atmo_net.Workload.key_bytes k ~size:16) <> None
+        then incr hits)
+    (Atmo_net.Workload.ops w ~read_ratio:0.9 ~count:100_000);
+  let max_probe, mean_probe = Atmo_net.Kv_store.probe_stats store in
+  line
+    "(functional path: 100000 zipfian(0.99) ops, %d sets %d gets %d hits; probes max %d mean %.2f at load %.2f)"
+    !sets !gets !hits max_probe mean_probe
+    (float_of_int (Atmo_net.Kv_store.length store)
+     /. float_of_int (Atmo_net.Kv_store.capacity store))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure           *)
+
+let bechamel () =
+  section "Bechamel micro-benchmarks (one per table/figure; wall time of the real code)";
+  let open Bechamel in
+  let pt = Catalog.build_pt ~mappings:512 in
+  let lb =
+    Atmo_net.Maglev.create
+      ~backends:(List.init 8 (fun i -> Printf.sprintf "b%d" i))
+      ~table_size:65537
+  in
+  let store = Atmo_net.Kv_store.create ~entries:65_537 in
+  for i = 0 to 9_999 do
+    ignore
+      (Atmo_net.Kv_store.set store
+         ~key:(Bytes.of_string (Printf.sprintf "k%05d" i))
+         ~value:(Bytes.make 16 'v'))
+  done;
+  let ipc_world =
+    match Kernel.boot Kernel.default_boot with
+    | Ok (k, init) ->
+      (match Kernel.step k ~thread:init (Syscall.New_endpoint { slot = 0 }) with
+       | Syscall.Rptr _ -> Some (k, init)
+       | _ -> None)
+    | Error _ -> None
+  in
+  let flow = Atmo_net.Packet.flow_of_ints ~src:1 ~dst:2 ~sport:1234 ~dport:80 in
+  let frame = Atmo_net.Packet.build flow ~payload:(Bytes.make 22 'x') in
+  let http_req = "GET /index.html HTTP/1.1\r\nHost: atmo\r\nConnection: keep-alive\r\n\r\n" in
+  let tests =
+    [
+      Test.make ~name:"table2/pt-flat-check"
+        (Staged.stage (fun () -> ignore (Atmo_pt.Pt_refine.all pt)));
+      Test.make ~name:"table2/pt-recursive-check"
+        (Staged.stage (fun () -> ignore (Atmo_pt.Nros_pt.all pt)));
+      Test.make ~name:"table3/ipc-send-nb"
+        (Staged.stage (fun () ->
+             match ipc_world with
+             | Some (k, init) ->
+               ignore
+                 (Kernel.step k ~thread:init
+                    (Syscall.Send_nb { slot = 0; msg = Message.scalars_only [ 1 ] }))
+             | None -> ()));
+      Test.make ~name:"fig2/kernel-total-wf"
+        (Staged.stage (fun () ->
+             match ipc_world with
+             | Some (k, _) -> ignore (Atmo_core.Invariants.total_wf k)
+             | None -> ()));
+      Test.make ~name:"fig4/packet-parse-hash"
+        (Staged.stage (fun () -> ignore (Atmo_net.Packet.five_tuple_hash frame)));
+      Test.make ~name:"fig5/nvme-submit-poll"
+        (Staged.stage (fun () ->
+             let clock = Clock.create () in
+             let dev = Atmo_drivers.Nvme.create ~clock ~cost ~capacity_blocks:64 in
+             ignore (Atmo_drivers.Nvme.submit_read dev ~lba:1);
+             ignore (Atmo_drivers.Nvme.wait_all dev)));
+      Test.make ~name:"fig6/maglev-lookup"
+        (Staged.stage (fun () -> ignore (Atmo_net.Maglev.lookup lb 0xdeadbeefL)));
+      Test.make ~name:"fig6/http-parse"
+        (Staged.stage (fun () -> ignore (Atmo_net.Http.parse_request http_req)));
+      Test.make ~name:"fig7/kv-get"
+        (Staged.stage (fun () ->
+             ignore (Atmo_net.Kv_store.get store ~key:(Bytes.of_string "k00042"))));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"atmo" tests) in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let merged = Analyze.merge ols [ instance ] [ results ] in
+  Hashtbl.iter
+    (fun _witness tbl ->
+      let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) tbl [] in
+      List.iter
+        (fun (name, result) ->
+          match Analyze.OLS.estimates result with
+          | Some (t :: _) -> line "%-36s %12.1f ns/op" name t
+          | Some [] | None -> line "%-36s (no estimate)" name)
+        (List.sort compare rows))
+    merged
+
+(* ------------------------------------------------------------------ *)
+
+let all () =
+  table1 ();
+  table2 ();
+  ablation ();
+  table3 ();
+  fig2 ();
+  fig3 ();
+  fig4 ();
+  fig5 ();
+  fig6 ();
+  fig7 ();
+  bechamel ()
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match which with
+  | "table1" -> table1 ()
+  | "table2" -> table2 ()
+  | "table3" -> table3 ()
+  | "fig2" -> fig2 ()
+  | "fig3" -> fig3 ()
+  | "fig4" -> fig4 ()
+  | "fig5" -> fig5 ()
+  | "fig6" -> fig6 ()
+  | "fig7" -> fig7 ()
+  | "ablation" -> ablation ()
+  | "bechamel" -> bechamel ()
+  | "all" -> all ()
+  | other ->
+    Format.eprintf "unknown benchmark %S@." other;
+    exit 1

@@ -1,0 +1,138 @@
+(* atmo: command-line front end for the Atmosphere reproduction.
+
+   Subcommands:
+     verify   discharge the verification obligation suites
+     fuzz     randomized refinement checking of the kernel
+     ni       noninterference harness (unwinding conditions)
+     boot     boot a kernel and print its abstract state *)
+
+open Cmdliner
+module Runner = Atmo_verif.Runner
+module Catalog = Atmo_verif.Catalog
+module Obligation = Atmo_verif.Obligation
+module Kernel = Atmo_core.Kernel
+
+let setup_logs () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Info)
+
+(* ------------------------------------------------------------------ *)
+
+let verify scale threads verbose =
+  setup_logs ();
+  match Catalog.full_suite ~scale with
+  | Error msg ->
+    Format.eprintf "failed to build the verification world: %s@." msg;
+    1
+  | Ok suite ->
+    let report = Runner.run ~threads suite in
+    if verbose then Format.printf "%a@." Runner.pp report
+    else
+      Format.printf "%d obligations, %d threads, wall %.3f s, check %.3f s@."
+        (List.length report.Runner.results)
+        threads report.Runner.wall_s
+        (Runner.total_check_time report);
+    (match Runner.failures report with
+     | [] ->
+       Format.printf "all obligations discharged.@.";
+       0
+     | fs ->
+       List.iter (fun f -> Format.printf "FAILED %a@." Obligation.pp_result f) fs;
+       1)
+
+let fuzz seed steps =
+  setup_logs ();
+  match Kernel.boot Kernel.default_boot with
+  | Error e ->
+    Format.eprintf "boot: %a@." Atmo_util.Errno.pp e;
+    1
+  | Ok (k, _) ->
+    (match Atmo_verif.Refine_harness.random_trace_check ~seed ~steps k with
+     | Ok n ->
+       Format.printf "%d random transitions, every one satisfied its spec and total_wf.@." n;
+       0
+     | Error o ->
+       Format.printf "violation at %a -> %a@.spec: %s@.wf: %s@." Atmo_spec.Syscall.pp
+         o.Atmo_verif.Refine_harness.call Atmo_spec.Syscall.pp_ret
+         o.Atmo_verif.Refine_harness.ret
+         (match o.Atmo_verif.Refine_harness.spec with Ok () -> "ok" | Error m -> m)
+         (match o.Atmo_verif.Refine_harness.wf with Ok () -> "ok" | Error m -> m);
+       1)
+
+let ni seed steps =
+  setup_logs ();
+  let show = function
+    | Ok _ -> true
+    | Error (f : Atmo_ni.Harness.failure) ->
+      Format.printf "  FAILED at step %d: %s@." f.Atmo_ni.Harness.at_step
+        f.Atmo_ni.Harness.what;
+      false
+  in
+  Format.printf "output consistency...@.";
+  let oc = show (Atmo_ni.Harness.output_consistency ~seed ~steps) in
+  Format.printf "step consistency (with the verified service)...@.";
+  let sc = show (Atmo_ni.Harness.step_consistency ~with_service:true ~seed ~steps ()) in
+  Format.printf "probe consistency...@.";
+  let pc =
+    show (Atmo_ni.Harness.probe_consistency ~seed ~steps:(min steps 40) ~probes:5)
+  in
+  if oc && sc && pc then begin
+    Format.printf "all unwinding conditions hold.@.";
+    0
+  end
+  else 1
+
+let boot_cmd () =
+  setup_logs ();
+  match Kernel.boot Kernel.default_boot with
+  | Error e ->
+    Format.eprintf "boot: %a@." Atmo_util.Errno.pp e;
+    1
+  | Ok (k, init) ->
+    Format.printf "booted; init thread 0x%x@.%a@." init Atmo_spec.Abstract_state.pp
+      (Atmo_core.Abstraction.abstract k);
+    (match Atmo_core.Invariants.total_wf k with
+     | Ok () ->
+       Format.printf "total_wf holds.@.";
+       0
+     | Error msg ->
+       Format.printf "total_wf BROKEN: %s@." msg;
+       1)
+
+(* ------------------------------------------------------------------ *)
+
+let scale_arg =
+  Arg.(value & opt int 6 & info [ "scale" ] ~doc:"World size for the verification suite.")
+
+let threads_arg =
+  Arg.(value & opt int 1 & info [ "threads"; "j" ] ~doc:"Discharge obligations on N domains.")
+
+let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-obligation report.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+let steps_arg = Arg.(value & opt int 300 & info [ "steps" ] ~doc:"Number of transitions.")
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Discharge the verification obligation suites")
+    Term.(const verify $ scale_arg $ threads_arg $ verbose_arg)
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Randomized refinement checking of the kernel")
+    Term.(const fuzz $ seed_arg $ steps_arg)
+
+let ni_cmd =
+  Cmd.v
+    (Cmd.info "ni" ~doc:"Noninterference harness (unwinding conditions)")
+    Term.(const ni $ seed_arg $ steps_arg)
+
+let boot_cmdliner =
+  Cmd.v (Cmd.info "boot" ~doc:"Boot a kernel and print its abstract state")
+    Term.(const boot_cmd $ const ())
+
+let () =
+  let info =
+    Cmd.info "atmo" ~version:"1.0"
+      ~doc:"Atmosphere verified-microkernel reproduction toolkit"
+  in
+  exit (Cmd.eval' (Cmd.group info [ verify_cmd; fuzz_cmd; ni_cmd; boot_cmdliner ]))

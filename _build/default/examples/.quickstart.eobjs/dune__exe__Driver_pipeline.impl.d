@@ -1,0 +1,1 @@
+examples/driver_pipeline.ml: Array Atmo_core Atmo_drivers Atmo_hw Atmo_net Atmo_pm Atmo_pmem Atmo_sim Atmo_spec Atmo_util Bytes Errno Format Int64 List Printf

@@ -1,0 +1,1 @@
+examples/isolation_demo.ml: Atmo_ni Format Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atmo_core Atmo_hw Atmo_pm Atmo_pmem Atmo_spec Atmo_util Atmo_verif Errno Format Iset List String

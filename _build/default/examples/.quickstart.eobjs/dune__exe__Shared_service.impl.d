@@ -1,0 +1,1 @@
+examples/shared_service.ml: Atmo_core Atmo_hw Atmo_ni Atmo_pm Atmo_pmem Atmo_spec Atmo_util Format List String

@@ -1,0 +1,111 @@
+(* The verified shared service in action: A and B establish shared-
+   memory communication with V (page grants over endpoints); V serves
+   both, releases every granted resource, and never mixes the sides.
+
+   Run with: dune exec examples/shared_service.exe *)
+
+module Kernel = Atmo_core.Kernel
+module Syscall = Atmo_spec.Syscall
+module Message = Atmo_pm.Message
+module Scenario = Atmo_ni.Scenario
+module Service_v = Atmo_ni.Service_v
+module Page_state = Atmo_pmem.Page_state
+module Pte = Atmo_hw.Pte_bits
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let expect_ret what = function
+  | Syscall.Rerr e -> failwith (Format.asprintf "%s: %a" what Atmo_util.Errno.pp e)
+  | r -> r
+
+let client_request k ~thread ~label ~scalars ~with_page =
+  (* map a buffer, grant it with the request, then wait for the reply *)
+  let va = 0x4000_0000 in
+  let page =
+    if with_page then begin
+      (match Kernel.step k ~thread
+               (Syscall.Mmap { va; count = 1; size = Page_state.S4k; perm = Pte.perm_rw })
+       with
+       | Syscall.Rmapped _ -> ()
+       | Syscall.Rerr Atmo_util.Errno.Eexist -> () (* already mapped on a previous round *)
+       | r -> failwith (Format.asprintf "%s mmap: %a" label Syscall.pp_ret r));
+      Some { Message.src_vaddr = va; dst_vaddr = 0x9000_0000 }
+    end
+    else None
+  in
+  let msg = { Message.scalars; page; endpoint = None } in
+  (match expect_ret (label ^ " send") (Kernel.step k ~thread (Syscall.Send { slot = 0; msg })) with
+   | Syscall.Rblocked -> say "  %s: request %s queued (V not polling yet)" label
+                           (String.concat "," (List.map string_of_int scalars))
+   | Syscall.Runit -> say "  %s: request delivered immediately" label
+   | _ -> ());
+  ()
+
+let client_collect k ~thread ~label =
+  match Kernel.step k ~thread (Syscall.Recv { slot = 0 }) with
+  | Syscall.Rmsg m ->
+    say "  %s: got reply %s" label
+      (String.concat "," (List.map string_of_int m.Message.scalars))
+  | Syscall.Rblocked -> say "  %s: waiting for reply..." label
+  | r -> failwith (Format.asprintf "%s recv: %a" label Syscall.pp_ret r)
+
+let () =
+  let s = match Scenario.build () with Ok s -> s | Error m -> failwith m in
+  let k = s.Scenario.kernel in
+  let v = Service_v.create s in
+
+  say "Round 1: A and B both send requests with shared-memory buffers.";
+  client_request k ~thread:s.Scenario.a_thread ~label:"A" ~scalars:[ 10; 20 ] ~with_page:true;
+  client_request k ~thread:s.Scenario.b_thread ~label:"B" ~scalars:[ 7 ] ~with_page:true;
+
+  say "@.V's event loop runs (poll A, poll B, serve, release, reply):";
+  for _turn = 1 to 6 do
+    match Service_v.step v with
+    | Service_v.Served (side, scalars) ->
+      say "  V served %s: request %s -> reply %s"
+        (match side with Service_v.A_side -> "A" | Service_v.B_side -> "B")
+        (String.concat "," (List.map string_of_int scalars))
+        (String.concat "," (List.map string_of_int (Service_v.reply_for scalars)))
+    | Service_v.Reply_delivered side ->
+      say "  V redelivered the stashed reply to %s"
+        (match side with Service_v.A_side -> "A" | Service_v.B_side -> "B")
+    | Service_v.Rejected side ->
+      say "  V rejected a malformed request from %s"
+        (match side with Service_v.A_side -> "A" | Service_v.B_side -> "B")
+    | Service_v.Idle -> ()
+  done;
+
+  say "@.Clients block to collect replies; V's next turns redeliver:";
+  client_collect k ~thread:s.Scenario.a_thread ~label:"A";
+  client_collect k ~thread:s.Scenario.b_thread ~label:"B";
+  for _turn = 1 to 4 do
+    match Service_v.step v with
+    | Service_v.Reply_delivered side ->
+      let thread =
+        match side with
+        | Service_v.A_side -> s.Scenario.a_thread
+        | Service_v.B_side -> s.Scenario.b_thread
+      in
+      (match Kernel.take_delivered k ~thread with
+       | Some m ->
+         say "  %s woke up with reply %s"
+           (match side with Service_v.A_side -> "A" | Service_v.B_side -> "B")
+           (String.concat "," (List.map string_of_int m.Message.scalars))
+       | None -> ())
+    | _ -> ()
+  done;
+
+  say "@.V's functional correctness after serving both sides:";
+  (match Service_v.wf v with
+   | Ok () ->
+     say "  V retained no client memory, holds exactly its two endpoints,";
+     say "  and never blocked (served %d requests total)." (Service_v.served_total v)
+   | Error msg -> failwith msg);
+
+  (match Scenario.check_isolation s with
+   | Ok () -> say "  A and B remain fully isolated (memory_iso, endpoint_iso)."
+   | Error msg -> failwith msg);
+
+  (match Atmo_core.Invariants.total_wf k with
+   | Ok () -> say "  total_wf holds: no leaks, closures disjoint."
+   | Error msg -> failwith msg)

@@ -1,0 +1,1 @@
+lib/baselines/dpdk_model.ml: Atmo_sim Float

@@ -1,0 +1,1 @@
+lib/baselines/dpdk_model.mli: Atmo_sim

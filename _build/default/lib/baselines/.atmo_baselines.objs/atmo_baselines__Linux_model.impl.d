@@ -1,0 +1,1 @@
+lib/baselines/linux_model.ml: Atmo_sim Float

@@ -1,0 +1,1 @@
+lib/baselines/linux_model.mli: Atmo_sim

@@ -1,0 +1,1 @@
+lib/baselines/nginx_model.mli: Atmo_sim

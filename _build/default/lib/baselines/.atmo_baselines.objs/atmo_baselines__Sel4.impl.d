@@ -1,0 +1,1 @@
+lib/baselines/sel4.ml: Atmo_sim

@@ -1,0 +1,1 @@
+lib/baselines/sel4.mli: Atmo_sim

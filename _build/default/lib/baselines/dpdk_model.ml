@@ -1,0 +1,15 @@
+module Cost = Atmo_sim.Cost
+
+let packet_pps (c : Cost.t) ~app_cycles =
+  let cpp = float_of_int (app_cycles + c.Cost.driver_per_packet) in
+  Float.min c.Cost.nic_line_rate_pps (c.Cost.frequency_hz /. cpp)
+
+(* polling keeps the device pipeline full regardless of batch size; the
+   per-IO CPU cost is tiny, so the device cap dominates *)
+let nvme_iops (c : Cost.t) ~batch ~cap =
+  ignore batch;
+  let cpu = c.Cost.frequency_hz /. float_of_int c.Cost.spdk_per_io in
+  Float.min cap cpu
+
+let nvme_read_iops c ~batch = nvme_iops c ~batch ~cap:c.Cost.nvme_read_cap_iops
+let nvme_write_iops c ~batch = nvme_iops c ~batch ~cap:c.Cost.nvme_write_cap_iops

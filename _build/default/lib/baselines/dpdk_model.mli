@@ -1,0 +1,11 @@
+(** DPDK / SPDK comparators: polling user-space frameworks with direct
+    device access (PCIe passthrough), no kernel crossings on the data
+    path. *)
+
+val packet_pps : Atmo_sim.Cost.t -> app_cycles:int -> float
+(** Per-core packet rate, capped at line rate. *)
+
+val nvme_read_iops : Atmo_sim.Cost.t -> batch:int -> float
+(** SPDK sequential reads: deep polling pipeline, device-capped. *)
+
+val nvme_write_iops : Atmo_sim.Cost.t -> batch:int -> float

@@ -1,0 +1,22 @@
+module Cost = Atmo_sim.Cost
+
+let packet_cycles (c : Cost.t) ~app_cycles =
+  float_of_int (app_cycles + c.Cost.linux_stack_per_packet)
+
+let packet_pps (c : Cost.t) ~app_cycles =
+  c.Cost.frequency_hz /. packet_cycles c ~app_cycles
+
+(* batch = in-flight IOs: throughput is the lesser of the pipelining
+   limit (batch / device latency) and the block-layer CPU limit, capped
+   by the device *)
+let nvme_iops (c : Cost.t) ~batch ~cpu_per_io ~cap =
+  let pipeline = float_of_int (max 1 batch) /. c.Cost.nvme_read_latency_s in
+  let cpu = c.Cost.frequency_hz /. float_of_int cpu_per_io in
+  Float.min cap (Float.min pipeline cpu)
+
+let nvme_read_iops (c : Cost.t) ~batch =
+  nvme_iops c ~batch ~cpu_per_io:c.Cost.linux_block_per_io ~cap:c.Cost.nvme_read_cap_iops
+
+let nvme_write_iops (c : Cost.t) ~batch =
+  nvme_iops c ~batch ~cpu_per_io:c.Cost.linux_block_write_per_io
+    ~cap:c.Cost.nvme_write_cap_iops

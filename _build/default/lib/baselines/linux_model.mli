@@ -1,0 +1,17 @@
+(** Linux comparator paths (§6.5–§6.6).
+
+    Per-item cycle costs of the Linux configurations the paper measures
+    against: the socket syscall path for packet workloads, and the
+    libaio/fio block path for NVMe workloads (synchronous at batch 1,
+    pipelined at larger batches). *)
+
+val packet_cycles : Atmo_sim.Cost.t -> app_cycles:int -> float
+(** Per-packet busy cycles of a socket-based application. *)
+
+val packet_pps : Atmo_sim.Cost.t -> app_cycles:int -> float
+
+val nvme_read_iops : Atmo_sim.Cost.t -> batch:int -> float
+(** fio + libaio sequential reads: synchronous latency-bound at batch 1,
+    block-layer CPU-bound as the batch grows. *)
+
+val nvme_write_iops : Atmo_sim.Cost.t -> batch:int -> float

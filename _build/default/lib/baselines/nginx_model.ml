@@ -1,0 +1,4 @@
+module Cost = Atmo_sim.Cost
+
+let requests_per_second (c : Cost.t) ~request_work =
+  c.Cost.frequency_hz /. float_of_int (request_work + c.Cost.nginx_per_request_overhead)

@@ -1,0 +1,5 @@
+(** nginx comparator for the httpd benchmark (§6.6): event-driven
+    server over kernel sockets — the request work plus the
+    socket/epoll overhead per request. *)
+
+val requests_per_second : Atmo_sim.Cost.t -> request_work:int -> float

@@ -1,0 +1,7 @@
+module Cost = Atmo_sim.Cost
+
+let call_reply_cycles (c : Cost.t) = c.Cost.sel4_call_reply
+let map_page_cycles (c : Cost.t) = c.Cost.sel4_map_page
+
+let call_reply_seconds (c : Cost.t) =
+  Cost.seconds_of_cycles c (call_reply_cycles c)

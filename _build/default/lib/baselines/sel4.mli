@@ -1,0 +1,15 @@
+(** seL4 comparator for the IPC microbenchmarks (Table 3).
+
+    A cost model of seL4's synchronous IPC fast path and page-mapping
+    system call, with the cycle figures the paper measured on c220g5.
+    The model composes the same path structure as Atmosphere's
+    (syscall entry, transfer, switch, exit) so the table's two rows are
+    produced by the same machinery with different constants. *)
+
+val call_reply_cycles : Atmo_sim.Cost.t -> int
+(** Synchronous call + reply between two threads: 1026 cycles. *)
+
+val map_page_cycles : Atmo_sim.Cost.t -> int
+(** Mapping one 4 KiB page into a VSpace: 2650 cycles. *)
+
+val call_reply_seconds : Atmo_sim.Cost.t -> float

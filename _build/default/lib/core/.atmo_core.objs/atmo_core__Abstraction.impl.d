@@ -1,0 +1,1 @@
+lib/core/abstraction.ml: Atmo_pm Atmo_pmem Atmo_pt Atmo_spec Atmo_util Imap Kernel

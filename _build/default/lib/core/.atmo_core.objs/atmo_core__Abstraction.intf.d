@@ -1,0 +1,1 @@
+lib/core/abstraction.mli: Atmo_spec Kernel

@@ -1,0 +1,1 @@
+lib/core/boot_loader.ml: Atmo_hw Atmo_util Errno Format Iset Kernel

@@ -1,0 +1,1 @@
+lib/core/boot_loader.mli: Atmo_hw Atmo_util Kernel

@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Atmo_hw Atmo_pm Atmo_pmem Atmo_pt Atmo_util Format Hashtbl Imap Iset Kernel List Option

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Atmo_hw Atmo_pm Atmo_pmem Atmo_pt Atmo_spec Atmo_util Errno Imap Iset List Option

@@ -1,0 +1,9 @@
+(** The abstraction function α: concrete kernel → abstract state Ψ.
+
+    The refinement theorem relates every concrete transition to the
+    abstract specification through this function; it reads the flat
+    permission maps, the ghost address-space maps of every page table,
+    and the allocator's spec views, producing a pure
+    {!Atmo_spec.Abstract_state.t} snapshot. *)
+
+val abstract : Kernel.t -> Atmo_spec.Abstract_state.t

@@ -1,0 +1,46 @@
+open Atmo_util
+module E820 = Atmo_hw.E820
+
+type plan = {
+  managed_region : E820.region;
+  params : Kernel.boot_params;
+}
+
+let errf fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let plan map ~kernel_image_frames ~cpus =
+  match E820.validate map with
+  | Error msg -> errf "bad firmware map: %s" msg
+  | Ok () ->
+    (match E820.largest_usable map with
+     | None -> Error "no usable memory"
+     | Some region ->
+       let frames = E820.frames_of region in
+       (* one 4 KiB boot stack per CPU, plus the image *)
+       let reserved = kernel_image_frames + max 1 (Iset.cardinal cpus) in
+       if frames <= reserved + 8 then
+         errf "usable region too small: %d frames for %d reserved" frames reserved
+       else begin
+         (* the root container gets everything the kernel can allocate,
+            minus slack for the allocator's own bootstrapping *)
+         let root_quota = frames - reserved - 4 in
+         Ok
+           {
+             managed_region = region;
+             params =
+               {
+                 Kernel.frames;
+                 reserved_frames = reserved;
+                 root_quota;
+                 cpus;
+               };
+           }
+       end)
+
+let boot map ~kernel_image_frames ~cpus =
+  match plan map ~kernel_image_frames ~cpus with
+  | Error _ as e -> e
+  | Ok p ->
+    (match Kernel.boot p.params with
+     | Ok (k, init) -> Ok (k, init)
+     | Error e -> errf "kernel boot failed: %a" Errno.pp e)

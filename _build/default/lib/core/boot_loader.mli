@@ -1,0 +1,34 @@
+(** The trusted boot stage (§5 item 9).
+
+    The paper's minimal boot loader enumerates physical memory, sets up
+    the kernel's runtime environment and hands the verified kernel its
+    initial configuration.  This module performs the same computation
+    over an {!Atmo_hw.E820.map}: pick the largest usable region, reserve
+    frames for the kernel image and boot stacks, and derive the root
+    container quota, then boot the kernel with it.
+
+    Like the paper's boot loader, this stage is trusted, not verified:
+    its output is checked ([total_wf] holds immediately after boot), its
+    internals are not. *)
+
+type plan = {
+  managed_region : Atmo_hw.E820.region;
+  params : Kernel.boot_params;
+}
+
+val plan :
+  Atmo_hw.E820.map ->
+  kernel_image_frames:int ->
+  cpus:Atmo_util.Iset.t ->
+  (plan, string) result
+(** Validate the firmware map and compute boot parameters: the machine
+    is the largest usable region; the kernel image plus one boot stack
+    per CPU are reserved at its bottom; everything else becomes the root
+    quota. *)
+
+val boot :
+  Atmo_hw.E820.map ->
+  kernel_image_frames:int ->
+  cpus:Atmo_util.Iset.t ->
+  (Kernel.t * int, string) result
+(** Plan and boot. *)

@@ -1,0 +1,202 @@
+open Atmo_util
+module Page_alloc = Atmo_pmem.Page_alloc
+module Page_state = Atmo_pmem.Page_state
+module Page_table = Atmo_pt.Page_table
+module Pt_refine = Atmo_pt.Pt_refine
+module Proc_mgr = Atmo_pm.Proc_mgr
+module Perm_map = Atmo_pm.Perm_map
+module Process = Atmo_pm.Process
+module Pm_invariants = Atmo_pm.Pm_invariants
+module Iommu = Atmo_hw.Iommu
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let allocator_wf (k : Kernel.t) = Page_alloc.wf k.Kernel.alloc
+let pm_wf (k : Kernel.t) = Pm_invariants.all k.Kernel.pm
+
+let page_tables_wf (k : Kernel.t) =
+  Perm_map.fold
+    (fun ptr (p : Process.t) acc ->
+      let* () = acc in
+      match Pt_refine.all p.Process.pt with
+      | Ok () -> Ok ()
+      | Error msg -> err "page table of process 0x%x: %s" ptr msg)
+    k.Kernel.pm.Proc_mgr.proc_perms (Ok ())
+
+(* The page closures whose pairwise disjointness constitutes type
+   safety: one singleton per kernel object page, one closure per page
+   table. *)
+let closures (k : Kernel.t) =
+  let pm = k.Kernel.pm in
+  let singles dom = Iset.fold (fun p acc -> Iset.singleton p :: acc) dom [] in
+  let pt_closures =
+    Perm_map.fold
+      (fun _ (p : Process.t) acc -> Page_table.page_closure p.Process.pt :: acc)
+      pm.Proc_mgr.proc_perms []
+  in
+  let io_closures =
+    Imap.fold
+      (fun _ (d : Kernel.device_info) acc ->
+        Page_table.page_closure d.Kernel.io_pt :: acc)
+      k.Kernel.devices []
+  in
+  singles (Perm_map.dom pm.Proc_mgr.cntr_perms)
+  @ singles (Perm_map.dom pm.Proc_mgr.proc_perms)
+  @ singles (Perm_map.dom pm.Proc_mgr.thrd_perms)
+  @ singles (Perm_map.dom pm.Proc_mgr.edpt_perms)
+  @ pt_closures @ io_closures
+
+let closures_disjoint (k : Kernel.t) =
+  if Iset.pairwise_disjoint (closures k) then Ok ()
+  else err "two kernel objects share a page"
+
+let leak_freedom (k : Kernel.t) =
+  let owned = Iset.union_list (closures k) in
+  let allocated = Page_alloc.allocated_pages k.Kernel.alloc in
+  if Iset.equal owned allocated then Ok ()
+  else
+    let leaked = Iset.diff allocated owned in
+    let phantom = Iset.diff owned allocated in
+    (match (Iset.choose_opt leaked, Iset.choose_opt phantom) with
+     | Some p, _ -> err "leak: page 0x%x allocated but owned by nothing" p
+     | None, Some p -> err "phantom: page 0x%x owned but not allocated" p
+     | None, None -> Ok ())
+
+let mapped_consistent (k : Kernel.t) =
+  let pm = k.Kernel.pm in
+  (* count (space, va) references per frame across all process address
+     spaces and all device DMA windows *)
+  let refs = Hashtbl.create 64 in
+  let count space =
+    Imap.iter
+      (fun _va (e : Page_table.entry) ->
+        Hashtbl.replace refs e.Page_table.frame
+          (1 + Option.value ~default:0 (Hashtbl.find_opt refs e.Page_table.frame)))
+      space
+  in
+  Perm_map.iter
+    (fun _ (p : Process.t) -> count (Page_table.address_space p.Process.pt))
+    pm.Proc_mgr.proc_perms;
+  Imap.iter
+    (fun _ (d : Kernel.device_info) -> count (Page_table.address_space d.Kernel.io_pt))
+    k.Kernel.devices;
+  let union_mapped =
+    Hashtbl.fold (fun f _ acc -> Iset.add f acc) refs Iset.empty
+  in
+  let alloc_mapped = Page_alloc.mapped_pages k.Kernel.alloc in
+  let* () =
+    if Iset.equal union_mapped alloc_mapped then Ok ()
+    else
+      (match Iset.choose_opt (Iset.diff alloc_mapped union_mapped) with
+       | Some f -> err "frame 0x%x mapped in allocator but by no process" f
+       | None ->
+         (match Iset.choose_opt (Iset.diff union_mapped alloc_mapped) with
+          | Some f -> err "frame 0x%x mapped by a process but not in allocator" f
+          | None -> Ok ()))
+  in
+  Hashtbl.fold
+    (fun frame n acc ->
+      let* () = acc in
+      match Page_alloc.ref_count k.Kernel.alloc ~addr:frame with
+      | Some rc when rc = n -> Ok ()
+      | Some rc -> err "frame 0x%x refcount %d but %d mappings" frame rc n
+      | None -> err "frame 0x%x mapped but not in Mapped state" frame)
+    refs (Ok ())
+
+let devices_wf (k : Kernel.t) =
+  let* () =
+    Imap.fold
+      (fun device (d : Kernel.device_info) acc ->
+        let* () = acc in
+        match
+          Perm_map.borrow_opt k.Kernel.pm.Proc_mgr.proc_perms ~ptr:d.Kernel.owner_proc
+        with
+        | None ->
+          err "device %d assigned to dead process 0x%x" device d.Kernel.owner_proc
+        | Some p ->
+          if p.Process.owner_container <> d.Kernel.owner_container then
+            err "device %d charged to the wrong container" device
+          else
+            (match Iommu.domain_of k.Kernel.iommu ~device with
+             | Some root when root = Page_table.cr3 d.Kernel.io_pt ->
+               (* the IOMMU table itself satisfies all page-table
+                  obligations, and DMA windows are 4 KiB-grained *)
+               let* () =
+                 match Pt_refine.all d.Kernel.io_pt with
+                 | Ok () -> Ok ()
+                 | Error m -> err "device %d IOMMU table: %s" device m
+               in
+               if
+                 Imap.for_all
+                   (fun _ (e : Page_table.entry) ->
+                     e.Page_table.size = Atmo_pmem.Page_state.S4k)
+                   (Page_table.address_space d.Kernel.io_pt)
+               then Ok ()
+               else err "device %d has a non-4K DMA mapping" device
+             | Some root ->
+               err "device %d IOMMU root 0x%x is not its table root" device root
+             | None -> err "device %d assigned but not attached to the IOMMU" device))
+      k.Kernel.devices (Ok ())
+  in
+  (* interrupt routing: the target endpoint is alive, pending counts are
+     sane, and interrupts never pend while a receiver is waiting *)
+  let* () =
+    Imap.fold
+      (fun device (d : Kernel.device_info) acc ->
+        let* () = acc in
+        if d.Kernel.irq_pending < 0 then err "device %d negative irq pending" device
+        else
+          match d.Kernel.irq_endpoint with
+          | None ->
+            if d.Kernel.irq_pending = 0 then Ok ()
+            else err "device %d pends interrupts with no route" device
+          | Some ep ->
+            (match Perm_map.borrow_opt k.Kernel.pm.Proc_mgr.edpt_perms ~ptr:ep with
+             | None -> err "device %d routed to dead endpoint 0x%x" device ep
+             | Some e ->
+               if
+                 d.Kernel.irq_pending > 0
+                 && not (Atmo_pm.Static_list.is_empty e.Atmo_pm.Endpoint.recv_queue)
+               then err "device %d pends interrupts past a waiting receiver" device
+               else Ok ()))
+      k.Kernel.devices (Ok ())
+  in
+  (* external-charge ground truth: per container, the recorded external
+     frames equal the IOMMU tables + DMA-window shares of its devices *)
+  let expected = Hashtbl.create 8 in
+  Imap.iter
+    (fun _ (d : Kernel.device_info) ->
+      let c = d.Kernel.owner_container in
+      let n =
+        Iset.cardinal (Page_table.page_closure d.Kernel.io_pt)
+        + Imap.cardinal (Page_table.address_space d.Kernel.io_pt)
+      in
+      Hashtbl.replace expected c (n + Option.value ~default:0 (Hashtbl.find_opt expected c)))
+    k.Kernel.devices;
+  Perm_map.fold
+    (fun c _ acc ->
+      let* () = acc in
+      let want = Option.value ~default:0 (Hashtbl.find_opt expected c) in
+      let got = Proc_mgr.external_of k.Kernel.pm ~container:c in
+      if want = got then Ok ()
+      else err "container 0x%x external charge %d but devices account for %d" c got want)
+    k.Kernel.pm.Proc_mgr.cntr_perms (Ok ())
+
+let obligations =
+  [
+    ("kernel/allocator_wf", allocator_wf);
+    ("kernel/pm_wf", pm_wf);
+    ("kernel/page_tables_wf", page_tables_wf);
+    ("kernel/closures_disjoint", closures_disjoint);
+    ("kernel/leak_freedom", leak_freedom);
+    ("kernel/mapped_consistent", mapped_consistent);
+    ("kernel/devices_wf", devices_wf);
+  ]
+
+let total_wf k =
+  List.fold_left
+    (fun acc (_, check) ->
+      let* () = acc in
+      check k)
+    (Ok ()) obligations

@@ -1,0 +1,39 @@
+(** [total_wf]: the kernel-wide well-formedness invariant (§4.2).
+
+    Composes every subsystem's invariant with the cross-cutting memory
+    obligations the paper proves bottom-up: pairwise disjointness of the
+    page closures of all subsystems (safety: every allocated page is
+    used by exactly one object of one type) and leak freedom (the union
+    of all page closures equals the allocator's set of allocated pages;
+    the union of all mapped frames equals the allocator's mapped set,
+    with matching reference counts). *)
+
+val allocator_wf : Kernel.t -> (unit, string) result
+(** The page allocator's own invariant ({!Atmo_pmem.Page_alloc.wf}). *)
+
+val pm_wf : Kernel.t -> (unit, string) result
+(** Process-manager invariants ({!Atmo_pm.Pm_invariants.all}). *)
+
+val page_tables_wf : Kernel.t -> (unit, string) result
+(** Flat page-table obligations of every process
+    ({!Atmo_pt.Pt_refine.all}). *)
+
+val closures_disjoint : Kernel.t -> (unit, string) result
+(** Type safety of memory: object pages of the four kinds and the page
+    closures of every page table are pairwise disjoint. *)
+
+val leak_freedom : Kernel.t -> (unit, string) result
+(** Union of all page closures = the allocator's allocated set: no page
+    is lost, none is used without being allocated. *)
+
+val mapped_consistent : Kernel.t -> (unit, string) result
+(** The allocator's mapped set equals the union of frames mapped by all
+    address spaces, and each frame's reference count equals the number
+    of (process, vaddr) mappings naming it. *)
+
+val devices_wf : Kernel.t -> (unit, string) result
+(** Every assigned device belongs to a live process and its IOMMU
+    domain root is that process's page-table root. *)
+
+val total_wf : Kernel.t -> (unit, string) result
+val obligations : (string * (Kernel.t -> (unit, string) result)) list

@@ -1,0 +1,114 @@
+(** The Atmosphere kernel: concrete state and system calls.
+
+    Ties the substrates together — simulated physical memory, the page
+    allocator, per-process page tables, the flat process manager, the
+    IOMMU — and implements every system call of the paper's interface
+    (§3): container/process/thread lifecycle with quota delegation,
+    mmap/munmap at 4 KiB / 2 MiB / 1 GiB granularity, rendezvous IPC over
+    endpoints with page and endpoint grants, yield, coarse-grained
+    revocation by termination, and IOMMU device assignment.
+
+    All system calls are atomic: a call that returns [Rerr _] leaves the
+    abstract kernel state unchanged (partial multi-page operations roll
+    back).  This is what makes the refinement specs of
+    [Atmo_spec.Syscall_spec] checkable clause by clause.
+
+    The kernel runs under a model of the paper's big lock: system calls
+    execute to completion, one at a time. *)
+
+type device_info = {
+  owner_proc : int;
+  owner_container : int;  (** container the IOMMU pages are charged to *)
+  io_pt : Atmo_pt.Page_table.t;  (** the device's own IOMMU page table *)
+  irq_endpoint : int option;  (** interrupt routing target *)
+  irq_pending : int;  (** interrupts raised with no receiver waiting *)
+}
+
+type t = {
+  mem : Atmo_hw.Phys_mem.t;
+  alloc : Atmo_pmem.Page_alloc.t;
+  pm : Atmo_pm.Proc_mgr.t;
+  iommu : Atmo_hw.Iommu.t;
+  mutable devices : device_info Atmo_util.Imap.t;
+}
+
+type boot_params = {
+  frames : int;  (** physical frames in the machine *)
+  reserved_frames : int;  (** boot image / trusted boot environment outside the allocator *)
+  root_quota : int;  (** frames the root container may consume *)
+  cpus : Atmo_util.Iset.t;
+}
+
+val default_boot : boot_params
+(** 16 MiB machine, 16 reserved frames, everything delegated to root. *)
+
+val boot : boot_params -> (t * int, Atmo_util.Errno.t) result
+(** Bring the system up: root container, init process, init thread
+    (returned, already current). *)
+
+(** {2 System calls}
+
+    Every call takes the invoking thread.  The thread must be alive and
+    not blocked; arbitrary values are accepted (and rejected with
+    [Rerr]), as the noninterference theorem requires. *)
+
+val step : t -> thread:int -> Atmo_spec.Syscall.t -> Atmo_spec.Syscall.ret
+(** Uniform dispatcher over all system calls. *)
+
+val sys_mmap :
+  t -> thread:int -> va:int -> count:int -> size:Atmo_pmem.Page_state.size ->
+  perm:Atmo_hw.Pte_bits.perm -> Atmo_spec.Syscall.ret
+
+val sys_munmap :
+  t -> thread:int -> va:int -> count:int -> size:Atmo_pmem.Page_state.size ->
+  Atmo_spec.Syscall.ret
+
+val sys_mprotect : t -> thread:int -> va:int -> perm:Atmo_hw.Pte_bits.perm -> Atmo_spec.Syscall.ret
+val sys_new_container : t -> thread:int -> quota:int -> cpus:Atmo_util.Iset.t -> Atmo_spec.Syscall.ret
+val sys_new_process : t -> thread:int -> Atmo_spec.Syscall.ret
+val sys_new_thread : t -> thread:int -> Atmo_spec.Syscall.ret
+val sys_new_endpoint : t -> thread:int -> slot:int -> Atmo_spec.Syscall.ret
+val sys_close_endpoint : t -> thread:int -> slot:int -> Atmo_spec.Syscall.ret
+val sys_send : t -> thread:int -> slot:int -> msg:Atmo_pm.Message.t -> Atmo_spec.Syscall.ret
+val sys_recv : t -> thread:int -> slot:int -> Atmo_spec.Syscall.ret
+val sys_send_nb : t -> thread:int -> slot:int -> msg:Atmo_pm.Message.t -> Atmo_spec.Syscall.ret
+val sys_recv_nb : t -> thread:int -> slot:int -> Atmo_spec.Syscall.ret
+val sys_recv_reject : t -> thread:int -> slot:int -> Atmo_spec.Syscall.ret
+val sys_yield : t -> thread:int -> Atmo_spec.Syscall.ret
+val sys_terminate_container : t -> thread:int -> container:int -> Atmo_spec.Syscall.ret
+val sys_terminate_process : t -> thread:int -> proc:int -> Atmo_spec.Syscall.ret
+val sys_assign_device : t -> thread:int -> device:int -> Atmo_spec.Syscall.ret
+(** Create a dedicated IOMMU page table for the device (charged to the
+    caller's container) and attach the device to it.  The device starts
+    with an empty DMA window. *)
+
+val sys_io_map : t -> thread:int -> device:int -> iova:int -> va:int -> Atmo_spec.Syscall.ret
+(** Expose the 4 KiB frame backing [va] in the caller's address space to
+    the device at I/O virtual address [iova] (shares the frame:
+    reference counted like an IPC page grant). *)
+
+val sys_io_unmap : t -> thread:int -> device:int -> iova:int -> Atmo_spec.Syscall.ret
+
+val sys_register_irq : t -> thread:int -> device:int -> slot:int -> Atmo_spec.Syscall.ret
+(** Route the device's interrupt to the endpoint held in the caller's
+    descriptor slot; only the device owner may register, once. *)
+
+val irq_fire : t -> device:int -> Atmo_spec.Syscall.ret
+(** Hardware entry: the device raised its interrupt.  Delivered as a
+    one-scalar message to a receiver waiting on the routed endpoint, or
+    counted pending (picked up by the next receive); spurious interrupts
+    (unassigned or unrouted device) are dropped. *)
+
+(** {2 Helpers for harnesses and applications} *)
+
+val take_delivered : t -> thread:int -> Atmo_pm.Message.t option
+(** Message delivered to a thread woken from a blocked receive (read
+    without clearing; it is replaced on the thread's next receive). *)
+
+val thread_alive : t -> thread:int -> bool
+val proc_of_thread : t -> thread:int -> int option
+val container_of_thread : t -> thread:int -> int option
+
+val resolve_user : t -> thread:int -> vaddr:int -> Atmo_hw.Mmu.translation option
+(** Resolve a virtual address through the calling thread's address
+    space — what the thread's loads/stores would do on hardware. *)

@@ -1,0 +1,1 @@
+lib/drivers/ixgbe.ml: Array Atmo_hw Atmo_sim Bytes Int64 List

@@ -1,0 +1,1 @@
+lib/drivers/ixgbe.mli: Atmo_hw Atmo_sim

@@ -1,0 +1,1 @@
+lib/drivers/nvme.ml: Atmo_hw Atmo_sim Bytes Hashtbl List

@@ -1,0 +1,1 @@
+lib/drivers/nvme.mli: Atmo_hw Atmo_sim

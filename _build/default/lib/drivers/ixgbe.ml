@@ -1,0 +1,174 @@
+module Phys_mem = Atmo_hw.Phys_mem
+module Iommu = Atmo_hw.Iommu
+module Clock = Atmo_hw.Clock
+module Cost = Atmo_sim.Cost
+
+let descriptor_bytes = 16
+let line_rate_pps = 14.2e6
+
+let flag_dd = 0x1
+let flag_own = 0x2
+
+type ring = {
+  iova : int;  (* base of the descriptor ring, device-visible *)
+  slots : int;
+  mutable hw_next : int;  (* next slot the device will use *)
+  mutable drv_next : int;  (* next slot the driver will harvest/fill *)
+}
+
+type t = {
+  mem : Phys_mem.t;
+  iommu : Iommu.t;
+  device : int;
+  clock : Clock.t;
+  cost : Cost.t;
+  mutable rx : ring option;
+  mutable tx : ring option;
+  mutable tx_wire : bytes list;  (* newest first *)
+  mutable rx_drops : int;
+  mutable rx_frames : int;
+  mutable tx_frames : int;
+}
+
+let create mem iommu ~device ~clock ~cost =
+  {
+    mem;
+    iommu;
+    device;
+    clock;
+    cost;
+    rx = None;
+    tx = None;
+    tx_wire = [];
+    rx_drops = 0;
+    rx_frames = 0;
+    tx_frames = 0;
+  }
+
+(* All descriptor accesses are device-side: they go through the IOMMU. *)
+let desc_addr ring slot = ring.iova + (slot * descriptor_bytes)
+
+let read_desc t ring slot =
+  match Iommu.dma_read t.iommu ~device:t.device ~iova:(desc_addr ring slot) ~len:descriptor_bytes with
+  | None -> None
+  | Some b ->
+    Some
+      ( Int64.to_int (Bytes.get_int64_le b 0),
+        Bytes.get_uint16_le b 8,
+        Bytes.get_uint16_le b 10 )
+
+let write_desc t ring slot ~buf_iova ~len ~flags =
+  let b = Bytes.make descriptor_bytes '\000' in
+  Bytes.set_int64_le b 0 (Int64.of_int buf_iova);
+  Bytes.set_uint16_le b 8 len;
+  Bytes.set_uint16_le b 10 flags;
+  Iommu.dma_write t.iommu ~device:t.device ~iova:(desc_addr ring slot) b
+
+let setup_rx t ~ring_iova ~buffers =
+  let slots = Array.length buffers in
+  if slots = 0 then Error "setup_rx: no buffers"
+  else begin
+    let ring = { iova = ring_iova; slots; hw_next = 0; drv_next = 0 } in
+    let ok = ref true in
+    Array.iteri
+      (fun i (buf_iova, len) ->
+        if !ok then
+          ok := write_desc t ring i ~buf_iova ~len ~flags:flag_own)
+      buffers;
+    if !ok then begin
+      t.rx <- Some ring;
+      Ok ()
+    end
+    else Error "setup_rx: descriptor DMA faulted (ring not mapped for the device?)"
+  end
+
+let setup_tx t ~ring_iova ~slots =
+  if slots <= 0 then Error "setup_tx: slots <= 0"
+  else begin
+    let ring = { iova = ring_iova; slots; hw_next = 0; drv_next = 0 } in
+    let ok = ref true in
+    for i = 0 to slots - 1 do
+      if !ok then ok := write_desc t ring i ~buf_iova:0 ~len:0 ~flags:0
+    done;
+    if !ok then begin
+      t.tx <- Some ring;
+      Ok ()
+    end
+    else Error "setup_tx: descriptor DMA faulted"
+  end
+
+let wire_deliver t frame =
+  match t.rx with
+  | None ->
+    t.rx_drops <- t.rx_drops + 1;
+    false
+  | Some ring ->
+    (match read_desc t ring ring.hw_next with
+     | Some (buf_iova, buf_len, flags)
+       when flags land flag_own <> 0 && Bytes.length frame <= buf_len ->
+       if
+         Iommu.dma_write t.iommu ~device:t.device ~iova:buf_iova frame
+         && write_desc t ring ring.hw_next ~buf_iova ~len:(Bytes.length frame)
+              ~flags:flag_dd
+       then begin
+         ring.hw_next <- (ring.hw_next + 1) mod ring.slots;
+         true
+       end
+       else begin
+         t.rx_drops <- t.rx_drops + 1;
+         false
+       end
+     | _ ->
+       t.rx_drops <- t.rx_drops + 1;
+       false)
+
+let wire_collect t =
+  let frames = List.rev t.tx_wire in
+  t.tx_wire <- [];
+  frames
+
+let rx_drops t = t.rx_drops
+
+let rx_burst t ~max =
+  match t.rx with
+  | None -> []
+  | Some ring ->
+    let rec harvest acc n =
+      if n >= max then acc
+      else
+        match read_desc t ring ring.drv_next with
+        | Some (buf_iova, len, flags) when flags land flag_dd <> 0 ->
+          Clock.advance t.clock t.cost.Cost.driver_per_packet;
+          (* the driver process owns the buffers; it reads them through
+             its mapping, which shares the frames the IOMMU targets *)
+          (match Iommu.dma_read t.iommu ~device:t.device ~iova:buf_iova ~len with
+           | Some frame ->
+             (* recycle the descriptor back to hardware with the standard
+                2 KiB buffer capacity *)
+             ignore (write_desc t ring ring.drv_next ~buf_iova ~len:2048 ~flags:flag_own);
+             ring.drv_next <- (ring.drv_next + 1) mod ring.slots;
+             t.rx_frames <- t.rx_frames + 1;
+             harvest (frame :: acc) (n + 1)
+           | None -> acc)
+        | _ -> acc
+    in
+    List.rev (harvest [] 0)
+
+let tx_burst t frames =
+  match t.tx with
+  | None -> 0
+  | Some ring ->
+    List.fold_left
+      (fun accepted frame ->
+        Clock.advance t.clock t.cost.Cost.driver_per_packet;
+        (* a slot is free when its OWN and DD bits are clear *)
+        match read_desc t ring ring.drv_next with
+        | Some (_, _, flags) when flags land (flag_own lor flag_dd) = 0 ->
+          ring.drv_next <- (ring.drv_next + 1) mod ring.slots;
+          t.tx_wire <- Bytes.copy frame :: t.tx_wire;
+          t.tx_frames <- t.tx_frames + 1;
+          accepted + 1
+        | _ -> accepted)
+      0 frames
+
+let stats t = (t.rx_frames, t.tx_frames)

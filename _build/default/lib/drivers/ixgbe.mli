@@ -1,0 +1,68 @@
+(** Intel 82599 (ixgbe) 10 GbE NIC model.
+
+    The paper's network driver runs in user space and owns descriptor
+    rings the NIC consumes by DMA.  This model keeps the rings and
+    packet buffers as real bytes in simulated physical memory; all
+    device-side accesses go through the {!Atmo_hw.Iommu}, so a buffer
+    the owning process never mapped for the device faults exactly as
+    the paper's isolation story requires.
+
+    Descriptor layout (16 bytes, little-endian):
+    [buffer iova : u64][length : u16][flags : u16][reserved : u32];
+    flag bit 0 is DD (descriptor done, set by the device on receive /
+    by the driver on transmit completion), bit 1 is OWN (owned by
+    hardware).
+
+    The wire is modelled by {!wire_deliver} / {!wire_collect}; a 64-byte
+    line rate cap of 14.2 Mpps applies to the throughput model, not to
+    the functional path. *)
+
+type t
+
+val descriptor_bytes : int
+val line_rate_pps : float
+
+val create :
+  Atmo_hw.Phys_mem.t ->
+  Atmo_hw.Iommu.t ->
+  device:int ->
+  clock:Atmo_hw.Clock.t ->
+  cost:Atmo_sim.Cost.t ->
+  t
+
+val setup_rx :
+  t -> ring_iova:int -> buffers:(int * int) array -> (unit, string) result
+(** Program the receive ring: descriptor ring at [ring_iova], one
+    [(buffer iova, buffer length)] per slot, all slots handed to
+    hardware.  Fails if the ring or a descriptor write faults in the
+    IOMMU. *)
+
+val setup_tx : t -> ring_iova:int -> slots:int -> (unit, string) result
+
+(** {2 Wire side (the cable)} *)
+
+val wire_deliver : t -> bytes -> bool
+(** A frame arrives: the device claims the next hardware-owned RX
+    descriptor, DMA-writes the frame into its buffer, records the
+    length and sets DD.  [false] (and a drop counted) when no
+    descriptor is available or the DMA faults. *)
+
+val wire_collect : t -> bytes list
+(** Drain frames the device has transmitted since the last call. *)
+
+val rx_drops : t -> int
+
+(** {2 Driver side} *)
+
+val rx_burst : t -> max:int -> bytes list
+(** Poll the RX ring: harvest up to [max] completed frames, recycle
+    their descriptors back to hardware.  Charges
+    [cost.driver_per_packet] per frame to the clock. *)
+
+val tx_burst : t -> bytes list -> int
+(** Enqueue frames for transmission into free TX descriptors (the
+    device "sends" them immediately; {!wire_collect} observes them).
+    Returns the number accepted.  Charges per-packet driver cycles. *)
+
+val stats : t -> int * int
+(** (frames received by driver, frames transmitted). *)

@@ -1,0 +1,121 @@
+module Clock = Atmo_hw.Clock
+module Cost = Atmo_sim.Cost
+
+type op = Read | Write
+
+type completion = {
+  tag : int;
+  op : op;
+  lba : int;
+  ok : bool;
+  data : bytes option;
+}
+
+type pending = {
+  p_tag : int;
+  p_op : op;
+  p_lba : int;
+  p_data : bytes option;  (* write payload *)
+  due : int;  (* cycle count at which the completion posts *)
+}
+
+type t = {
+  clock : Clock.t;
+  cost : Cost.t;
+  capacity_blocks : int;
+  blocks : (int, bytes) Hashtbl.t;
+  mutable queue : pending list;  (* oldest first *)
+  mutable next_tag : int;
+  mutable last_read_slot : int;  (* rate limiting: next free device slot *)
+  mutable last_write_slot : int;
+}
+
+let block_bytes = 4096
+let max_queue = 1024
+
+let create ~clock ~cost ~capacity_blocks =
+  if capacity_blocks <= 0 then invalid_arg "Nvme.create: capacity <= 0";
+  {
+    clock;
+    cost;
+    capacity_blocks;
+    blocks = Hashtbl.create 1024;
+    queue = [];
+    next_tag = 0;
+    last_read_slot = 0;
+    last_write_slot = 0;
+  }
+
+let capacity_blocks t = t.capacity_blocks
+let queue_depth t = List.length t.queue
+
+(* Service model: a request completes after the device latency, and the
+   stream of same-kind requests is spaced by the rate cap (1/cap worth
+   of cycles each), whichever is later. *)
+let due_time t op =
+  let now = Clock.now t.clock in
+  let cap =
+    match op with
+    | Read -> t.cost.Cost.nvme_read_cap_iops
+    | Write ->
+      t.cost.Cost.nvme_write_cap_iops /. (1. +. t.cost.Cost.nvme_atmo_write_penalty)
+  in
+  let spacing = int_of_float (t.cost.Cost.frequency_hz /. cap) in
+  let latency = int_of_float (t.cost.Cost.nvme_read_latency_s *. t.cost.Cost.frequency_hz) in
+  let slot_ref = match op with Read -> t.last_read_slot | Write -> t.last_write_slot in
+  let slot = max now slot_ref in
+  (match op with
+   | Read -> t.last_read_slot <- slot + spacing
+   | Write -> t.last_write_slot <- slot + spacing);
+  slot + latency
+
+let submit t op ~lba ~data =
+  if lba < 0 || lba >= t.capacity_blocks then Error "lba out of range"
+  else if queue_depth t >= max_queue then Error "submission queue full"
+  else begin
+    let tag = t.next_tag in
+    t.next_tag <- tag + 1;
+    t.queue <- t.queue @ [ { p_tag = tag; p_op = op; p_lba = lba; p_data = data; due = due_time t op } ];
+    Ok tag
+  end
+
+let submit_read t ~lba = submit t Read ~lba ~data:None
+
+let submit_write t ~lba ~data =
+  if Bytes.length data <> block_bytes then Error "write must be one block"
+  else submit t Write ~lba ~data:(Some (Bytes.copy data))
+
+let complete t p =
+  match p.p_op with
+  | Write ->
+    (match p.p_data with
+     | Some d -> Hashtbl.replace t.blocks p.p_lba d
+     | None -> ());
+    { tag = p.p_tag; op = Write; lba = p.p_lba; ok = true; data = None }
+  | Read ->
+    let data =
+      match Hashtbl.find_opt t.blocks p.p_lba with
+      | Some d -> Bytes.copy d
+      | None -> Bytes.make block_bytes '\000'
+    in
+    { tag = p.p_tag; op = Read; lba = p.p_lba; ok = true; data = Some data }
+
+let poll t =
+  let now = Clock.now t.clock in
+  let due, still = List.partition (fun p -> p.due <= now) t.queue in
+  t.queue <- still;
+  List.map (complete t) due
+
+let wait_all t =
+  match t.queue with
+  | [] -> []
+  | q ->
+    let latest = List.fold_left (fun acc p -> max acc p.due) 0 q in
+    let now = Clock.now t.clock in
+    if latest > now then Clock.advance t.clock (latest - now);
+    poll t
+
+let read_block_direct t ~lba =
+  match Hashtbl.find_opt t.blocks lba with
+  | Some d -> Bytes.copy d
+  | None -> Bytes.make block_bytes '\000'

@@ -1,0 +1,43 @@
+(** NVMe SSD model (PCIe-attached, P3700-class).
+
+    Submission/completion queue pairs over a block store of 4 KiB
+    blocks.  The device serves requests with a fixed per-op latency and
+    rate caps taken from the {!Atmo_sim.Cost} calibration (§6.5.2's
+    device maxima); completions become visible when the virtual clock
+    passes their due time, so polling drivers and the benchmark see the
+    same timing model the figures are computed from. *)
+
+type op = Read | Write
+
+type completion = {
+  tag : int;
+  op : op;
+  lba : int;
+  ok : bool;
+  data : bytes option;  (** block contents for successful reads *)
+}
+
+type t
+
+val block_bytes : int
+val create : clock:Atmo_hw.Clock.t -> cost:Atmo_sim.Cost.t -> capacity_blocks:int -> t
+
+val capacity_blocks : t -> int
+val queue_depth : t -> int
+(** Outstanding (submitted, not yet completed) requests. *)
+
+val submit_read : t -> lba:int -> (int, string) result
+(** Returns the tag; fails on out-of-range LBA or full queue. *)
+
+val submit_write : t -> lba:int -> data:bytes -> (int, string) result
+(** [data] must be exactly one block. *)
+
+val poll : t -> completion list
+(** Harvest completions due at the current clock, oldest first. *)
+
+val wait_all : t -> completion list
+(** Advance the clock to drain every outstanding request (benchmark
+    convenience). *)
+
+val read_block_direct : t -> lba:int -> bytes
+(** Backdoor for tests: current contents of a block. *)

@@ -1,0 +1,1 @@
+lib/hw/e820.ml: Format List Phys_mem

@@ -1,0 +1,1 @@
+lib/hw/e820.mli: Format

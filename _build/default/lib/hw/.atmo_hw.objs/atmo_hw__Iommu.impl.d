@@ -1,0 +1,1 @@
+lib/hw/iommu.ml: Bytes Hashtbl Mmu Phys_mem Pte_bits

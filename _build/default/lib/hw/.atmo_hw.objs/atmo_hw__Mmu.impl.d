@@ -1,0 +1,1 @@
+lib/hw/mmu.ml: Phys_mem Pte_bits

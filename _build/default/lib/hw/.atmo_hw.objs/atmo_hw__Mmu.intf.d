@@ -1,0 +1,1 @@
+lib/hw/mmu.mli: Phys_mem Pte_bits

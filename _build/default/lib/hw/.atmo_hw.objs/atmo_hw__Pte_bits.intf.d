@@ -1,0 +1,1 @@
+lib/hw/pte_bits.mli: Format

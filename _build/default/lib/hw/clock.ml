@@ -1,0 +1,13 @@
+type t = { mutable cycles : int }
+
+let frequency_hz = 2.2e9
+
+let create () = { cycles = 0 }
+let now t = t.cycles
+
+let advance t n =
+  if n < 0 then invalid_arg "Clock.advance: negative charge";
+  t.cycles <- t.cycles + n
+
+let seconds t = float_of_int t.cycles /. frequency_hz
+let reset t = t.cycles <- 0

@@ -1,0 +1,24 @@
+(** Virtual cycle clock.
+
+    All performance experiments in this reproduction run on a
+    cycle-accounting model rather than silicon (see DESIGN.md §1).  A
+    clock accumulates cycles charged by the simulation; the nominal
+    frequency matches the paper's c220g5 testbed (2.20 GHz Xeon). *)
+
+type t
+
+val frequency_hz : float
+(** Nominal core frequency used to convert cycles to seconds: 2.2e9. *)
+
+val create : unit -> t
+val now : t -> int
+(** Cycles elapsed since creation. *)
+
+val advance : t -> int -> unit
+(** Charge a number of cycles; raises [Invalid_argument] on a negative
+    charge. *)
+
+val seconds : t -> float
+(** Elapsed virtual time in seconds. *)
+
+val reset : t -> unit

@@ -1,0 +1,76 @@
+type kind =
+  | Usable
+  | Reserved
+  | Acpi
+  | Mmio
+
+type region = {
+  base : int;
+  len : int;
+  kind : kind;
+}
+
+type map = region list
+
+let pp_kind ppf k =
+  Format.pp_print_string ppf
+    (match k with
+     | Usable -> "usable"
+     | Reserved -> "reserved"
+     | Acpi -> "ACPI"
+     | Mmio -> "MMIO")
+
+let pp ppf m =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "[0x%09x - 0x%09x] %a@." r.base (r.base + r.len - 1) pp_kind
+        r.kind)
+    m
+
+let validate m =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let rec go = function
+    | [] -> Ok ()
+    | r :: rest ->
+      if r.len <= 0 then err "region at 0x%x has non-positive length" r.base
+      else if r.base < 0 then err "region with negative base"
+      else
+        (match rest with
+         | next :: _ when next.base < r.base + r.len ->
+           err "regions at 0x%x and 0x%x overlap or are unsorted" r.base next.base
+         | _ -> go rest)
+  in
+  go m
+
+let usable_bytes m =
+  List.fold_left (fun acc r -> if r.kind = Usable then acc + r.len else acc) 0 m
+
+let largest_usable m =
+  List.fold_left
+    (fun best r ->
+      if r.kind <> Usable then best
+      else
+        match best with
+        | Some b when b.len >= r.len -> best
+        | _ -> Some r)
+    None m
+
+let frames_of r =
+  let first = (r.base + Phys_mem.page_size - 1) / Phys_mem.page_size in
+  let last = (r.base + r.len) / Phys_mem.page_size in
+  max 0 (last - first)
+
+let first_frame_of r = (r.base + Phys_mem.page_size - 1) / Phys_mem.page_size
+
+let mib = 1024 * 1024
+
+let typical_pc ~total_mib =
+  if total_mib < 16 then invalid_arg "E820.typical_pc: too small";
+  let top = total_mib * mib in
+  [
+    { base = 0; len = 640 * 1024; kind = Usable };
+    { base = 640 * 1024; len = 384 * 1024; kind = Mmio };
+    { base = mib; len = top - mib - (2 * mib); kind = Usable };
+    { base = top - (2 * mib); len = mib; kind = Acpi };
+    { base = top - mib; len = mib; kind = Reserved };
+  ]

@@ -1,0 +1,44 @@
+(** Firmware memory map (e820-style).
+
+    The paper's trusted boot loader "enumerates available physical
+    memory" before handing control to the verified kernel.  This module
+    is that enumeration: a list of typed physical regions as firmware
+    would report them, with the validation and the usable-frame
+    arithmetic the boot stage needs. *)
+
+type kind =
+  | Usable
+  | Reserved  (** firmware / SMM / ME regions *)
+  | Acpi
+  | Mmio  (** device apertures *)
+
+type region = {
+  base : int;  (** byte address *)
+  len : int;  (** bytes *)
+  kind : kind;
+}
+
+type map = region list
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp : Format.formatter -> map -> unit
+
+val validate : map -> (unit, string) result
+(** Regions non-empty, non-negative, sorted by base, pairwise
+    non-overlapping. *)
+
+val usable_bytes : map -> int
+
+val largest_usable : map -> region option
+(** The region the boot stage will manage (whole 4 KiB frames only). *)
+
+val frames_of : region -> int
+(** Complete 4 KiB frames fully inside the region. *)
+
+val first_frame_of : region -> int
+(** Frame number of the first complete frame. *)
+
+val typical_pc : total_mib:int -> map
+(** A realistic small-PC layout: low 640 KiB usable, VGA/MMIO hole,
+    1 MiB.. main memory, ACPI tables and a firmware reservation at the
+    top. *)

@@ -1,0 +1,86 @@
+type t = {
+  mem : Phys_mem.t;
+  contexts : (int, int) Hashtbl.t;  (* device id -> translation root *)
+  mutable faults : int;
+}
+
+let create mem = { mem; contexts = Hashtbl.create 16; faults = 0 }
+
+let attach t ~device ~root =
+  if not (Phys_mem.is_page_aligned root) then
+    invalid_arg "Iommu.attach: root not page-aligned";
+  Hashtbl.replace t.contexts device root
+
+let detach t ~device = Hashtbl.remove t.contexts device
+let domain_of t ~device = Hashtbl.find_opt t.contexts device
+let devices t = Hashtbl.fold (fun d _ acc -> d :: acc) t.contexts []
+let faults t = t.faults
+
+let translate t ~device ~iova =
+  match Hashtbl.find_opt t.contexts device with
+  | None ->
+    t.faults <- t.faults + 1;
+    None
+  | Some root ->
+    (match Mmu.resolve t.mem ~cr3:root ~vaddr:iova with
+     | None ->
+       t.faults <- t.faults + 1;
+       None
+     | Some tr -> Some tr)
+
+(* DMA bursts may cross frame boundaries; every touched frame must be
+   mapped with suitable permissions or the whole burst is rejected. *)
+let span_ok t ~device ~iova ~len ~need_write =
+  let rec go off =
+    if off >= len then true
+    else
+      match translate t ~device ~iova:(iova + off) with
+      | None -> false
+      | Some tr ->
+        if need_write && not tr.Mmu.perm.Pte_bits.write then begin
+          t.faults <- t.faults + 1;
+          false
+        end
+        else
+          let in_frame = (iova + off) land (Phys_mem.page_size - 1) in
+          go (off + (Phys_mem.page_size - in_frame))
+  in
+  go 0
+
+let dma_write t ~device ~iova data =
+  let len = Bytes.length data in
+  if not (span_ok t ~device ~iova ~len ~need_write:true) then false
+  else begin
+    let rec go off =
+      if off < len then begin
+        match translate t ~device ~iova:(iova + off) with
+        | None -> assert false (* span_ok checked every frame *)
+        | Some tr ->
+          let in_frame = (iova + off) land (Phys_mem.page_size - 1) in
+          let chunk = min (len - off) (Phys_mem.page_size - in_frame) in
+          Phys_mem.blit_to t.mem ~addr:tr.Mmu.paddr (Bytes.sub data off chunk);
+          go (off + chunk)
+      end
+    in
+    go 0;
+    true
+  end
+
+let dma_read t ~device ~iova ~len =
+  if not (span_ok t ~device ~iova ~len ~need_write:false) then None
+  else begin
+    let dst = Bytes.make len '\000' in
+    let rec go off =
+      if off < len then begin
+        match translate t ~device ~iova:(iova + off) with
+        | None -> assert false
+        | Some tr ->
+          let in_frame = (iova + off) land (Phys_mem.page_size - 1) in
+          let chunk = min (len - off) (Phys_mem.page_size - in_frame) in
+          Bytes.blit (Phys_mem.blit_from t.mem ~addr:tr.Mmu.paddr ~len:chunk) 0 dst off chunk;
+          go (off + chunk)
+      end
+    in
+    go 0;
+    Some dst
+  end

@@ -1,0 +1,37 @@
+(** Simulated IOMMU.
+
+    Atmosphere programs an IOMMU so that untrusted devices can only DMA
+    into frames their owning process mapped for them.  We model the
+    context-table indirection: each device (bus/dev/fn collapsed to one
+    id) is attached to a translation domain whose root is a 4-level page
+    table walked exactly like the CPU MMU. *)
+
+type t
+
+val create : Phys_mem.t -> t
+
+val attach : t -> device:int -> root:int -> unit
+(** Attach [device] to the translation domain rooted at [root] (the
+    physical address of an L4 table page). *)
+
+val detach : t -> device:int -> unit
+
+val domain_of : t -> device:int -> int option
+(** Translation root currently attached to [device], if any. *)
+
+val devices : t -> int list
+(** Attached device ids, unordered. *)
+
+val translate : t -> device:int -> iova:int -> Mmu.translation option
+(** Resolve an I/O virtual address for [device]; [None] models a DMA
+    fault (unattached device or unmapped iova). *)
+
+val dma_write : t -> device:int -> iova:int -> bytes -> bool
+(** Device-initiated write through the IOMMU; fails (returning [false])
+    on fault or read-only mapping, without partial writes across
+    unmapped boundaries within one 4 KiB frame. *)
+
+val dma_read : t -> device:int -> iova:int -> len:int -> bytes option
+
+val faults : t -> int
+(** Count of rejected DMA operations since creation. *)

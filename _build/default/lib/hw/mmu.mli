@@ -1,0 +1,46 @@
+(** Simulated x86-64 MMU: a 4-level page-table walk interpreter.
+
+    The refinement theorem of the paper's page-table subsystem states that
+    the abstract virtual-to-physical map equals "what the MMU sees".  This
+    module is the "MMU sees" side: it walks real page tables stored in
+    {!Phys_mem} frames, independently of the kernel code that built them,
+    so comparing it against the abstract map is a genuine end-to-end
+    check. *)
+
+type translation = {
+  paddr : int;  (** resolved physical byte address *)
+  frame : int;  (** base address of the backing frame *)
+  size : int;  (** mapping granularity in bytes: 4 KiB, 2 MiB or 1 GiB *)
+  perm : Pte_bits.perm;
+}
+
+val canonical : int -> bool
+(** True iff the address is canonical for 48-bit virtual addressing. *)
+
+val l4_index : int -> int
+val l3_index : int -> int
+val l2_index : int -> int
+val l1_index : int -> int
+(** Index of a virtual address at each paging level (0..511). *)
+
+val va_of_indices : l4:int -> l3:int -> l2:int -> l1:int -> int
+(** Reassemble a canonical virtual address from its four indices; inverse
+    of the four index functions for 4 KiB-aligned addresses. *)
+
+val entry_addr : table:int -> index:int -> int
+(** Physical address of entry [index] in the table page at [table]. *)
+
+val resolve : Phys_mem.t -> cr3:int -> vaddr:int -> translation option
+(** Walk the page table rooted at [cr3] for [vaddr].  [None] models a page
+    fault (non-present entry at any level or non-canonical address). *)
+
+val read_u64 : Phys_mem.t -> cr3:int -> vaddr:int -> int64 option
+(** Virtual load through the walk; [None] on fault. *)
+
+val write_u64 : Phys_mem.t -> cr3:int -> vaddr:int -> int64 -> bool
+(** Virtual store through the walk; [false] on fault or read-only
+    mapping. *)
+
+val walk_steps : unit -> int
+(** Total page-table-walk memory references performed since start; used by
+    the cycle model and tests. *)

@@ -1,0 +1,1 @@
+lib/net/fnv.ml: Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/net/http.ml: Buffer List Printf String

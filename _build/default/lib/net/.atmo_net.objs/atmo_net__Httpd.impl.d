@@ -1,0 +1,1 @@
+lib/net/httpd.ml: Hashtbl Http List Queue

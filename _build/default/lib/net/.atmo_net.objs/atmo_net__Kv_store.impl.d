@@ -1,0 +1,1 @@
+lib/net/kv_store.ml: Array Bytes Char Fnv

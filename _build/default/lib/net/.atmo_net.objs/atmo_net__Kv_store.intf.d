@@ -1,0 +1,1 @@
+lib/net/kv_store.mli:

@@ -1,0 +1,1 @@
+lib/net/maglev.ml: Array Fnv Option Packet

@@ -1,0 +1,1 @@
+lib/net/workload.ml: Bytes Float List Printf Random String

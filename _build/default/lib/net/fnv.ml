@@ -1,0 +1,19 @@
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let hash64_sub b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Fnv.hash64_sub: range";
+  let h = ref offset_basis in
+  for i = pos to pos + len - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.get b i)));
+    h := Int64.mul !h prime
+  done;
+  !h
+
+let hash64 b = hash64_sub b ~pos:0 ~len:(Bytes.length b)
+let hash_string s = hash64 (Bytes.unsafe_of_string s)
+
+let to_bucket h ~buckets =
+  if buckets <= 0 then invalid_arg "Fnv.to_bucket: buckets <= 0";
+  Int64.to_int (Int64.unsigned_rem h (Int64.of_int buckets))

@@ -1,0 +1,11 @@
+(** FNV-1a hashing — the hash function the paper's kv-store uses. *)
+
+val hash64 : bytes -> int64
+(** 64-bit FNV-1a of the whole buffer. *)
+
+val hash64_sub : bytes -> pos:int -> len:int -> int64
+
+val hash_string : string -> int64
+
+val to_bucket : int64 -> buckets:int -> int
+(** Non-negative bucket index for a table of [buckets] slots. *)

@@ -1,0 +1,75 @@
+type meth = GET | HEAD | POST | Other of string
+
+type request = {
+  meth : meth;
+  path : string;
+  version : string;
+  headers : (string * string) list;
+}
+
+let meth_of_string = function
+  | "GET" -> GET
+  | "HEAD" -> HEAD
+  | "POST" -> POST
+  | s -> Other s
+
+let split_lines s =
+  String.split_on_char '\n' s
+  |> List.map (fun line ->
+         let n = String.length line in
+         if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line)
+
+let parse_header line =
+  match String.index_opt line ':' with
+  | None -> Error (Printf.sprintf "malformed header %S" line)
+  | Some i ->
+    let name = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+    let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+    Ok (name, value)
+
+let parse_request raw =
+  match split_lines raw with
+  | [] | [ "" ] -> Error "empty request"
+  | request_line :: rest ->
+    (match String.split_on_char ' ' request_line with
+     | [ m; path; version ] when String.length path > 0 && path.[0] = '/' ->
+       let version_ok = version = "HTTP/1.0" || version = "HTTP/1.1" in
+       if not version_ok then Error (Printf.sprintf "unsupported version %S" version)
+       else
+         let rec headers acc = function
+           | [] | "" :: _ -> Ok (List.rev acc)
+           | line :: rest ->
+             (match parse_header line with
+              | Ok h -> headers (h :: acc) rest
+              | Error _ as e -> e)
+         in
+         (match headers [] rest with
+          | Ok hs -> Ok { meth = meth_of_string m; path; version; headers = hs }
+          | Error e -> Error e)
+     | _ -> Error (Printf.sprintf "malformed request line %S" request_line))
+
+let header r name = List.assoc_opt (String.lowercase_ascii name) r.headers
+
+let keep_alive r =
+  match (r.version, header r "connection") with
+  | "HTTP/1.1", Some c -> String.lowercase_ascii c <> "close"
+  | "HTTP/1.1", None -> true
+  | _, Some c -> String.lowercase_ascii c = "keep-alive"
+  | _, None -> false
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Unknown"
+
+let response ~status ?(headers = []) ~body () =
+  let buf = Buffer.create (128 + String.length body) in
+  Buffer.add_string buf (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
+  Buffer.add_string buf (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v)) headers;
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf body;
+  Buffer.contents buf

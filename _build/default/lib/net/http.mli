@@ -1,0 +1,27 @@
+(** Minimal HTTP/1.x request parsing and response building for the
+    httpd benchmark (§6.6). *)
+
+type meth = GET | HEAD | POST | Other of string
+
+type request = {
+  meth : meth;
+  path : string;
+  version : string;  (** "HTTP/1.0" or "HTTP/1.1" *)
+  headers : (string * string) list;  (** names lower-cased *)
+}
+
+val parse_request : string -> (request, string) result
+(** Parse a full request head (terminated by a blank line); bodies are
+    not consumed. *)
+
+val header : request -> string -> string option
+
+val keep_alive : request -> bool
+(** HTTP/1.1 defaults to persistent connections; 1.0 requires an
+    explicit [Connection: keep-alive]. *)
+
+val response :
+  status:int -> ?headers:(string * string) list -> body:string -> unit -> string
+(** Serialize a response with Content-Length. *)
+
+val status_text : int -> string

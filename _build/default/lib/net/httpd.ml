@@ -1,0 +1,53 @@
+type t = {
+  routes : (string, string) Hashtbl.t;
+  mutable served : int;
+}
+
+let create ~routes =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (path, body) -> Hashtbl.replace tbl path body) routes;
+  { routes = tbl; served = 0 }
+
+let handle t raw =
+  t.served <- t.served + 1;
+  match Http.parse_request raw with
+  | Error _ -> (Http.response ~status:400 ~body:"bad request" (), false)
+  | Ok req ->
+    let keep = Http.keep_alive req in
+    (match req.Http.meth with
+     | Http.GET | Http.HEAD ->
+       (match Hashtbl.find_opt t.routes req.Http.path with
+        | Some body ->
+          let body = if req.Http.meth = Http.HEAD then "" else body in
+          (Http.response ~status:200
+             ~headers:[ ("Content-Type", "text/html") ]
+             ~body (),
+           keep)
+        | None -> (Http.response ~status:404 ~body:"not found" (), keep))
+     | Http.POST | Http.Other _ ->
+       (Http.response ~status:405 ~body:"method not allowed" (), keep))
+
+let requests_served t = t.served
+
+type conn = {
+  server : t;
+  pending : string Queue.t;
+  mutable replies : string list;  (* newest first *)
+}
+
+let open_conn server = { server; pending = Queue.create (); replies = [] }
+let submit c raw = Queue.add raw c.pending
+
+let poll_round server conns =
+  List.fold_left
+    (fun served c ->
+      assert (c.server == server);
+      match Queue.take_opt c.pending with
+      | None -> served
+      | Some raw ->
+        let resp, _keep = handle server raw in
+        c.replies <- resp :: c.replies;
+        served + 1)
+    0 conns
+
+let responses c = List.rev c.replies

@@ -1,0 +1,31 @@
+(** Tiny static web server — §6.6's httpd.
+
+    Serves a static route table, polling connections round-robin as the
+    paper describes.  Connections are modelled as in-memory byte
+    streams (the transport under it is the ixgbe model or a test
+    harness). *)
+
+type t
+
+val create : routes:(string * string) list -> t
+(** [(path, body)] pairs; unknown paths get 404. *)
+
+val handle : t -> string -> string * bool
+(** Process one request head; returns (response bytes, keep-alive). *)
+
+val requests_served : t -> int
+
+(** {2 Round-robin connection polling} *)
+
+type conn
+
+val open_conn : t -> conn
+val submit : conn -> string -> unit
+(** Queue a raw request on the connection. *)
+
+val poll_round : t -> conn list -> int
+(** One polling sweep over open connections: serve at most one pending
+    request per connection; returns requests served in the sweep. *)
+
+val responses : conn -> string list
+(** Responses produced so far, oldest first. *)

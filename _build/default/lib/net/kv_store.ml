@@ -1,0 +1,161 @@
+type slot =
+  | Empty
+  | Tombstone
+  | Used of bytes * bytes  (* key, value *)
+
+type t = {
+  slots : slot array;
+  mutable length : int;
+}
+
+let create ~entries =
+  if entries <= 0 then invalid_arg "Kv_store.create: entries <= 0";
+  { slots = Array.make entries Empty; length = 0 }
+
+let capacity t = Array.length t.slots
+let length t = t.length
+
+let start_index t key = Fnv.to_bucket (Fnv.hash64 key) ~buckets:(capacity t)
+
+(* Linear probing.  [find_for_read] skips tombstones; [find_for_write]
+   remembers the first tombstone so deleted slots are reused. *)
+let find_for_read t key =
+  let n = capacity t in
+  let rec go i steps =
+    if steps >= n then None
+    else
+      match t.slots.(i) with
+      | Empty -> None
+      | Tombstone -> go ((i + 1) mod n) (steps + 1)
+      | Used (k, _) -> if Bytes.equal k key then Some i else go ((i + 1) mod n) (steps + 1)
+  in
+  go (start_index t key) 0
+
+let find_for_write t key =
+  let n = capacity t in
+  let rec go i steps first_tomb =
+    if steps >= n then (match first_tomb with Some j -> `Insert_at j | None -> `Full)
+    else
+      match t.slots.(i) with
+      | Empty ->
+        (match first_tomb with Some j -> `Insert_at j | None -> `Insert_at i)
+      | Tombstone ->
+        let first_tomb = match first_tomb with None -> Some i | s -> s in
+        go ((i + 1) mod n) (steps + 1) first_tomb
+      | Used (k, _) ->
+        if Bytes.equal k key then `Update_at i else go ((i + 1) mod n) (steps + 1) first_tomb
+  in
+  go (start_index t key) 0 None
+
+let set t ~key ~value =
+  match find_for_write t key with
+  | `Update_at i ->
+    t.slots.(i) <- Used (Bytes.copy key, Bytes.copy value);
+    true
+  | `Insert_at i ->
+    t.slots.(i) <- Used (Bytes.copy key, Bytes.copy value);
+    t.length <- t.length + 1;
+    true
+  | `Full -> false
+
+let get t ~key =
+  match find_for_read t key with
+  | Some i -> (match t.slots.(i) with Used (_, v) -> Some v | Empty | Tombstone -> None)
+  | None -> None
+
+let delete t ~key =
+  match find_for_read t key with
+  | Some i ->
+    t.slots.(i) <- Tombstone;
+    t.length <- t.length - 1;
+    true
+  | None -> false
+
+let probe_stats t =
+  let n = capacity t in
+  let max_p = ref 0 and total = ref 0 and entries = ref 0 in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Used (k, _) ->
+        let home = start_index t k in
+        let dist = (i - home + n) mod n in
+        if dist > !max_p then max_p := dist;
+        total := !total + dist;
+        incr entries
+      | Empty | Tombstone -> ())
+    t.slots;
+  (!max_p, if !entries = 0 then 0. else float_of_int !total /. float_of_int !entries)
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol: [op:u8][klen:u16][vlen:u16][key][value]              *)
+
+type request =
+  | Get of bytes
+  | Set of bytes * bytes
+  | Delete of bytes
+
+type reply =
+  | Value of bytes
+  | Stored
+  | Deleted
+  | Not_found
+  | Error
+
+let frame op key value =
+  let klen = Bytes.length key and vlen = Bytes.length value in
+  let b = Bytes.make (5 + klen + vlen) '\000' in
+  Bytes.set b 0 (Char.chr op);
+  Bytes.set_uint16_be b 1 klen;
+  Bytes.set_uint16_be b 3 vlen;
+  Bytes.blit key 0 b 5 klen;
+  Bytes.blit value 0 b (5 + klen) vlen;
+  b
+
+let unframe b =
+  if Bytes.length b < 5 then None
+  else
+    let op = Char.code (Bytes.get b 0) in
+    let klen = Bytes.get_uint16_be b 1 in
+    let vlen = Bytes.get_uint16_be b 3 in
+    if Bytes.length b < 5 + klen + vlen then None
+    else Some (op, Bytes.sub b 5 klen, Bytes.sub b (5 + klen) vlen)
+
+let encode_request = function
+  | Get k -> frame 1 k Bytes.empty
+  | Set (k, v) -> frame 2 k v
+  | Delete k -> frame 3 k Bytes.empty
+
+let decode_request b =
+  match unframe b with
+  | Some (1, k, _) -> Some (Get k)
+  | Some (2, k, v) -> Some (Set (k, v))
+  | Some (3, k, _) -> Some (Delete k)
+  | Some _ | None -> None
+
+let encode_reply = function
+  | Value v -> frame 10 Bytes.empty v
+  | Stored -> frame 11 Bytes.empty Bytes.empty
+  | Deleted -> frame 12 Bytes.empty Bytes.empty
+  | Not_found -> frame 13 Bytes.empty Bytes.empty
+  | Error -> frame 14 Bytes.empty Bytes.empty
+
+let decode_reply b =
+  match unframe b with
+  | Some (10, _, v) -> Some (Value v)
+  | Some (11, _, _) -> Some Stored
+  | Some (12, _, _) -> Some Deleted
+  | Some (13, _, _) -> Some Not_found
+  | Some (14, _, _) -> Some Error
+  | Some _ | None -> None
+
+let serve t payload =
+  let reply =
+    match decode_request payload with
+    | Some (Get key) ->
+      (match get t ~key with Some v -> Value v | None -> Not_found)
+    | Some (Set (key, value)) -> if set t ~key ~value then Stored else Error
+    | Some (Delete key) -> if delete t ~key then Deleted else Not_found
+    | None -> Error
+  in
+  encode_reply reply

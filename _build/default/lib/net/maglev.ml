@@ -1,0 +1,72 @@
+type t = {
+  table : int array;  (* slot -> backend index *)
+  names : string array;
+}
+
+(* offset/skip permutation per the Maglev paper: two independent hashes
+   of the backend name *)
+let permutation_params name ~m =
+  let h1 = Fnv.hash_string name in
+  let h2 = Fnv.hash_string (name ^ "#skip") in
+  let offset = Fnv.to_bucket h1 ~buckets:m in
+  let skip = 1 + Fnv.to_bucket h2 ~buckets:(m - 1) in
+  (offset, skip)
+
+let create ~backends ~table_size =
+  if backends = [] then invalid_arg "Maglev.create: no backends";
+  if table_size <= 0 then invalid_arg "Maglev.create: table_size <= 0";
+  let names = Array.of_list backends in
+  let n = Array.length names in
+  let m = table_size in
+  let table = Array.make m (-1) in
+  let params = Array.map (fun name -> permutation_params name ~m) names in
+  let next = Array.make n 0 in
+  let filled = ref 0 in
+  (* round-robin: each backend claims its next unclaimed preferred slot *)
+  let rec fill () =
+    if !filled < m then begin
+      for i = 0 to n - 1 do
+        if !filled < m then begin
+          let offset, skip = params.(i) in
+          let rec claim () =
+            let j = next.(i) in
+            next.(i) <- j + 1;
+            let slot = (offset + (j * skip)) mod m in
+            if table.(slot) = -1 then begin
+              table.(slot) <- i;
+              incr filled
+            end
+            else claim ()
+          in
+          claim ()
+        end
+      done;
+      fill ()
+    end
+  in
+  fill ();
+  { table; names }
+
+let table_size t = Array.length t.table
+let backends t = Array.to_list t.names
+
+let lookup t h =
+  let m = Array.length t.table in
+  t.names.(t.table.(Fnv.to_bucket h ~buckets:m))
+
+let lookup_packet t frame =
+  Option.map (lookup t) (Packet.five_tuple_hash frame)
+
+let slot_counts t =
+  let counts = Array.make (Array.length t.names) 0 in
+  Array.iter (fun i -> counts.(i) <- counts.(i) + 1) t.table;
+  Array.to_list (Array.mapi (fun i c -> (t.names.(i), c)) counts)
+
+let disruption a b =
+  let m = Array.length a.table in
+  if m <> Array.length b.table then invalid_arg "Maglev.disruption: sizes differ";
+  let moved = ref 0 in
+  for i = 0 to m - 1 do
+    if a.names.(a.table.(i)) <> b.names.(b.table.(i)) then incr moved
+  done;
+  float_of_int !moved /. float_of_int m

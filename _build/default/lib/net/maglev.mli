@@ -1,0 +1,34 @@
+(** Maglev consistent hashing (Eisenbud et al., NSDI 2016) — the load
+    balancer of §6.6.
+
+    Builds the permutation-based lookup table: each backend fills table
+    slots in the order of its own permutation (derived from two hashes
+    of its name), round-robin across backends, until the table is full.
+    Lookup steers a packet by hashing its 5-tuple into the table.
+
+    Properties exercised by the tests: every slot is assigned, load is
+    balanced within a few percent, and removing one backend relocates
+    only a small fraction of slots (minimal disruption). *)
+
+type t
+
+val create : backends:string list -> table_size:int -> t
+(** [table_size] should be a prime well above the backend count (the
+    paper's Maglev uses 65537 for small setups).  Raises
+    [Invalid_argument] on an empty backend list or non-positive size. *)
+
+val table_size : t -> int
+val backends : t -> string list
+
+val lookup : t -> int64 -> string
+(** Backend for a flow hash. *)
+
+val lookup_packet : t -> bytes -> string option
+(** Steer a raw frame by its 5-tuple; [None] for non-UDP frames. *)
+
+val slot_counts : t -> (string * int) list
+(** Table slots per backend, for balance checks. *)
+
+val disruption : t -> t -> float
+(** Fraction of table slots that map to different backends in the two
+    tables (same size required). *)

@@ -1,0 +1,80 @@
+type flow = {
+  src_ip : int32;
+  dst_ip : int32;
+  src_port : int;
+  dst_port : int;
+}
+
+let eth_bytes = 14
+let ip_bytes = 20
+let udp_bytes = 8
+let header_bytes = eth_bytes + ip_bytes + udp_bytes
+let min_frame = 64
+
+let proto_udp = 17
+
+let build flow ~payload =
+  let payload_len = Bytes.length payload in
+  let total = max min_frame (header_bytes + payload_len) in
+  let b = Bytes.make total '\000' in
+  (* ethernet: synthetic MACs, ethertype IPv4 *)
+  Bytes.set_uint16_be b 12 0x0800;
+  (* ipv4 header *)
+  Bytes.set b eth_bytes (Char.chr 0x45);
+  Bytes.set_uint16_be b (eth_bytes + 2) (ip_bytes + udp_bytes + payload_len);
+  Bytes.set b (eth_bytes + 8) (Char.chr 64);
+  Bytes.set b (eth_bytes + 9) (Char.chr proto_udp);
+  Bytes.set_int32_be b (eth_bytes + 12) flow.src_ip;
+  Bytes.set_int32_be b (eth_bytes + 16) flow.dst_ip;
+  (* udp header *)
+  let u = eth_bytes + ip_bytes in
+  Bytes.set_uint16_be b u (flow.src_port land 0xffff);
+  Bytes.set_uint16_be b (u + 2) (flow.dst_port land 0xffff);
+  Bytes.set_uint16_be b (u + 4) (udp_bytes + payload_len);
+  Bytes.blit payload 0 b header_bytes payload_len;
+  b
+
+let is_udp_ipv4 b =
+  Bytes.length b >= header_bytes
+  && Bytes.get_uint16_be b 12 = 0x0800
+  && Char.code (Bytes.get b eth_bytes) lsr 4 = 4
+  && Char.code (Bytes.get b (eth_bytes + 9)) = proto_udp
+
+let parse_flow b =
+  if not (is_udp_ipv4 b) then None
+  else
+    let u = eth_bytes + ip_bytes in
+    Some
+      {
+        src_ip = Bytes.get_int32_be b (eth_bytes + 12);
+        dst_ip = Bytes.get_int32_be b (eth_bytes + 16);
+        src_port = Bytes.get_uint16_be b u;
+        dst_port = Bytes.get_uint16_be b (u + 2);
+      }
+
+let payload b =
+  if not (is_udp_ipv4 b) then None
+  else
+    let u = eth_bytes + ip_bytes in
+    let udp_len = Bytes.get_uint16_be b (u + 4) in
+    let payload_len = udp_len - udp_bytes in
+    if payload_len < 0 || header_bytes + payload_len > Bytes.length b then None
+    else Some (Bytes.sub b header_bytes payload_len)
+
+let five_tuple_hash b =
+  if not (is_udp_ipv4 b) then None
+    (* src ip .. dst ip (8 bytes at eth+12) + ports (4 bytes at udp) + proto *)
+  else
+    let tuple = Bytes.create 13 in
+    Bytes.blit b (eth_bytes + 12) tuple 0 8;
+    Bytes.blit b (eth_bytes + ip_bytes) tuple 8 4;
+    Bytes.set tuple 12 (Bytes.get b (eth_bytes + 9));
+    Some (Fnv.hash64 tuple)
+
+let flow_of_ints ~src ~dst ~sport ~dport =
+  {
+    src_ip = Int32.of_int (src land 0xffffffff);
+    dst_ip = Int32.of_int (dst land 0xffffffff);
+    src_port = sport land 0xffff;
+    dst_port = dport land 0xffff;
+  }

@@ -1,0 +1,34 @@
+(** Minimal Ethernet / IPv4 / UDP packets over bytes.
+
+    The driver and application benchmarks move real packet buffers:
+    64-byte UDP frames built and parsed with this module, so the Maglev
+    and kv-store data paths operate on the same representation a NIC
+    ring would carry. *)
+
+type flow = {
+  src_ip : int32;
+  dst_ip : int32;
+  src_port : int;
+  dst_port : int;
+}
+
+val header_bytes : int
+(** Ethernet (14) + IPv4 (20) + UDP (8) = 42. *)
+
+val min_frame : int
+(** 64 bytes, the size the paper's packet benchmarks use. *)
+
+val build : flow -> payload:bytes -> bytes
+(** A frame of at least {!min_frame} bytes. *)
+
+val parse_flow : bytes -> flow option
+(** [None] if the frame is too short or not UDP-over-IPv4. *)
+
+val payload : bytes -> bytes option
+(** UDP payload as declared by the UDP length field. *)
+
+val five_tuple_hash : bytes -> int64 option
+(** FNV-1a of the 5-tuple region — Maglev's steering key. *)
+
+val flow_of_ints : src:int -> dst:int -> sport:int -> dport:int -> flow
+(** Convenience for generators (low 32/16 bits are used). *)

@@ -1,0 +1,76 @@
+type distribution =
+  | Uniform
+  | Zipfian of float
+
+type op =
+  | Get of int
+  | Set of int
+
+type t = {
+  rng : Random.State.t;
+  keys : int;
+  dist : distribution;
+  (* zipfian precomputation (Gray et al., as used by YCSB) *)
+  zetan : float;
+  theta : float;
+  alpha : float;
+  eta : float;
+}
+
+let zeta n theta =
+  let acc = ref 0. in
+  for i = 1 to n do
+    acc := !acc +. (1. /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let create ~seed ~keys dist =
+  if keys <= 0 then invalid_arg "Workload.create: keys <= 0";
+  let rng = Random.State.make [| seed |] in
+  match dist with
+  | Uniform ->
+    { rng; keys; dist; zetan = 0.; theta = 0.; alpha = 0.; eta = 0. }
+  | Zipfian theta ->
+    if theta <= 0. || theta >= 1. then invalid_arg "Workload.create: theta out of (0,1)";
+    let zetan = zeta keys theta in
+    let zeta2 = zeta 2 theta in
+    let alpha = 1. /. (1. -. theta) in
+    let eta =
+      (1. -. Float.pow (2. /. float_of_int keys) (1. -. theta))
+      /. (1. -. (zeta2 /. zetan))
+    in
+    { rng; keys; dist; zetan; theta; alpha; eta }
+
+let next_key t =
+  match t.dist with
+  | Uniform -> Random.State.int t.rng t.keys
+  | Zipfian _ ->
+    let u = Random.State.float t.rng 1. in
+    let uz = u *. t.zetan in
+    if uz < 1. then 0
+    else if uz < 1. +. Float.pow 0.5 t.theta then 1
+    else
+      let k =
+        int_of_float
+          (float_of_int t.keys *. Float.pow ((t.eta *. u) -. t.eta +. 1.) t.alpha)
+      in
+      min (t.keys - 1) (max 0 k)
+
+let next_op t ~read_ratio =
+  let key = next_key t in
+  if Random.State.float t.rng 1. < read_ratio then Get key else Set key
+
+let ops t ~read_ratio ~count = List.init count (fun _ -> next_op t ~read_ratio)
+
+let key_bytes k ~size =
+  let s = Printf.sprintf "k%0*d" (max 1 (size - 1)) k in
+  let b = Bytes.make size '0' in
+  Bytes.blit_string s 0 b 0 (min size (String.length s));
+  b
+
+let hottest_fraction t ~sample ~top =
+  let hits = ref 0 in
+  for _ = 1 to sample do
+    if next_key t < top then incr hits
+  done;
+  float_of_int !hits /. float_of_int sample

@@ -1,0 +1,31 @@
+(** Key-value workload generation (YCSB-style).
+
+    The paper's kv-store benchmark drives the table with GET-heavy
+    traffic; real key-value traffic is skewed, so the generator samples
+    keys from a zipfian distribution (the YCSB method) with a uniform
+    option for comparison. *)
+
+type distribution =
+  | Uniform
+  | Zipfian of float  (** theta, typically 0.99 *)
+
+type op =
+  | Get of int  (** key index *)
+  | Set of int
+
+type t
+
+val create : seed:int -> keys:int -> distribution -> t
+(** Raises [Invalid_argument] for [keys <= 0] or theta outside (0, 1). *)
+
+val next_key : t -> int
+val next_op : t -> read_ratio:float -> op
+
+val ops : t -> read_ratio:float -> count:int -> op list
+
+val key_bytes : int -> size:int -> bytes
+(** Deterministic key encoding of the given size (padded/truncated). *)
+
+val hottest_fraction : t -> sample:int -> top:int -> float
+(** Fraction of [sample] draws that land in the [top] most popular keys
+    — the skew measurement tests assert on. *)

@@ -1,0 +1,1 @@
+lib/ni/harness.ml: Atmo_core Atmo_pmem Atmo_spec Atmo_util Atmo_verif Format Iset Isolation List Observation Random Scenario Service_v

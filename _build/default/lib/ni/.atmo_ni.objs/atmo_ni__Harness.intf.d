@@ -1,0 +1,1 @@
+lib/ni/harness.mli:

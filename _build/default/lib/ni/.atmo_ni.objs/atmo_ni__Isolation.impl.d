@@ -1,0 +1,1 @@
+lib/ni/isolation.ml: Atmo_pmem Atmo_pt Atmo_spec Atmo_util Format Imap Iset List

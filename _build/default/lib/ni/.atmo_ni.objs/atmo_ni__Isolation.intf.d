@@ -1,0 +1,1 @@
+lib/ni/isolation.mli: Atmo_spec Atmo_util

@@ -1,0 +1,1 @@
+lib/ni/observation.ml: Atmo_hw Atmo_pm Atmo_pmem Atmo_pt Atmo_spec Atmo_util Buffer Errno Format Hashtbl Imap Iset List Printf String

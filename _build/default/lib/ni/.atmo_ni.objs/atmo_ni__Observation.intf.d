@@ -1,0 +1,1 @@
+lib/ni/observation.mli: Atmo_spec Format

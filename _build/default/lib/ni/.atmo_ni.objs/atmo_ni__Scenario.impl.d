@@ -1,0 +1,1 @@
+lib/ni/scenario.ml: Atmo_core Atmo_pm Atmo_spec Atmo_util Errno Format Iset Isolation

@@ -1,0 +1,1 @@
+lib/ni/scenario.mli: Atmo_core Atmo_spec

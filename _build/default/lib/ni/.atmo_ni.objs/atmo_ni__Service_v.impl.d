@@ -1,0 +1,1 @@
+lib/ni/service_v.ml: Atmo_core Atmo_pm Atmo_pmem Atmo_pt Atmo_spec Atmo_util Errno Format Imap List Scenario

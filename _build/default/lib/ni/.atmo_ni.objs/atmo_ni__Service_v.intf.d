@@ -1,0 +1,1 @@
+lib/ni/service_v.mli: Scenario

@@ -1,0 +1,41 @@
+(** Noninterference harness: the unwinding conditions of §4.3, checked
+    over randomized traces of arbitrary system calls from the untrusted
+    containers.
+
+    - {b Output consistency} (OC): the kernel is deterministic — two
+      identical states given the same call produce the same return and
+      the same post-state.  Checked by replaying the same trace in two
+      independently booted worlds.
+    - {b Step consistency} (SC): an arbitrary system call by A leaves
+      B's observation unchanged (and vice versa), and does not change
+      the return value B gets for its own next call.
+    - {b Local respect} follows from SC in this configuration (only A
+      and B are isolated), as the paper argues.
+
+    Alongside the unwinding conditions the harness maintains the
+    isolation invariants ([memory_iso], [endpoint_iso]) after every
+    step, and V's functional correctness when V participates. *)
+
+type failure = {
+  at_step : int;
+  what : string;
+}
+
+val output_consistency : seed:int -> steps:int -> (unit, failure) result
+(** Replay the same random trace in two worlds; all returns and
+    abstract post-states must coincide. *)
+
+val step_consistency :
+  ?with_service:bool -> seed:int -> steps:int -> unit -> (int, failure) result
+(** Drive the A/B/V scenario with random syscalls alternating between
+    A's and B's threads; after each step, check that the other side's
+    observation is unchanged, that the isolation invariants still hold,
+    that the kernel stays well-formed, and (when [with_service]) run V
+    turns and check V's functional correctness.  Returns the number of
+    steps executed. *)
+
+val probe_consistency : seed:int -> steps:int -> probes:int -> (unit, failure) result
+(** The return-value half of SC: fork the world before an A step and
+    compare the canonical observation-with-return that B gets for its
+    own next call in both branches (implemented by deterministic
+    replay). *)

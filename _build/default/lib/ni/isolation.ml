@@ -1,0 +1,72 @@
+open Atmo_util
+module A = Atmo_spec.Abstract_state
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let subtree (a : A.t) ~container =
+  match Imap.find_opt container a.A.containers with
+  | Some c -> Iset.add container c.A.ac_subtree
+  | None -> Iset.empty
+
+let procs_of_subtree (a : A.t) ~container =
+  let cs = subtree a ~container in
+  Imap.fold
+    (fun p (pr : A.aproc) acc ->
+      if Iset.mem pr.A.ap_owner_container cs then Iset.add p acc else acc)
+    a.A.procs Iset.empty
+
+let threads_of_subtree (a : A.t) ~container =
+  let ps = procs_of_subtree a ~container in
+  Imap.fold
+    (fun th (t : A.athread) acc ->
+      if Iset.mem t.A.at_owner_proc ps then Iset.add th acc else acc)
+    a.A.threads Iset.empty
+
+(* frames (all 4 KiB constituents) mapped by any process in the set *)
+let frames_of (a : A.t) procs =
+  Iset.fold
+    (fun p acc ->
+      match Imap.find_opt p a.A.procs with
+      | None -> acc
+      | Some pr ->
+        Imap.fold
+          (fun _va (e : Atmo_pt.Page_table.entry) acc ->
+            let n = Atmo_pmem.Page_state.frames_per e.Atmo_pt.Page_table.size in
+            let rec go i acc =
+              if i >= n then acc
+              else go (i + 1) (Iset.add (e.Atmo_pt.Page_table.frame + (i * 4096)) acc)
+            in
+            go 0 acc)
+          pr.A.ap_space acc)
+    procs Iset.empty
+
+let memory_iso (a : A.t) p_a p_b =
+  let fa = frames_of a p_a and fb = frames_of a p_b in
+  if Iset.disjoint fa fb then Ok ()
+  else
+    match Iset.choose_opt (Iset.inter fa fb) with
+    | Some f -> err "memory_iso: frame 0x%x mapped on both sides" f
+    | None -> Ok ()
+
+let endpoints_of (a : A.t) threads =
+  Iset.fold
+    (fun th acc ->
+      match Imap.find_opt th a.A.threads with
+      | None -> acc
+      | Some t -> List.fold_left (fun acc (_, ep) -> Iset.add ep acc) acc t.A.at_slots)
+    threads Iset.empty
+
+let endpoint_iso (a : A.t) t_a t_b =
+  let ea = endpoints_of a t_a and eb = endpoints_of a t_b in
+  if Iset.disjoint ea eb then Ok ()
+  else
+    match Iset.choose_opt (Iset.inter ea eb) with
+    | Some e -> err "endpoint_iso: endpoint 0x%x shared across the boundary" e
+    | None -> Ok ()
+
+let iso (st : A.t) ~a ~b =
+  let p_a = procs_of_subtree st ~container:a and p_b = procs_of_subtree st ~container:b in
+  match memory_iso st p_a p_b with
+  | Error _ as e -> e
+  | Ok () ->
+    endpoint_iso st (threads_of_subtree st ~container:a) (threads_of_subtree st ~container:b)

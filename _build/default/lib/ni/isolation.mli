@@ -1,0 +1,26 @@
+(** The isolation invariants of §4.3.
+
+    Executable forms of the paper's [memory_iso] and [endpoint_iso]
+    predicates, plus the flat constructions of the process and thread
+    sets of a container subtree (the paper's [T_A_wf]-style bidirectional
+    definitions, evaluated directly over the ghost subtree). *)
+
+val procs_of_subtree : Atmo_spec.Abstract_state.t -> container:int -> Atmo_util.Iset.t
+(** P_A: processes of every container in the subtree (inclusive). *)
+
+val threads_of_subtree : Atmo_spec.Abstract_state.t -> container:int -> Atmo_util.Iset.t
+(** T_A: threads of every process in P_A. *)
+
+val memory_iso :
+  Atmo_spec.Abstract_state.t -> Atmo_util.Iset.t -> Atmo_util.Iset.t -> (unit, string) result
+(** [memory_iso Ψ P_A P_B]: no physical frame appears in an address
+    space of P_A and an address space of P_B. *)
+
+val endpoint_iso :
+  Atmo_spec.Abstract_state.t -> Atmo_util.Iset.t -> Atmo_util.Iset.t -> (unit, string) result
+(** [endpoint_iso Ψ T_A T_B]: no endpoint is named by a descriptor of a
+    T_A thread and a descriptor of a T_B thread. *)
+
+val iso :
+  Atmo_spec.Abstract_state.t -> a:int -> b:int -> (unit, string) result
+(** Both invariants between the subtrees of containers [a] and [b]. *)

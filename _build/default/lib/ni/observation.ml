@@ -1,0 +1,221 @@
+open Atmo_util
+module A = Atmo_spec.Abstract_state
+module Syscall = Atmo_spec.Syscall
+module Thread = Atmo_pm.Thread
+module Message = Atmo_pm.Message
+module Page_state = Atmo_pmem.Page_state
+
+(* The canonical observation is a rendered string: a deterministic
+   traversal that replaces kernel pointers with P<n> and physical frames
+   with F<n> in first-encounter order.  String equality then realises
+   "equal up to injective renaming". *)
+type t = string
+
+type renamer = {
+  ptrs : (int, int) Hashtbl.t;
+  frames : (int, int) Hashtbl.t;
+}
+
+let fresh_renamer () = { ptrs = Hashtbl.create 32; frames = Hashtbl.create 32 }
+
+let rename tbl x =
+  match Hashtbl.find_opt tbl x with
+  | Some id -> id
+  | None ->
+    let id = Hashtbl.length tbl in
+    Hashtbl.replace tbl x id;
+    id
+
+let ptr rn buf p = Buffer.add_string buf (Printf.sprintf "P%d" (rename rn.ptrs p))
+let frame rn buf f = Buffer.add_string buf (Printf.sprintf "F%d" (rename rn.frames f))
+
+let addf buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+(* running vs runnable is deliberately not distinguished (see .mli) *)
+let emit_state rn buf = function
+  | Thread.Runnable | Thread.Running -> Buffer.add_string buf "ready"
+  | Thread.Blocked_send e ->
+    Buffer.add_string buf "blocked-send:";
+    ptr rn buf e
+  | Thread.Blocked_recv e ->
+    Buffer.add_string buf "blocked-recv:";
+    ptr rn buf e
+
+let emit_msg _rn buf (m : Message.t) =
+  addf buf "msg[%s]"
+    (String.concat "," (List.map string_of_int m.Message.scalars));
+  (match m.Message.page with
+   | Some g -> addf buf "+page(0x%x->0x%x)" g.Message.src_vaddr g.Message.dst_vaddr
+   | None -> ());
+  match m.Message.endpoint with
+  | Some g -> addf buf "+edpt(%d->%d)" g.Message.src_slot g.Message.dst_slot
+  | None -> ()
+
+let emit_thread (a : A.t) rn buf ~subtree_threads th =
+  match Imap.find_opt th a.A.threads with
+  | None -> Buffer.add_string buf "dead-thread;"
+  | Some t ->
+    Buffer.add_string buf "thread ";
+    ptr rn buf th;
+    Buffer.add_string buf " ";
+    emit_state rn buf t.A.at_state;
+    List.iter
+      (fun (i, ep) ->
+        addf buf " slot%d=" i;
+        ptr rn buf ep)
+      t.A.at_slots;
+    (match t.A.at_msg with
+     | Some m ->
+       Buffer.add_string buf " ";
+       emit_msg rn buf m
+     | None -> ());
+    ignore subtree_threads;
+    Buffer.add_string buf ";"
+
+let emit_proc (a : A.t) rn buf ~subtree_threads p =
+  match Imap.find_opt p a.A.procs with
+  | None -> Buffer.add_string buf "dead-proc;"
+  | Some pr ->
+    Buffer.add_string buf "proc ";
+    ptr rn buf p;
+    (match pr.A.ap_parent with
+     | Some par ->
+       Buffer.add_string buf " parent=";
+       ptr rn buf par
+     | None -> Buffer.add_string buf " parent=-");
+    Buffer.add_string buf " space{";
+    Imap.iter
+      (fun va (e : Atmo_pt.Page_table.entry) ->
+        addf buf "0x%x->" va;
+        frame rn buf e.Atmo_pt.Page_table.frame;
+        addf buf "/%s:%s"
+          (Format.asprintf "%a" Page_state.pp_size e.Atmo_pt.Page_table.size)
+          (Format.asprintf "%a" Atmo_hw.Pte_bits.pp_perm e.Atmo_pt.Page_table.perm);
+        Buffer.add_string buf " ")
+      pr.A.ap_space;
+    Buffer.add_string buf "} ";
+    List.iter (emit_thread a rn buf ~subtree_threads) pr.A.ap_threads;
+    Buffer.add_string buf ";"
+
+let rec emit_container (a : A.t) rn buf ~subtree_threads c =
+  match Imap.find_opt c a.A.containers with
+  | None -> Buffer.add_string buf "dead-container;"
+  | Some cc ->
+    Buffer.add_string buf "container ";
+    ptr rn buf c;
+    addf buf " quota=%d used=%d delegated=%d cpus=%s | "
+      cc.A.ac_quota cc.A.ac_used cc.A.ac_delegated
+      (String.concat "," (List.map string_of_int (Iset.elements cc.A.ac_cpus)));
+    List.iter (emit_proc a rn buf ~subtree_threads) cc.A.ac_procs;
+    List.iter (emit_container a rn buf ~subtree_threads) cc.A.ac_children;
+    Buffer.add_string buf ";"
+
+(* endpoints owned by the subtree, with queues restricted to the
+   subtree's threads *)
+let emit_endpoints (a : A.t) rn buf ~subtree ~subtree_threads =
+  let owned =
+    Imap.fold
+      (fun ep (e : A.aendpoint) acc ->
+        if Iset.mem e.A.ae_owner_container subtree then (ep, e) :: acc else acc)
+      a.A.endpoints []
+    |> List.sort (fun (p, _) (q, _) ->
+           (* order by first-encounter id if known, else by a stable key:
+              unknown endpoints are ordered after known ones by owner
+              traversal; fall back to raw compare for determinism between
+              isomorphic states (raw ptr never leaks into the string) *)
+           match (Hashtbl.find_opt rn.ptrs p, Hashtbl.find_opt rn.ptrs q) with
+           | Some i, Some j -> compare i j
+           | Some _, None -> -1
+           | None, Some _ -> 1
+           | None, None -> compare p q)
+  in
+  List.iter
+    (fun (ep, (e : A.aendpoint)) ->
+      Buffer.add_string buf "endpoint ";
+      ptr rn buf ep;
+      Buffer.add_string buf " senders[";
+      List.iter
+        (fun th -> if Iset.mem th subtree_threads then ptr rn buf th)
+        e.A.ae_send_queue;
+      Buffer.add_string buf "] receivers[";
+      List.iter
+        (fun th -> if Iset.mem th subtree_threads then ptr rn buf th)
+        e.A.ae_recv_queue;
+      Buffer.add_string buf "];")
+    owned
+
+(* devices owned by processes of the subtree: the DMA window, the
+   interrupt route and the pending count are all state the container can
+   observe through its own driver *)
+let emit_devices (a : A.t) rn buf ~subtree_procs =
+  Imap.iter
+    (fun device (d : A.adevice) ->
+      if Iset.mem d.A.ad_owner_proc subtree_procs then begin
+        addf buf "device %d owner=" device;
+        ptr rn buf d.A.ad_owner_proc;
+        Buffer.add_string buf " window{";
+        Imap.iter
+          (fun iova (e : Atmo_pt.Page_table.entry) ->
+            addf buf "0x%x->" iova;
+            frame rn buf e.Atmo_pt.Page_table.frame;
+            Buffer.add_string buf " ")
+          d.A.ad_io_space;
+        Buffer.add_string buf "} irq=";
+        (match d.A.ad_irq_endpoint with
+         | Some ep -> ptr rn buf ep
+         | None -> Buffer.add_string buf "-");
+        addf buf " pending=%d;" d.A.ad_irq_pending
+      end)
+    a.A.devices
+
+let subtree_proc_set (a : A.t) ~subtree =
+  Imap.fold
+    (fun p (pr : A.aproc) acc ->
+      if Iset.mem pr.A.ap_owner_container subtree then Iset.add p acc else acc)
+    a.A.procs Iset.empty
+
+let subtree_thread_set (a : A.t) ~subtree =
+  Imap.fold
+    (fun th (t : A.athread) acc ->
+      match Imap.find_opt t.A.at_owner_proc a.A.procs with
+      | Some p when Iset.mem p.A.ap_owner_container subtree -> Iset.add th acc
+      | _ -> acc)
+    a.A.threads Iset.empty
+
+let observe_inner (a : A.t) ~container ~(ret : Syscall.ret option) =
+  let rn = fresh_renamer () in
+  let buf = Buffer.create 512 in
+  let subtree =
+    match Imap.find_opt container a.A.containers with
+    | Some c -> Iset.add container c.A.ac_subtree
+    | None -> Iset.singleton container
+  in
+  let subtree_threads = subtree_thread_set a ~subtree in
+  emit_container a rn buf ~subtree_threads container;
+  emit_endpoints a rn buf ~subtree ~subtree_threads;
+  emit_devices a rn buf ~subtree_procs:(subtree_proc_set a ~subtree);
+  (match ret with
+   | None -> ()
+   | Some r ->
+     Buffer.add_string buf "ret:";
+     (match r with
+      | Syscall.Rptr p ->
+        Buffer.add_string buf "ptr ";
+        ptr rn buf p
+      | Syscall.Runit -> Buffer.add_string buf "unit"
+      | Syscall.Rblocked -> Buffer.add_string buf "blocked"
+      | Syscall.Rmsg m -> emit_msg rn buf m
+      | Syscall.Rmapped frames ->
+        Buffer.add_string buf "mapped ";
+        List.iter
+          (fun f ->
+            frame rn buf f;
+            Buffer.add_string buf " ")
+          frames
+      | Syscall.Rerr e -> Buffer.add_string buf (Errno.to_string e)));
+  Buffer.contents buf
+
+let observe a ~container = observe_inner a ~container ~ret:None
+let observe_with_ret a ~container ~ret = observe_inner a ~container ~ret:(Some ret)
+let equal (a : t) b = String.equal a b
+let pp ppf (t : t) = Format.pp_print_string ppf t

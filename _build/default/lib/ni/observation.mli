@@ -1,0 +1,40 @@
+(** Observable state of a container subtree.
+
+    The step-consistency unwinding condition compares what one container
+    can observe before and after another container's system call.  A
+    container observes: its subtree's containers (quotas, accounting,
+    tree shape), processes (address spaces), threads (blocking state,
+    descriptor tables, delivered messages) and the endpoints its subtree
+    owns (queues restricted to the subtree's own threads — a foreign
+    thread waiting on a shared endpoint belongs to the *allowed*
+    communication path through the verified service and is not part of
+    the isolation boundary).
+
+    Two deliberate abstractions, both documented in DESIGN.md:
+
+    - Kernel pointers and physical frame numbers are opaque handles to
+      user code, so observations are compared {e up to an injective
+      renaming}: the observation is canonicalized by a deterministic
+      traversal that assigns small ids in first-encounter order.
+    - Running vs runnable is not distinguished: with the paper's
+      per-container CPU reservations a container cannot observe another
+      container's CPU occupancy; this model's single global run queue
+      would otherwise leak exactly that artifact (CPU-level timing
+      channels are out of scope in the paper, §4.3). *)
+
+type t
+
+val observe : Atmo_spec.Abstract_state.t -> container:int -> t
+(** Canonical observation of the subtree rooted at [container]. *)
+
+val observe_with_ret :
+  Atmo_spec.Abstract_state.t ->
+  container:int ->
+  ret:Atmo_spec.Syscall.ret ->
+  t
+(** Observation extended with a system-call return value the subtree
+    just received; pointers and frames inside the return are renamed
+    with the same table, so returns are compared consistently. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

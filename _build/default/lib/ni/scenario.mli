@@ -1,0 +1,41 @@
+(** The three-container configuration of §4.3.
+
+    Two untrusted, mutually isolated containers A and B and a verified
+    shared-service container V, all children of the root.  A's and B's
+    threads each hold one endpoint to V (slot 0); V's single thread owns
+    both endpoints (slot 0 toward A, slot 1 toward B).  There is no
+    channel between A and B.
+
+    Containers, processes and threads are created through system calls
+    from the init thread plus the trusted boot wiring (installing the
+    initial endpoint descriptors into A and B — the paper's initial
+    resource configuration, performed before the measured trace
+    begins). *)
+
+type t = {
+  kernel : Atmo_core.Kernel.t;
+  init_thread : int;
+  a_cntr : int;
+  b_cntr : int;
+  v_cntr : int;
+  a_thread : int;
+  b_thread : int;
+  v_thread : int;
+  ep_av : int;  (** endpoint between A and V *)
+  ep_bv : int;  (** endpoint between B and V *)
+}
+
+val build :
+  ?boot:Atmo_core.Kernel.boot_params ->
+  ?quota_a:int ->
+  ?quota_b:int ->
+  ?quota_v:int ->
+  unit ->
+  (t, string) result
+(** Boot a kernel and construct the configuration.  The result satisfies
+    [total_wf] and both isolation invariants. *)
+
+val abstract : t -> Atmo_spec.Abstract_state.t
+
+val check_isolation : t -> (unit, string) result
+(** [memory_iso] and [endpoint_iso] between A's and B's subtrees. *)

@@ -1,0 +1,174 @@
+open Atmo_util
+module Kernel = Atmo_core.Kernel
+module Syscall = Atmo_spec.Syscall
+module Message = Atmo_pm.Message
+module Thread = Atmo_pm.Thread
+module Perm_map = Atmo_pm.Perm_map
+module Proc_mgr = Atmo_pm.Proc_mgr
+module Process = Atmo_pm.Process
+module Page_table = Atmo_pt.Page_table
+
+type side = A_side | B_side
+
+type event =
+  | Served of side * int list
+  | Reply_delivered of side
+  | Rejected of side
+  | Idle
+
+type t = {
+  scenario : Scenario.t;
+  baseline_space : Page_table.entry Imap.t;
+  mutable served : int;
+  mutable last_error : string option;
+  mutable pending_a : Message.t list;  (* replies awaiting a blocked client *)
+  mutable pending_b : Message.t list;
+}
+
+let v_space t =
+  let k = t.scenario.Scenario.kernel in
+  let th =
+    Perm_map.borrow k.Kernel.pm.Proc_mgr.thrd_perms ~ptr:t.scenario.Scenario.v_thread
+  in
+  let p = Perm_map.borrow k.Kernel.pm.Proc_mgr.proc_perms ~ptr:th.Thread.owner_proc in
+  Page_table.address_space p.Process.pt
+
+let create scenario =
+  let t =
+    {
+      scenario;
+      baseline_space = Imap.empty;
+      served = 0;
+      last_error = None;
+      pending_a = [];
+      pending_b = [];
+    }
+  in
+  { t with baseline_space = v_space t }
+
+let reply_for scalars = List.map succ scalars
+
+let slot_of = function A_side -> 0 | B_side -> 1
+
+(* Handle one request received on [side]: release any granted page
+   immediately after "using" it, then answer with a non-blocking send so
+   a crashed or absent client can never block V. *)
+let handle t side (msg : Message.t) =
+  let k = t.scenario.Scenario.kernel in
+  let v = t.scenario.Scenario.v_thread in
+  (* release any endpoint descriptor the client pushed on us: V retains
+     only its two service endpoints *)
+  (match msg.Message.endpoint with
+   | Some g when g.Message.dst_slot > 1 ->
+     (match Kernel.step k ~thread:v (Syscall.Close_endpoint { slot = g.Message.dst_slot }) with
+      | Syscall.Runit -> ()
+      | r ->
+        t.last_error <-
+          Some (Format.asprintf "V failed to release granted endpoint: %a" Syscall.pp_ret r))
+   | Some _ | None -> ());
+  (match msg.Message.page with
+   | Some g ->
+     (* the shared buffer: V reads it (simulated) and must release it *)
+     (match
+        Kernel.step k ~thread:v
+          (Syscall.Munmap { va = g.Message.dst_vaddr; count = 1; size = Atmo_pmem.Page_state.S4k })
+      with
+      | Syscall.Runit -> ()
+      | r ->
+        t.last_error <-
+          Some (Format.asprintf "V failed to release granted page: %a" Syscall.pp_ret r))
+   | None -> ());
+  let reply = Message.scalars_only (reply_for msg.Message.scalars) in
+  t.served <- t.served + 1;
+  (match Kernel.step k ~thread:v (Syscall.Send_nb { slot = slot_of side; msg = reply }) with
+   | Syscall.Runit -> ()
+   | Syscall.Rerr Errno.Ewouldblock ->
+     (* the client is not blocked in recv yet: stash for redelivery (a
+        non-blocking send on an unchanged state has no side effects, so
+        retrying later is always safe) *)
+     (match side with
+      | A_side -> t.pending_a <- t.pending_a @ [ reply ]
+      | B_side -> t.pending_b <- t.pending_b @ [ reply ])
+   | r -> t.last_error <- Some (Format.asprintf "V reply failed: %a" Syscall.pp_ret r));
+  Served (side, msg.Message.scalars)
+
+(* try to deliver the oldest stashed reply for [side] *)
+let try_flush t side =
+  let k = t.scenario.Scenario.kernel in
+  let v = t.scenario.Scenario.v_thread in
+  let queue = match side with A_side -> t.pending_a | B_side -> t.pending_b in
+  match queue with
+  | [] -> false
+  | reply :: rest ->
+    (match Kernel.step k ~thread:v (Syscall.Send_nb { slot = slot_of side; msg = reply }) with
+     | Syscall.Runit ->
+       (match side with A_side -> t.pending_a <- rest | B_side -> t.pending_b <- rest);
+       true
+     | Syscall.Rerr Errno.Ewouldblock -> false
+     | r ->
+       t.last_error <- Some (Format.asprintf "V redeliver failed: %a" Syscall.pp_ret r);
+       false)
+
+(* Poll one side.  A request whose grants cannot be applied (occupied
+   destination slot, exhausted quota, bogus arguments) is drained with
+   recv_reject: an arbitrary client must not be able to wedge V. *)
+type poll_result = Got of Message.t | Dropped | Nothing
+
+let poll t side =
+  let k = t.scenario.Scenario.kernel in
+  let v = t.scenario.Scenario.v_thread in
+  match Kernel.step k ~thread:v (Syscall.Recv_nb { slot = slot_of side }) with
+  | Syscall.Rmsg msg -> Got msg
+  | Syscall.Rerr Errno.Ewouldblock -> Nothing
+  | Syscall.Rerr (Errno.Einval | Errno.Eexist | Errno.Equota | Errno.Enomem | Errno.Efull) ->
+    (match Kernel.step k ~thread:v (Syscall.Recv_reject { slot = slot_of side }) with
+     | Syscall.Runit -> Dropped
+     | r ->
+       t.last_error <- Some (Format.asprintf "V reject failed: %a" Syscall.pp_ret r);
+       Nothing)
+  | r ->
+    t.last_error <- Some (Format.asprintf "V poll failed: %a" Syscall.pp_ret r);
+    Nothing
+
+(* One turn, one action: redeliver a stashed reply if a client is now
+   waiting, otherwise serve one new request. *)
+let step t =
+  if try_flush t A_side then Reply_delivered A_side
+  else if try_flush t B_side then Reply_delivered B_side
+  else
+    match poll t A_side with
+    | Got msg -> handle t A_side msg
+    | Dropped -> Rejected A_side
+    | Nothing ->
+      (match poll t B_side with
+       | Got msg -> handle t B_side msg
+       | Dropped -> Rejected B_side
+       | Nothing -> Idle)
+
+let served_total t = t.served
+
+let wf t =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  match t.last_error with
+  | Some msg -> err "V hit an internal error: %s" msg
+  | None ->
+    let k = t.scenario.Scenario.kernel in
+    let v = t.scenario.Scenario.v_thread in
+    let th = Perm_map.borrow k.Kernel.pm.Proc_mgr.thrd_perms ~ptr:v in
+    (* 1. no retained client memory *)
+    let space = v_space t in
+    if not (Imap.equal Page_table.equal_entry space t.baseline_space) then
+      err "V retains client memory (space differs from baseline)"
+    else if
+      (* 2. descriptor table holds exactly the two service endpoints *)
+      not
+        (Thread.slots th
+         = [ (0, t.scenario.Scenario.ep_av); (1, t.scenario.Scenario.ep_bv) ])
+    then err "V descriptor table changed"
+    else if
+      (* 3. V never blocks *)
+      match th.Thread.state with
+      | Thread.Blocked_send _ | Thread.Blocked_recv _ -> true
+      | Thread.Runnable | Thread.Running -> false
+    then err "V is blocked"
+    else Ok ()

@@ -1,0 +1,43 @@
+(** The verified shared service V (§4.3).
+
+    V is one container with one process running one thread, implemented
+    as an event-driven state machine: each turn, V polls its two
+    endpoints with non-blocking receives, processes at most one request,
+    replies with a non-blocking send, and releases any page it received
+    — V never blocks and never retains or forwards client resources.
+
+    V's functional correctness is itself specified and checked
+    ({!wf}): after every completed transaction V's address space equals
+    its baseline (all received memory released), its descriptor table
+    holds exactly its two service endpoints, its replies carry no page
+    or endpoint grants, and no request from one side is ever answered
+    with data derived from the other side's state.  These are the
+    properties the paper relies on for A/B isolation through V. *)
+
+type side = A_side | B_side
+
+type event =
+  | Served of side * int list
+      (** request scalars handled; the reply was delivered, or stashed
+          for redelivery if the client is not yet waiting *)
+  | Reply_delivered of side  (** a stashed reply reached its client *)
+  | Rejected of side  (** malformed request drained without transfer *)
+  | Idle  (** nothing to deliver, nothing pending on either side *)
+
+type t
+
+val create : Scenario.t -> t
+
+val step : t -> event
+(** One turn of V's event loop, driven entirely by system calls from
+    V's thread. *)
+
+val served_total : t -> int
+val reply_for : int list -> int list
+(** The service function: V answers request scalars [x1; x2; ...] with
+    [x1+1; x2+1; ...] — a stand-in computation whose output depends only
+    on the request, which is what the cross-client noninterference
+    argument needs. *)
+
+val wf : t -> (unit, string) result
+(** V's functional-correctness invariant (see above). *)

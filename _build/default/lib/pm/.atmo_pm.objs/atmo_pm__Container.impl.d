@@ -1,0 +1,1 @@
+lib/pm/container.ml: Atmo_util Format Iset Kconfig List Printf Static_list

@@ -1,0 +1,1 @@
+lib/pm/container.mli: Atmo_util Format Static_list

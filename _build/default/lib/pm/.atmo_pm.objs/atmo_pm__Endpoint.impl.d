@@ -1,0 +1,1 @@
+lib/pm/endpoint.ml: Format Kconfig Static_list

@@ -1,0 +1,1 @@
+lib/pm/endpoint.mli: Format Static_list

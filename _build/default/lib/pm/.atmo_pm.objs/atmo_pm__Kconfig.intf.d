@@ -1,0 +1,1 @@
+lib/pm/kconfig.mli:

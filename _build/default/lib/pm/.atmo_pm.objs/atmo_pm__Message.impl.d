@@ -1,0 +1,1 @@
+lib/pm/message.ml: Format Kconfig List

@@ -1,0 +1,1 @@
+lib/pm/perm_map.ml: Atmo_util Format Imap

@@ -1,0 +1,1 @@
+lib/pm/perm_map.mli: Atmo_util

@@ -1,0 +1,1 @@
+lib/pm/pm_invariants.ml: Atmo_pt Atmo_util Container Endpoint Format Hashtbl Iset List Option Perm_map Proc_mgr Process Static_list Thread

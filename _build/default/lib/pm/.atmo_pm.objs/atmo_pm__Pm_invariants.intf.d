@@ -1,0 +1,1 @@
+lib/pm/pm_invariants.mli: Proc_mgr

@@ -1,0 +1,1 @@
+lib/pm/pm_invariants_rec.ml: Atmo_util Container Format Iset List Perm_map Printf Proc_mgr Static_list

@@ -1,0 +1,1 @@
+lib/pm/pm_invariants_rec.mli: Proc_mgr

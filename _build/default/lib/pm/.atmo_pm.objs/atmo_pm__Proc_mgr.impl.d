@@ -1,0 +1,1 @@
+lib/pm/proc_mgr.ml: Atmo_hw Atmo_pmem Atmo_pt Atmo_util Container Endpoint Errno Hashtbl Imap Iset Kconfig List Option Perm_map Process Static_list Thread

@@ -1,0 +1,1 @@
+lib/pm/proc_mgr.mli: Atmo_hw Atmo_pmem Atmo_util Container Endpoint Hashtbl Perm_map Process Thread

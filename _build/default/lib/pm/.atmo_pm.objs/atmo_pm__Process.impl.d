@@ -1,0 +1,1 @@
+lib/pm/process.ml: Atmo_pt Format Kconfig Static_list

@@ -1,0 +1,1 @@
+lib/pm/process.mli: Atmo_pt Format Static_list

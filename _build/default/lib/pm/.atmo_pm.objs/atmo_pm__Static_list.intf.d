@@ -1,0 +1,1 @@
+lib/pm/static_list.mli:

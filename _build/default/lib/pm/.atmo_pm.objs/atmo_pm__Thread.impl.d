@@ -1,0 +1,1 @@
+lib/pm/thread.ml: Array Format Kconfig List Message

@@ -1,0 +1,1 @@
+lib/pm/thread.mli: Format Message

@@ -1,0 +1,1 @@
+lib/pm/tree_ensures.ml: Atmo_util Container Format Imap Iset List Perm_map Proc_mgr Static_list

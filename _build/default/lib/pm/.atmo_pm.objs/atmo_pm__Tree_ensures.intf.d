@@ -1,0 +1,1 @@
+lib/pm/tree_ensures.mli: Proc_mgr

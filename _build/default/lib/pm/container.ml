@@ -1,0 +1,62 @@
+open Atmo_util
+
+type t = {
+  parent : int option;
+  children : int Static_list.t;
+  procs : int Static_list.t;
+  quota : int;
+  used : int;
+  delegated : int;
+  cpus : Iset.t;
+  depth : int;
+  path : int list;
+  subtree : Iset.t;
+}
+
+let make ~parent ~quota ~cpus ~depth ~path =
+  {
+    parent;
+    children = Static_list.create ~capacity:Kconfig.max_children;
+    procs = Static_list.create ~capacity:Kconfig.max_procs_per_container;
+    quota;
+    used = 0;
+    delegated = 0;
+    cpus;
+    depth;
+    path;
+    subtree = Iset.empty;
+  }
+
+let available t = t.quota - t.used - t.delegated
+
+let wf t =
+  Static_list.wf t.children
+  && Static_list.wf t.procs
+  && t.quota >= 0
+  && t.used >= 0
+  && t.delegated >= 0
+  && available t >= 0
+  && t.depth = List.length t.path
+  && (match t.parent with
+      | None -> t.path = []
+      | Some p -> t.path <> [] && List.nth t.path (t.depth - 1) = p)
+
+let equal a b =
+  a.parent = b.parent
+  && Static_list.to_list a.children = Static_list.to_list b.children
+  && Static_list.to_list a.procs = Static_list.to_list b.procs
+  && a.quota = b.quota
+  && a.used = b.used
+  && a.delegated = b.delegated
+  && Iset.equal a.cpus b.cpus
+  && a.depth = b.depth
+  && a.path = b.path
+  && Iset.equal a.subtree b.subtree
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<h>container{parent=%s; children=%d; procs=%d; quota=%d; used=%d; delegated=%d; depth=%d}@]"
+    (match t.parent with None -> "root" | Some p -> Printf.sprintf "0x%x" p)
+    (Static_list.length t.children)
+    (Static_list.length t.procs)
+    t.quota t.used t.delegated t.depth

@@ -1,0 +1,36 @@
+(** Container objects.
+
+    A container is a group of processes with a guaranteed memory quota
+    and CPU reservation.  Containers form a tree; each node stores its
+    parent pointer, its direct children, and two ghost fields mirrored
+    from the paper: [path] (pointers from the root to this node,
+    exclusive) and [subtree] (every reachable descendant).  The ghost
+    fields are what make the flat, non-recursive tree invariants of
+    {!Pm_invariants} expressible. *)
+
+type t = {
+  parent : int option;  (** [None] only for the root *)
+  children : int Static_list.t;
+  procs : int Static_list.t;  (** processes directly owned by this container *)
+  quota : int;  (** frames this container may consume, incl. delegations *)
+  used : int;  (** frames currently charged to this container *)
+  delegated : int;  (** quota currently handed to live child containers *)
+  cpus : Atmo_util.Iset.t;  (** CPU reservation *)
+  depth : int;
+  path : int list;  (** ghost: root ... parent *)
+  subtree : Atmo_util.Iset.t;  (** ghost: all strict descendants *)
+}
+
+val make : parent:int option -> quota:int -> cpus:Atmo_util.Iset.t -> depth:int -> path:int list -> t
+
+val available : t -> int
+(** Frames the container can still allocate or delegate:
+    [quota - used - delegated]. *)
+
+val wf : t -> bool
+(** Node-local well-formedness: embedded lists within capacity,
+    non-negative accounting, [available >= 0], depth equals path
+    length. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+type t = {
+  owner_container : int;
+  send_queue : int Static_list.t;
+  recv_queue : int Static_list.t;
+  refcount : int;
+}
+
+let make ~owner_container =
+  {
+    owner_container;
+    send_queue = Static_list.create ~capacity:Kconfig.max_endpoint_queue;
+    recv_queue = Static_list.create ~capacity:Kconfig.max_endpoint_queue;
+    refcount = 1;
+  }
+
+let wf t =
+  Static_list.wf t.send_queue
+  && Static_list.wf t.recv_queue
+  && t.refcount >= 1
+  && (Static_list.is_empty t.send_queue || Static_list.is_empty t.recv_queue)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>endpoint{container=0x%x; senders=%d; receivers=%d; rc=%d}@]"
+    t.owner_container
+    (Static_list.length t.send_queue)
+    (Static_list.length t.recv_queue)
+    t.refcount

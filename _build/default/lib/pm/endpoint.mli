@@ -1,0 +1,21 @@
+(** Endpoint objects — rendezvous IPC ports.
+
+    An endpoint holds a queue of blocked senders or blocked receivers
+    (never both non-empty: a rendezvous drains the opposite side first)
+    and a reference count equal to the number of thread descriptor slots
+    that name it.  The endpoint page is freed when the count drops to
+    zero — one of the manual-lifetime patterns the paper supports
+    without Rust's ownership. *)
+
+type t = {
+  owner_container : int;  (** container charged for the endpoint page *)
+  send_queue : int Static_list.t;  (** threads blocked sending *)
+  recv_queue : int Static_list.t;  (** threads blocked receiving *)
+  refcount : int;
+}
+
+val make : owner_container:int -> t
+(** Fresh endpoint with reference count 1 (the creating slot). *)
+
+val wf : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,6 @@
+let max_children = 64
+let max_procs_per_container = 64
+let max_threads_per_proc = 64
+let max_endpoint_slots = 16
+let max_endpoint_queue = 64
+let max_ipc_scalars = 8

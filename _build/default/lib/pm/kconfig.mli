@@ -1,0 +1,19 @@
+(** Static kernel configuration.
+
+    Capacities of the fixed-size lists embedded in kernel object pages.
+    Like the paper's kernel, every object occupies exactly one 4 KiB
+    frame, so embedded lists are statically bounded. *)
+
+val max_children : int
+(** Direct child containers per container. *)
+
+val max_procs_per_container : int
+val max_threads_per_proc : int
+val max_endpoint_slots : int
+(** Endpoint descriptor slots per thread (index range of [EdptIdx]). *)
+
+val max_endpoint_queue : int
+(** Threads that can block on one endpoint. *)
+
+val max_ipc_scalars : int
+(** Scalar payload words per IPC message. *)

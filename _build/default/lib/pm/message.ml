@@ -1,0 +1,33 @@
+type page_grant = {
+  src_vaddr : int;
+  dst_vaddr : int;
+}
+
+type endpoint_grant = {
+  src_slot : int;
+  dst_slot : int;
+}
+
+type t = {
+  scalars : int list;
+  page : page_grant option;
+  endpoint : endpoint_grant option;
+}
+
+let scalars_only scalars = { scalars; page = None; endpoint = None }
+let empty = scalars_only []
+
+let wf t =
+  List.length t.scalars <= Kconfig.max_ipc_scalars
+  && (match t.endpoint with
+      | None -> true
+      | Some g ->
+        g.src_slot >= 0
+        && g.src_slot < Kconfig.max_endpoint_slots
+        && g.dst_slot >= 0
+        && g.dst_slot < Kconfig.max_endpoint_slots)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>msg{%d scalars%s%s}@]" (List.length t.scalars)
+    (match t.page with Some _ -> "; +page" | None -> "")
+    (match t.endpoint with Some _ -> "; +endpoint" | None -> "")

@@ -1,0 +1,27 @@
+(** IPC message payloads.
+
+    A sender can pass scalar data, a reference to a memory page (by
+    virtual address in its own address space, remapped into the
+    receiver's), and a reference to one of its endpoints (by descriptor
+    slot, installed into a receiver slot). *)
+
+type page_grant = {
+  src_vaddr : int;  (** virtual base of the page in the sender's space *)
+  dst_vaddr : int;  (** where the receiver asked it to appear *)
+}
+
+type endpoint_grant = {
+  src_slot : int;  (** sender descriptor slot holding the endpoint *)
+  dst_slot : int;  (** receiver slot to install it into *)
+}
+
+type t = {
+  scalars : int list;  (** at most {!Kconfig.max_ipc_scalars} words *)
+  page : page_grant option;
+  endpoint : endpoint_grant option;
+}
+
+val scalars_only : int list -> t
+val empty : t
+val wf : t -> bool
+val pp : Format.formatter -> t -> unit

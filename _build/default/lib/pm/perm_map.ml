@@ -1,0 +1,50 @@
+open Atmo_util
+
+exception Permission_violation of string
+
+type 'a t = {
+  name : string;
+  mutable map : 'a Imap.t;
+  mutable accesses : int;
+}
+
+let create ~name = { name; map = Imap.empty; accesses = 0 }
+let name t = t.name
+
+let violation t fmt =
+  Format.kasprintf (fun s -> raise (Permission_violation (t.name ^ ": " ^ s))) fmt
+
+let alloc t ~ptr v =
+  if Imap.mem ptr t.map then violation t "double allocation at 0x%x" ptr;
+  t.map <- Imap.add ptr v t.map
+
+let consume t ~ptr =
+  match Imap.find_opt ptr t.map with
+  | None -> violation t "consume of absent permission 0x%x" ptr
+  | Some v ->
+    t.map <- Imap.remove ptr t.map;
+    v
+
+let borrow t ~ptr =
+  t.accesses <- t.accesses + 1;
+  match Imap.find_opt ptr t.map with
+  | None -> violation t "borrow of absent permission 0x%x" ptr
+  | Some v -> v
+
+let borrow_opt t ~ptr =
+  t.accesses <- t.accesses + 1;
+  Imap.find_opt ptr t.map
+
+let update t ~ptr f =
+  t.accesses <- t.accesses + 1;
+  match Imap.find_opt ptr t.map with
+  | None -> violation t "update of absent permission 0x%x" ptr
+  | Some v -> t.map <- Imap.add ptr (f v) t.map
+
+let mem t ~ptr = Imap.mem ptr t.map
+let dom t = Imap.dom t.map
+let cardinal t = Imap.cardinal t.map
+let iter f t = Imap.iter f t.map
+let fold f t acc = Imap.fold f t.map acc
+let for_all f t = Imap.for_all f t.map
+let accesses t = t.accesses

@@ -1,0 +1,51 @@
+(** Flat, non-recursive invariants of the process manager.
+
+    Each function is one named proof obligation from the paper's
+    well-formedness hierarchy, written in the flat style of §4.1: all
+    quantification ranges over the global permission maps; parent/child
+    and ancestry facts come from the ghost [path]/[subtree] fields, so no
+    check recurses over the tree.
+
+    {!Pm_invariants_rec} restates the tree obligations recursively (the
+    formulation flat storage exists to avoid) for the ablation
+    benchmarks. *)
+
+val containers_wf : Proc_mgr.t -> (unit, string) result
+(** Node-local well-formedness of every container (the paper's
+    [threads_wf]-style global map quantification). *)
+
+val path_wf : Proc_mgr.t -> (unit, string) result
+(** The paper's [resolve_path_wf]: for any container [c] and any depth
+    [d] along its path, [c]'s path prefix of length [d] equals the path
+    of the ancestor at depth [d]. *)
+
+val parent_child_wf : Proc_mgr.t -> (unit, string) result
+(** Parent pointers, child lists and the root are mutually consistent;
+    the last path element is the parent. *)
+
+val subtree_wf : Proc_mgr.t -> (unit, string) result
+(** Bidirectional: [c'] is in [subtree c] iff [c] is on [path c'] —
+    the invariant the isolation proof (§4.3) quantifies over. *)
+
+val process_tree_wf : Proc_mgr.t -> (unit, string) result
+(** Processes sit in existing containers that list them; the
+    per-container process tree has consistent parent/children; threads
+    are listed by their owning process; dangling pointers are absent. *)
+
+val scheduler_wf : Proc_mgr.t -> (unit, string) result
+(** A thread is in the run queue exactly when runnable (exactly once),
+    is [current] exactly when running, and sits on an endpoint queue
+    exactly when blocked on that endpoint. *)
+
+val endpoints_wf : Proc_mgr.t -> (unit, string) result
+(** Every descriptor slot points at a live endpoint; each endpoint's
+    reference count equals the number of slots naming it; queues only
+    contain appropriately blocked threads. *)
+
+val quota_wf : Proc_mgr.t -> (unit, string) result
+(** Accounting ground truth: each container's [used] equals its real
+    page consumption, [delegated] equals the sum of live children's
+    quotas, and availability is non-negative. *)
+
+val all : Proc_mgr.t -> (unit, string) result
+val obligations : (string * (Proc_mgr.t -> (unit, string) result)) list

@@ -1,0 +1,129 @@
+(** The process manager: flat permission storage for every kernel object.
+
+    Mirrors the paper's [ProcessManager] (Listing 2): permissions to all
+    containers, processes, threads and endpoints live here in flat
+    {!Perm_map}s, giving specifications and invariants a global,
+    non-recursive view of every recursive structure (container tree,
+    per-container process trees, endpoint queues).
+
+    The record fields are public: system-call code in [atmo_core] borrows
+    and updates objects through the permission maps exactly as the
+    paper's syscall implementations do ([Ψ.process_manager.thrd_perms
+    .tracked_borrow(...)]).  All structural updates that must keep the
+    ghost [path]/[subtree] fields consistent go through the functions
+    below. *)
+
+type t = {
+  mem : Atmo_hw.Phys_mem.t;
+  alloc : Atmo_pmem.Page_alloc.t;
+  root_container : int;
+  cntr_perms : Container.t Perm_map.t;
+  proc_perms : Process.t Perm_map.t;
+  thrd_perms : Thread.t Perm_map.t;
+  edpt_perms : Endpoint.t Perm_map.t;
+  external_used : (int, int) Hashtbl.t;
+      (** container -> frames charged by kernel-level subsystems *)
+  mutable run_queue : int list;  (** runnable threads, FIFO order *)
+  mutable current : int option;  (** thread on the (modelled) CPU *)
+}
+
+val create :
+  Atmo_hw.Phys_mem.t ->
+  Atmo_pmem.Page_alloc.t ->
+  root_quota:int ->
+  cpus:Atmo_util.Iset.t ->
+  (t, Atmo_util.Errno.t) result
+(** Allocate the root container.  [root_quota] bounds every allocation in
+    the system and must not exceed the allocator's managed frames. *)
+
+(** {2 Quota accounting} *)
+
+val charge : t -> container:int -> frames:int -> (unit, Atmo_util.Errno.t) result
+(** Charge frames against a container's quota ([Equota] when it does not
+    fit).  Every page that enters a container's page closure — object
+    pages, page-table pages, mapped user frames — is charged here. *)
+
+val uncharge : t -> container:int -> frames:int -> unit
+
+val charge_external : t -> container:int -> frames:int -> (unit, Atmo_util.Errno.t) result
+(** Like {!charge}, for pages owned by kernel-level subsystems outside
+    the process manager (the IOMMU page tables of §4.2's virtual-memory
+    subsystem).  Tracked separately so [used_by_container]'s ground
+    truth can account for them. *)
+
+val uncharge_external : t -> container:int -> frames:int -> unit
+val drop_external : t -> container:int -> unit
+(** Forget external charges of a container that no longer exists. *)
+
+val external_of : t -> container:int -> int
+
+(** {2 Object lifecycle} *)
+
+val new_container :
+  t -> parent:int -> quota:int -> cpus:Atmo_util.Iset.t -> (int, Atmo_util.Errno.t) result
+(** Create a child container, delegating [quota] frames from the parent.
+    The child's own object page is charged to the child.  Updates the
+    ghost [path]/[subtree] of every ancestor through the flat map. *)
+
+val new_process : t -> container:int -> parent:int option -> (int, Atmo_util.Errno.t) result
+(** Create a process (allocates its object page and a fresh page table,
+    both charged to the container). *)
+
+val new_thread : t -> proc:int -> (int, Atmo_util.Errno.t) result
+(** Create a runnable thread and enqueue it. *)
+
+val new_endpoint : t -> thread:int -> slot:int -> (int, Atmo_util.Errno.t) result
+(** Create an endpoint and install it in a free descriptor slot of
+    [thread]. *)
+
+val close_endpoint_slot : t -> thread:int -> slot:int -> (unit, Atmo_util.Errno.t) result
+(** Drop the descriptor; frees the endpoint page when the last reference
+    disappears ([Ebusy] if threads are still blocked on it). *)
+
+val terminate_process : t -> proc:int -> (unit, Atmo_util.Errno.t) result
+(** Terminate a process and (recursively, via the process tree) all its
+    descendants: threads leave queues, endpoint references drop, the
+    address space is torn down, every page returns to the allocator and
+    the quota charges to the container. *)
+
+val terminate_container : t -> container:int -> (unit, Atmo_util.Errno.t) result
+(** Terminate a container subtree and harvest its resources into the
+    parent (the paper's coarse-grained revocation): all delegated quota
+    returns; endpoints that outlive the subtree (still referenced from
+    outside) are re-owned by the parent. The root cannot be terminated. *)
+
+(** {2 Scheduler} *)
+
+val enqueue_runnable : t -> thread:int -> unit
+(** Mark a thread runnable and append it to the run queue. *)
+
+val dequeue_next : t -> int option
+(** Pop the next runnable thread and mark it [Running], updating
+    [current].  [None] leaves the CPU idle. *)
+
+val preempt_current : t -> unit
+(** Move the running thread (if any) to the back of the run queue. *)
+
+(** {2 Views} *)
+
+val container_of_proc : t -> proc:int -> int
+val container_of_thread : t -> thread:int -> int
+
+val subtree_containers : t -> container:int -> Atmo_util.Iset.t
+(** The container and all its descendants (uses the ghost subtree). *)
+
+val procs_of_subtree : t -> container:int -> Atmo_util.Iset.t
+val threads_of_subtree : t -> container:int -> Atmo_util.Iset.t
+
+val object_pages : t -> Atmo_util.Iset.t
+(** Pages holding kernel objects: the union of the four permission-map
+    domains. *)
+
+val page_closure : t -> Atmo_util.Iset.t
+(** The process manager's page closure: object pages plus the page-table
+    closures of every process (§4.2's bottom-up memory reasoning). *)
+
+val used_by_container : t -> container:int -> int
+(** Recompute a container's real page consumption from the ground truth
+    (object pages + page-table pages + mapped frames); invariants compare
+    this against the [used] field. *)

@@ -1,0 +1,28 @@
+type t = {
+  owner_container : int;
+  parent : int option;
+  children : int Static_list.t;
+  threads : int Static_list.t;
+  pt : Atmo_pt.Page_table.t;
+  iommu_device : int option;
+}
+
+let make ~owner_container ~parent ~pt =
+  {
+    owner_container;
+    parent;
+    children = Static_list.create ~capacity:Kconfig.max_procs_per_container;
+    threads = Static_list.create ~capacity:Kconfig.max_threads_per_proc;
+    pt;
+    iommu_device = None;
+  }
+
+let wf t = Static_list.wf t.children && Static_list.wf t.threads
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<h>process{container=0x%x; children=%d; threads=%d; cr3=0x%x}@]"
+    t.owner_container
+    (Static_list.length t.children)
+    (Static_list.length t.threads)
+    (Atmo_pt.Page_table.cr3 t.pt)

@@ -1,0 +1,20 @@
+(** Process objects.
+
+    Processes live inside a container and form a per-container process
+    tree (parent/children), own threads, and own an address space
+    backed by a {!Atmo_pt.Page_table}.  As in the paper, the page table
+    handle is part of the process object while permissions to all
+    process objects are held flat in the process manager. *)
+
+type t = {
+  owner_container : int;
+  parent : int option;  (** parent process in the same container *)
+  children : int Static_list.t;
+  threads : int Static_list.t;
+  pt : Atmo_pt.Page_table.t;
+  iommu_device : int option;  (** device id whose IOMMU domain is this process's page table *)
+}
+
+val make : owner_container:int -> parent:int option -> pt:Atmo_pt.Page_table.t -> t
+val wf : t -> bool
+val pp : Format.formatter -> t -> unit

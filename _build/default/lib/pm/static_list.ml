@@ -1,0 +1,37 @@
+type 'a t = {
+  capacity : int;
+  items : 'a list;  (* front at head, length <= capacity *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Static_list.create: capacity <= 0";
+  { capacity; items = [] }
+
+let capacity t = t.capacity
+let length t = List.length t.items
+let is_empty t = t.items = []
+let is_full t = length t >= t.capacity
+
+let push t x =
+  if is_full t then Error `Full else Ok { t with items = t.items @ [ x ] }
+
+let remove t ~eq x =
+  let rec go acc = function
+    | [] -> Error `Absent
+    | y :: rest ->
+      if eq x y then Ok { t with items = List.rev_append acc rest }
+      else go (y :: acc) rest
+  in
+  go [] t.items
+
+let pop_front t =
+  match t.items with
+  | [] -> None
+  | x :: rest -> Some (x, { t with items = rest })
+
+let mem t ~eq x = List.exists (eq x) t.items
+let to_list t = t.items
+let iter f t = List.iter f t.items
+let exists f t = List.exists f t.items
+let for_all f t = List.for_all f t.items
+let wf t = t.capacity > 0 && length t <= t.capacity

@@ -1,0 +1,30 @@
+(** Bounded lists — the paper's [StaticList<T>].
+
+    Kernel objects embed fixed-capacity lists (children of a container,
+    threads of a process, endpoint wait queues) because kernel memory is
+    statically budgeted per object page.  Exceeding capacity is a normal
+    runtime condition surfaced to the caller, not a programming error. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> ('a t, [ `Full ]) result
+(** Append; fails when at capacity. *)
+
+val remove : 'a t -> eq:('a -> 'a -> bool) -> 'a -> ('a t, [ `Absent ]) result
+(** Remove the first element equal to the argument. *)
+
+val pop_front : 'a t -> ('a * 'a t) option
+val mem : 'a t -> eq:('a -> 'a -> bool) -> 'a -> bool
+val to_list : 'a t -> 'a list
+val iter : ('a -> unit) -> 'a t -> unit
+val exists : ('a -> bool) -> 'a t -> bool
+val for_all : ('a -> bool) -> 'a t -> bool
+
+val wf : 'a t -> bool
+(** Length within capacity — the structural invariant. *)

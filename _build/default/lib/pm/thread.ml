@@ -1,0 +1,57 @@
+type sched_state =
+  | Runnable
+  | Running
+  | Blocked_send of int
+  | Blocked_recv of int
+
+let pp_sched_state ppf = function
+  | Runnable -> Format.pp_print_string ppf "runnable"
+  | Running -> Format.pp_print_string ppf "running"
+  | Blocked_send e -> Format.fprintf ppf "blocked-send(0x%x)" e
+  | Blocked_recv e -> Format.fprintf ppf "blocked-recv(0x%x)" e
+
+let equal_sched_state (a : sched_state) b = a = b
+
+type t = {
+  owner_proc : int;
+  state : sched_state;
+  endpoints : int option array;
+  msg_buf : Message.t option;
+}
+
+let make ~owner_proc =
+  {
+    owner_proc;
+    state = Runnable;
+    endpoints = Array.make Kconfig.max_endpoint_slots None;
+    msg_buf = None;
+  }
+
+let slot t i =
+  if i < 0 || i >= Array.length t.endpoints then None else t.endpoints.(i)
+
+let set_slot t i v =
+  if i < 0 || i >= Array.length t.endpoints then
+    invalid_arg "Thread.set_slot: slot out of range";
+  let endpoints = Array.copy t.endpoints in
+  endpoints.(i) <- v;
+  { t with endpoints }
+
+let slots t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i -> function Some e -> acc := (i, e) :: !acc | None -> ())
+    t.endpoints;
+  List.rev !acc
+
+let wf t =
+  Array.length t.endpoints = Kconfig.max_endpoint_slots
+  && (match (t.state, t.msg_buf) with
+      | Blocked_send _, None -> false (* a blocked sender must hold its message *)
+      | _ -> true)
+  && (match t.msg_buf with None -> true | Some m -> Message.wf m)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>thread{proc=0x%x; %a; %d slots}@]" t.owner_proc
+    pp_sched_state t.state
+    (List.length (slots t))

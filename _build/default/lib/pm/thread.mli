@@ -1,0 +1,41 @@
+(** Thread objects.
+
+    A thread belongs to a process, carries the scheduling state, a
+    fixed-size endpoint descriptor table (the paper's
+    [get_thrd_edpt_descriptors]), and an in-kernel message buffer used
+    while blocked on IPC or to hold a freshly delivered message. *)
+
+type sched_state =
+  | Runnable
+  | Running  (** currently on a CPU *)
+  | Blocked_send of int  (** waiting to send on the endpoint object *)
+  | Blocked_recv of int  (** waiting to receive on the endpoint object *)
+
+val pp_sched_state : Format.formatter -> sched_state -> unit
+val equal_sched_state : sched_state -> sched_state -> bool
+
+type t = {
+  owner_proc : int;
+  state : sched_state;
+  endpoints : int option array;  (** descriptor table; length {!Kconfig.max_endpoint_slots} *)
+  msg_buf : Message.t option;
+  (** outgoing message while [Blocked_send]; delivered message after a
+      completed receive, until the thread consumes it *)
+}
+
+val make : owner_proc:int -> t
+(** A fresh runnable thread with an empty descriptor table. *)
+
+val slot : t -> int -> int option
+(** Endpoint pointer in a descriptor slot; [None] also for out-of-range
+    indices (arbitrary user-supplied values are legal inputs). *)
+
+val set_slot : t -> int -> int option -> t
+(** Functional update of a descriptor slot; raises [Invalid_argument] on
+    out-of-range indices (kernel code validates first). *)
+
+val slots : t -> (int * int) list
+(** Occupied [(index, endpoint)] pairs. *)
+
+val wf : t -> bool
+val pp : Format.formatter -> t -> unit

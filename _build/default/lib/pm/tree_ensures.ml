@@ -1,0 +1,206 @@
+open Atmo_util
+
+(* the tree-relevant projection of a container *)
+type node = {
+  n_parent : int option;
+  n_children : int list;
+  n_quota : int;
+  n_delegated : int;
+  n_depth : int;
+  n_path : int list;
+  n_subtree : Iset.t;
+}
+
+type snapshot = {
+  nodes : node Imap.t;
+  root : int;
+}
+
+let node_of (c : Container.t) =
+  {
+    n_parent = c.Container.parent;
+    n_children = Static_list.to_list c.Container.children;
+    n_quota = c.Container.quota;
+    n_delegated = c.Container.delegated;
+    n_depth = c.Container.depth;
+    n_path = c.Container.path;
+    n_subtree = c.Container.subtree;
+  }
+
+let snapshot (pm : Proc_mgr.t) =
+  {
+    nodes =
+      Perm_map.fold (fun ptr c acc -> Imap.add ptr (node_of c) acc) pm.Proc_mgr.cntr_perms
+        Imap.empty;
+    root = pm.Proc_mgr.root_container;
+  }
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let equal_node a b =
+  a.n_parent = b.n_parent && a.n_children = b.n_children && a.n_quota = b.n_quota
+  && a.n_delegated = b.n_delegated && a.n_depth = b.n_depth && a.n_path = b.n_path
+  && Iset.equal a.n_subtree b.n_subtree
+
+(* everything outside [touched] identical, with a per-node adjustment
+   applied to the expected pre-state view *)
+let frame_condition ~pre ~post ~touched ~adjust =
+  Imap.fold
+    (fun ptr n acc ->
+      let* () = acc in
+      if Iset.mem ptr touched then Ok ()
+      else
+        match Imap.find_opt ptr post.nodes with
+        | None -> err "ensures: container 0x%x vanished" ptr
+        | Some n' ->
+          if equal_node n' (adjust ptr n) then Ok ()
+          else err "ensures: container 0x%x changed outside the spec" ptr)
+    pre.nodes (Ok ())
+
+let new_container_ensures ~pre ~post ~parent ~child ~quota =
+  match Imap.find_opt parent pre.nodes with
+  | None -> err "ensures: parent 0x%x not in pre" parent
+  | Some p0 ->
+    let* () =
+      if Imap.mem child pre.nodes then err "ensures: child 0x%x already existed" child
+      else Ok ()
+    in
+    (* the child appears with exactly the expected fields *)
+    let* () =
+      match Imap.find_opt child post.nodes with
+      | None -> err "ensures: child 0x%x missing in post" child
+      | Some c ->
+        if
+          c.n_parent = Some parent && c.n_children = [] && c.n_quota = quota
+          && c.n_delegated = 0
+          && c.n_depth = p0.n_depth + 1
+          && c.n_path = p0.n_path @ [ parent ]
+          && Iset.is_empty c.n_subtree
+        then Ok ()
+        else err "ensures: child fields wrong"
+    in
+    (* the parent gains the child *)
+    let* () =
+      match Imap.find_opt parent post.nodes with
+      | None -> err "ensures: parent missing in post"
+      | Some p1 ->
+        if
+          equal_node p1
+            {
+              p0 with
+              n_children = p0.n_children @ [ child ];
+              n_delegated = p0.n_delegated + quota;
+              n_subtree = Iset.add child p0.n_subtree;
+            }
+        then Ok ()
+        else err "ensures: parent update wrong"
+    in
+    (* every ancestor's subtree gains exactly the child (Listing 3,
+       lines 14-19); everything else is unchanged *)
+    let ancestors = Iset.of_list p0.n_path in
+    frame_condition ~pre ~post
+      ~touched:(Iset.add child (Iset.add parent Iset.empty))
+      ~adjust:(fun ptr n ->
+        if Iset.mem ptr ancestors then { n with n_subtree = Iset.add child n.n_subtree }
+        else n)
+
+let terminate_ensures ~pre ~post ~victim =
+  match Imap.find_opt victim pre.nodes with
+  | None -> err "ensures: victim 0x%x not in pre" victim
+  | Some v0 ->
+    let victims = Iset.add victim v0.n_subtree in
+    (* all victims gone *)
+    let* () =
+      Iset.fold
+        (fun d acc ->
+          let* () = acc in
+          if Imap.mem d post.nodes then err "ensures: victim 0x%x survived" d else Ok ())
+        victims (Ok ())
+    in
+    (match v0.n_parent with
+     | None -> err "ensures: terminating the root"
+     | Some parent ->
+       (match Imap.find_opt parent pre.nodes with
+        | None -> err "ensures: parent missing in pre"
+        | Some p0 ->
+          let* () =
+            match Imap.find_opt parent post.nodes with
+            | None -> err "ensures: parent missing in post"
+            | Some p1 ->
+              if
+                equal_node p1
+                  {
+                    p0 with
+                    n_children = List.filter (fun x -> x <> victim) p0.n_children;
+                    n_delegated = p0.n_delegated - v0.n_quota;
+                    n_subtree = Iset.diff p0.n_subtree victims;
+                  }
+              then Ok ()
+              else err "ensures: parent update wrong"
+          in
+          let ancestors = Iset.of_list v0.n_path in
+          frame_condition ~pre ~post ~touched:(Iset.add parent victims)
+            ~adjust:(fun ptr n ->
+              if Iset.mem ptr ancestors then
+                { n with n_subtree = Iset.diff n.n_subtree victims }
+              else n)))
+
+(* the closed structural invariant over a snapshot *)
+let tree_wf s =
+  Imap.fold
+    (fun ptr n acc ->
+      let* () = acc in
+      let* () =
+        match n.n_parent with
+        | None ->
+          if ptr <> s.root then err "wf: 0x%x parentless but not root" ptr
+          else if n.n_path <> [] then err "wf: root has a path"
+          else Ok ()
+        | Some parent ->
+          (match Imap.find_opt parent s.nodes with
+           | None -> err "wf: dead parent of 0x%x" ptr
+           | Some p ->
+             if not (List.mem ptr p.n_children) then
+               err "wf: parent does not list 0x%x" ptr
+             else if n.n_path <> p.n_path @ [ parent ] then
+               err "wf: path of 0x%x is not parent's path + parent" ptr
+             else Ok ())
+      in
+      let* () =
+        if n.n_depth = List.length n.n_path then Ok ()
+        else err "wf: depth of 0x%x inconsistent" ptr
+      in
+      (* bidirectional subtree *)
+      let* () =
+        Iset.fold
+          (fun d acc ->
+            let* () = acc in
+            match Imap.find_opt d s.nodes with
+            | None -> err "wf: subtree of 0x%x holds dead 0x%x" ptr d
+            | Some dn ->
+              if List.mem ptr dn.n_path then Ok ()
+              else err "wf: 0x%x in subtree of 0x%x without ancestry" d ptr)
+          n.n_subtree (Ok ())
+      in
+      List.fold_left
+        (fun acc anc ->
+          let* () = acc in
+          match Imap.find_opt anc s.nodes with
+          | None -> err "wf: dead ancestor of 0x%x" ptr
+          | Some a ->
+            if Iset.mem ptr a.n_subtree then Ok ()
+            else err "wf: ancestor 0x%x misses 0x%x in subtree" anc ptr)
+        (Ok ()) n.n_path)
+    s.nodes (Ok ())
+
+let check_preservation ~pre ~post ~ensures =
+  match (tree_wf pre, ensures) with
+  | Error _, _ -> Ok () (* vacuous: the lemma assumes wf-before *)
+  | _, Error _ -> Ok () (* vacuous: the lemma assumes the transition spec *)
+  | Ok (), Ok () ->
+    (match tree_wf post with
+     | Ok () -> Ok ()
+     | Error msg ->
+       err "preservation violated: ensures held of a wf pre-state, yet post is not wf (%s)"
+         msg)

@@ -1,0 +1,55 @@
+(** The paper's modular proof structure for the container tree
+    (§4.1, Listing 3).
+
+    The paper separates, per operation, an {e open} transition
+    specification ([new_container_ensures]: how each container's state
+    changes, no structural content) from the {e closed} structural
+    invariant ([container_tree_wf]), connected by a preservation lemma
+    ([new_container_preserve_tree_wf]: ensures + wf-before ⟹ wf-after).
+    That split is what keeps the SMT search space small: call sites
+    reason only about [ensures].
+
+    This module reproduces the same decomposition executably over
+    snapshots of the container map:
+
+    - {!snapshot} captures the abstract container state;
+    - the [*_ensures] predicates state exactly the field changes of each
+      tree operation (frame conditions included), with no reference to
+      the structural invariant;
+    - {!tree_wf} is the closed structural invariant;
+    - {!check_preservation} is the executable form of the lemma,
+      checked over generated transitions by the test suite: whenever a
+      transition satisfies [ensures] and its pre-state satisfies
+      [tree_wf], its post-state must too. *)
+
+type snapshot
+(** Pure copy of the container tree's abstract state. *)
+
+val snapshot : Proc_mgr.t -> snapshot
+
+val new_container_ensures :
+  pre:snapshot -> post:snapshot -> parent:int -> child:int -> quota:int -> (unit, string) result
+(** The open spec of [new_container]: the child appears with the
+    expected fields, the parent gains it in children/delegated/subtree,
+    every ancestor's subtree gains exactly the child, and all other
+    containers are unchanged. *)
+
+val terminate_ensures :
+  pre:snapshot -> post:snapshot -> victim:int -> (unit, string) result
+(** The open spec of [terminate_container] restricted to the tree:
+    the victim's closed subtree disappears, the parent loses the child
+    and the delegation, ancestors' subtrees shrink by exactly the
+    victims, and all other containers are unchanged. *)
+
+val tree_wf : snapshot -> (unit, string) result
+(** The closed structural invariant: parent/child inverse, path-prefix
+    property, bidirectional subtree, depth consistency. *)
+
+val check_preservation :
+  pre:snapshot ->
+  post:snapshot ->
+  ensures:(unit, string) result ->
+  (unit, string) result
+(** The preservation lemma, executably: if [tree_wf pre] and [ensures]
+    hold, then [tree_wf post] must hold; a violation pinpoints whether
+    [ensures] was too weak or the operation broke the structure. *)

@@ -1,0 +1,1 @@
+lib/pmem/page_alloc.ml: Array Atmo_hw Atmo_util Dll Format Iset List Page_state Printf

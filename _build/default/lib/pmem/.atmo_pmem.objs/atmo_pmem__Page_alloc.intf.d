@@ -1,0 +1,1 @@
+lib/pmem/page_alloc.mli: Atmo_hw Atmo_util Page_state

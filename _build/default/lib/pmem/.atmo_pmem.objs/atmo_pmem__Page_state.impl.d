@@ -1,0 +1,1 @@
+lib/pmem/page_state.ml: Format

@@ -1,0 +1,141 @@
+(* -1 is the nil link; the [member] array is the source of truth for
+   membership so that id 0 with nil links is unambiguous. *)
+type t = {
+  name : string;
+  prev : int array;
+  next : int array;
+  member : bool array;
+  mutable first : int;
+  mutable last : int;
+  mutable length : int;
+}
+
+let nil = -1
+
+let create ~capacity ~name =
+  if capacity <= 0 then invalid_arg "Dll.create: capacity <= 0";
+  {
+    name;
+    prev = Array.make capacity nil;
+    next = Array.make capacity nil;
+    member = Array.make capacity false;
+    first = nil;
+    last = nil;
+    length = 0;
+  }
+
+let name t = t.name
+let capacity t = Array.length t.prev
+let length t = t.length
+let is_empty t = t.length = 0
+
+let check_id t id op =
+  if id < 0 || id >= capacity t then
+    invalid_arg (Printf.sprintf "Dll.%s(%s): id %d out of range" op t.name id)
+
+let mem t id =
+  check_id t id "mem";
+  t.member.(id)
+
+let push_front t id =
+  check_id t id "push_front";
+  if t.member.(id) then
+    invalid_arg (Printf.sprintf "Dll.push_front(%s): %d already a member" t.name id);
+  t.member.(id) <- true;
+  t.prev.(id) <- nil;
+  t.next.(id) <- t.first;
+  if t.first <> nil then t.prev.(t.first) <- id else t.last <- id;
+  t.first <- id;
+  t.length <- t.length + 1
+
+let push_back t id =
+  check_id t id "push_back";
+  if t.member.(id) then
+    invalid_arg (Printf.sprintf "Dll.push_back(%s): %d already a member" t.name id);
+  t.member.(id) <- true;
+  t.next.(id) <- nil;
+  t.prev.(id) <- t.last;
+  if t.last <> nil then t.next.(t.last) <- id else t.first <- id;
+  t.last <- id;
+  t.length <- t.length + 1
+
+let remove t id =
+  check_id t id "remove";
+  if not t.member.(id) then
+    invalid_arg (Printf.sprintf "Dll.remove(%s): %d not a member" t.name id);
+  let p = t.prev.(id) and n = t.next.(id) in
+  if p <> nil then t.next.(p) <- n else t.first <- n;
+  if n <> nil then t.prev.(n) <- p else t.last <- p;
+  t.member.(id) <- false;
+  t.prev.(id) <- nil;
+  t.next.(id) <- nil;
+  t.length <- t.length - 1
+
+let pop_front t =
+  if t.first = nil then None
+  else begin
+    let id = t.first in
+    remove t id;
+    Some id
+  end
+
+let pop_back t =
+  if t.last = nil then None
+  else begin
+    let id = t.last in
+    remove t id;
+    Some id
+  end
+
+let peek_front t = if t.first = nil then None else Some t.first
+
+let iter t f =
+  let rec go id = if id <> nil then begin f id; go t.next.(id) end in
+  go t.first
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun id -> acc := id :: !acc);
+  List.rev !acc
+
+let wf t =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let cap = capacity t in
+  (* Forward traversal, bounded by capacity to detect cycles. *)
+  let rec forward id seen count =
+    if id = nil then Ok (List.rev seen, count)
+    else if count > cap then err "%s: forward traversal exceeds capacity (cycle)" t.name
+    else if not t.member.(id) then err "%s: %d linked but not a member" t.name id
+    else forward t.next.(id) (id :: seen) (count + 1)
+  in
+  match forward t.first [] 0 with
+  | Error _ as e -> e
+  | Ok (fwd, n) ->
+    if n <> t.length then err "%s: length %d but traversal found %d" t.name t.length n
+    else
+      let rec backward id seen count =
+        if id = nil then Ok (List.rev seen)
+        else if count > cap then err "%s: backward traversal exceeds capacity" t.name
+        else backward t.prev.(id) (id :: seen) (count + 1)
+      in
+      (match backward t.last [] 0 with
+       | Error _ as e -> e
+       | Ok bwd ->
+         if List.rev bwd <> fwd then err "%s: forward/backward traversals disagree" t.name
+         else begin
+           (* Membership flags must match exactly the traversed ids. *)
+           let members = ref 0 in
+           Array.iter (fun b -> if b then incr members) t.member;
+           if !members <> t.length then
+             err "%s: %d member flags but length %d" t.name !members t.length
+           else
+             (* Adjacent link consistency. *)
+             let rec adj = function
+               | a :: (b :: _ as rest) ->
+                 if t.next.(a) <> b then err "%s: next(%d) <> %d" t.name a b
+                 else if t.prev.(b) <> a then err "%s: prev(%d) <> %d" t.name b a
+                 else adj rest
+               | _ -> Ok ()
+             in
+             adj fwd
+         end)

@@ -1,0 +1,41 @@
+(** Intrusive doubly-linked list over small-int ids.
+
+    The paper's allocator keeps free pages of each size on doubly-linked
+    lists and stores, in each page's metadata, a pointer to its list node
+    so that merging superpages can unlink a page in O(1).  Here the "node
+    pointer" is the page's own index into the [prev]/[next] arrays — the
+    same mechanism, with the same O(1) unlink, minus the raw pointers.
+
+    An id may be a member of at most one position in the list at a time.
+    All operations raise [Invalid_argument] on misuse (removing a
+    non-member, pushing a member, out-of-range ids). *)
+
+type t
+
+val create : capacity:int -> name:string -> t
+(** Ids range over [0, capacity). *)
+
+val name : t -> string
+val capacity : t -> int
+val length : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+val push_front : t -> int -> unit
+val push_back : t -> int -> unit
+val pop_front : t -> int option
+val pop_back : t -> int option
+
+val remove : t -> int -> unit
+(** O(1) unlink of a member id — the constant-time removal the paper's
+    page-metadata node pointers exist for. *)
+
+val peek_front : t -> int option
+val iter : t -> (int -> unit) -> unit
+val to_list : t -> int list
+(** Front-to-back order. *)
+
+val wf : t -> (unit, string) result
+(** Structural well-formedness: forward and backward traversals agree,
+    lengths match, membership flags are consistent, no cycles.  This is
+    the executable form of the allocator's free-list invariant. *)

@@ -1,0 +1,372 @@
+open Atmo_util
+module Phys_mem = Atmo_hw.Phys_mem
+open Page_state
+
+type purpose = Kernel | User
+
+type t = {
+  mem : Phys_mem.t;
+  first : int;  (* first managed frame index *)
+  nframes : int;  (* total frames in the machine *)
+  meta : meta array;  (* indexed by frame number *)
+  free4k : Dll.t;
+  free2m : Dll.t;
+  free1g : Dll.t;
+}
+
+let frame_addr i = i * Phys_mem.page_size
+let frame_of_addr a = a / Phys_mem.page_size
+
+let create mem ~reserved_frames =
+  let nframes = Phys_mem.page_count mem in
+  if reserved_frames < 0 || reserved_frames >= nframes then
+    invalid_arg "Page_alloc.create: bad reserved_frames";
+  let t =
+    {
+      mem;
+      first = reserved_frames;
+      nframes;
+      meta = Array.init nframes (fun _ -> { state = Free; size = S4k });
+      free4k = Dll.create ~capacity:nframes ~name:"free4k";
+      free2m = Dll.create ~capacity:nframes ~name:"free2m";
+      free1g = Dll.create ~capacity:nframes ~name:"free1g";
+    }
+  in
+  for i = reserved_frames to nframes - 1 do
+    Dll.push_back t.free4k i
+  done;
+  t
+
+let managed_frames t = t.nframes - t.first
+let free_count_4k t = Dll.length t.free4k
+let free_count_2m t = Dll.length t.free2m
+let free_count_1g t = Dll.length t.free1g
+
+let managed t i = i >= t.first && i < t.nframes
+
+let head_meta t ~addr op =
+  let i = frame_of_addr addr in
+  if not (managed t i) then
+    invalid_arg (Printf.sprintf "Page_alloc.%s: 0x%x unmanaged" op addr);
+  if not (Phys_mem.is_page_aligned addr) then
+    invalid_arg (Printf.sprintf "Page_alloc.%s: 0x%x unaligned" op addr);
+  (i, t.meta.(i))
+
+let zero_block t i size =
+  for j = i to i + frames_per size - 1 do
+    Phys_mem.zero_page t.mem ~addr:(frame_addr j)
+  done
+
+let claim t i size purpose =
+  let m = t.meta.(i) in
+  m.size <- size;
+  m.state <- (match purpose with Kernel -> Allocated | User -> Mapped 1);
+  zero_block t i size;
+  frame_addr i
+
+(* Merge [count] aligned free sub-blocks of [sub] size headed at [i] into
+   one block of [super] size.  Constituent heads are unlinked from their
+   free list in O(1) via the page-array node indices; every absorbed
+   frame — sub-heads and their bodies alike — is re-pointed at the new
+   super-head. *)
+let absorb t ~head ~sub ~free_list ~count =
+  let stride = frames_per sub in
+  for k = 0 to count - 1 do
+    Dll.remove free_list (head + (k * stride))
+  done;
+  for j = head + 1 to head + (count * stride) - 1 do
+    t.meta.(j).state <- Merged head;
+    t.meta.(j).size <- S4k
+  done
+
+(* Scan the page array for an aligned run of [count] free blocks of
+   [sub] size and merge them (the paper's superpage formation). *)
+let try_merge t ~sub ~super ~sub_list ~super_list =
+  let stride = frames_per sub in
+  let span = frames_per super in
+  let aligned_start = (t.first + span - 1) / span * span in
+  let rec scan head =
+    if head + span > t.nframes then false
+    else begin
+      let all_free = ref true in
+      (let k = ref 0 in
+       while !all_free && !k < span / stride do
+         let j = head + (!k * stride) in
+         let m = t.meta.(j) in
+         if not (m.state = Free && equal_size m.size sub) then all_free := false;
+         incr k
+      done);
+      if !all_free then begin
+        absorb t ~head ~sub ~free_list:sub_list ~count:(span / stride);
+        t.meta.(head).state <- Free;
+        t.meta.(head).size <- super;
+        Dll.push_back super_list head;
+        true
+      end
+      else scan (head + span)
+    end
+  in
+  scan aligned_start
+
+let try_merge_2m t =
+  try_merge t ~sub:S4k ~super:S2m ~sub_list:t.free4k ~super_list:t.free2m
+
+(* Single pass that merges every eligible aligned group — used before a
+   1 GiB promotion, where the one-at-a-time scan would be quadratic in
+   machine size. *)
+let merge_all t ~sub ~super ~sub_list ~super_list =
+  let stride = frames_per sub in
+  let span = frames_per super in
+  let aligned_start = (t.first + span - 1) / span * span in
+  let merged = ref 0 in
+  let head = ref aligned_start in
+  while !head + span <= t.nframes do
+    let all_free = ref true in
+    (let k = ref 0 in
+     while !all_free && !k < span / stride do
+       let j = !head + (!k * stride) in
+       let m = t.meta.(j) in
+       if not (m.state = Free && equal_size m.size sub) then all_free := false;
+       incr k
+    done);
+    if !all_free then begin
+      absorb t ~head:!head ~sub ~free_list:sub_list ~count:(span / stride);
+      t.meta.(!head).state <- Free;
+      t.meta.(!head).size <- super;
+      Dll.push_back super_list !head;
+      incr merged
+    end;
+    head := !head + span
+  done;
+  !merged
+
+let try_merge_1g t =
+  (* Form all possible 2 MiB blocks first so a fully-free gigabyte
+     region can always be promoted. *)
+  ignore (merge_all t ~sub:S4k ~super:S2m ~sub_list:t.free4k ~super_list:t.free2m);
+  try_merge t ~sub:S2m ~super:S1g ~sub_list:t.free2m ~super_list:t.free1g
+
+(* Split a free block headed at [i] of [super] size into free blocks of
+   [sub] size; body frames are re-pointed at their new sub-heads. *)
+let split t ~head ~super ~sub ~sub_list =
+  let stride = frames_per sub in
+  let span = frames_per super in
+  t.meta.(head).size <- sub;
+  Dll.push_back sub_list head;
+  let k = ref stride in
+  while !k < span do
+    let j = head + !k in
+    t.meta.(j).state <- Free;
+    t.meta.(j).size <- sub;
+    Dll.push_back sub_list j;
+    k := !k + stride
+  done;
+  if stride > 1 then
+    for g = 0 to (span / stride) - 1 do
+      let sub_head = head + (g * stride) in
+      for b = sub_head + 1 to sub_head + stride - 1 do
+        t.meta.(b).state <- Merged sub_head
+      done
+    done
+
+let rec alloc_4k t ~purpose =
+  match Dll.pop_front t.free4k with
+  | Some i -> Some (claim t i S4k purpose)
+  | None ->
+    (match Dll.pop_front t.free2m with
+     | Some head ->
+       split t ~head ~super:S2m ~sub:S4k ~sub_list:t.free4k;
+       alloc_4k t ~purpose
+     | None ->
+       (match Dll.pop_front t.free1g with
+        | Some head ->
+          split t ~head ~super:S1g ~sub:S2m ~sub_list:t.free2m;
+          alloc_4k t ~purpose
+        | None -> None))
+
+let rec alloc_2m t ~purpose =
+  match Dll.pop_front t.free2m with
+  | Some i -> Some (claim t i S2m purpose)
+  | None ->
+    if try_merge_2m t then alloc_2m t ~purpose
+    else
+      (match Dll.pop_front t.free1g with
+       | Some head ->
+         split t ~head ~super:S1g ~sub:S2m ~sub_list:t.free2m;
+         alloc_2m t ~purpose
+       | None -> None)
+
+let rec alloc_1g t ~purpose =
+  match Dll.pop_front t.free1g with
+  | Some i -> Some (claim t i S1g purpose)
+  | None -> if try_merge_1g t then alloc_1g t ~purpose else None
+
+let release t i =
+  let m = t.meta.(i) in
+  m.state <- Free;
+  let list =
+    match m.size with S4k -> t.free4k | S2m -> t.free2m | S1g -> t.free1g
+  in
+  Dll.push_back list i
+
+let free_kernel_page t ~addr =
+  let i, m = head_meta t ~addr "free_kernel_page" in
+  match m.state with
+  | Allocated -> release t i
+  | Free | Mapped _ | Merged _ ->
+    invalid_arg
+      (Format.asprintf "Page_alloc.free_kernel_page: 0x%x is %a" addr pp_state m.state)
+
+let inc_ref t ~addr =
+  let _, m = head_meta t ~addr "inc_ref" in
+  match m.state with
+  | Mapped n -> m.state <- Mapped (n + 1)
+  | Free | Allocated | Merged _ ->
+    invalid_arg
+      (Format.asprintf "Page_alloc.inc_ref: 0x%x is %a" addr pp_state m.state)
+
+let dec_ref t ~addr =
+  let i, m = head_meta t ~addr "dec_ref" in
+  match m.state with
+  | Mapped 1 ->
+    release t i;
+    `Freed
+  | Mapped n ->
+    m.state <- Mapped (n - 1);
+    `Live
+  | Free | Allocated | Merged _ ->
+    invalid_arg
+      (Format.asprintf "Page_alloc.dec_ref: 0x%x is %a" addr pp_state m.state)
+
+let ref_count t ~addr =
+  let _, m = head_meta t ~addr "ref_count" in
+  match m.state with Mapped n -> Some n | Free | Allocated | Merged _ -> None
+
+let state_of t ~addr =
+  let i = frame_of_addr addr in
+  if managed t i then Some t.meta.(i).state else None
+
+let size_of t ~addr =
+  let i = frame_of_addr addr in
+  if not (managed t i) then None
+  else
+    match t.meta.(i).state with
+    | Merged _ -> None
+    | Free | Allocated | Mapped _ -> Some t.meta.(i).size
+
+let is_free t ~addr =
+  match state_of t ~addr with Some Free -> true | _ -> false
+
+let collect t pred =
+  let acc = ref Iset.empty in
+  for i = t.first to t.nframes - 1 do
+    if pred t.meta.(i) then acc := Iset.add (frame_addr i) !acc
+  done;
+  !acc
+
+let free_pages_4k t =
+  collect t (fun m -> m.state = Free && m.size = S4k)
+
+let free_pages_2m t =
+  collect t (fun m -> m.state = Free && m.size = S2m)
+
+let free_pages_1g t =
+  collect t (fun m -> m.state = Free && m.size = S1g)
+
+let allocated_pages t = collect t (fun m -> m.state = Allocated)
+
+let mapped_pages t =
+  collect t (fun m -> match m.state with Mapped _ -> true | _ -> false)
+
+let merged_pages t =
+  collect t (fun m -> match m.state with Merged _ -> true | _ -> false)
+
+let frames_of_block t ~addr =
+  let i, m = head_meta t ~addr "frames_of_block" in
+  (match m.state with
+   | Merged _ -> invalid_arg "Page_alloc.frames_of_block: body frame"
+   | Free | Allocated | Mapped _ -> ());
+  let n = frames_per m.size in
+  let acc = ref Iset.empty in
+  for j = i to i + n - 1 do
+    acc := Iset.add (frame_addr j) !acc
+  done;
+  !acc
+
+let wf t =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let* () = Dll.wf t.free4k in
+  let* () = Dll.wf t.free2m in
+  let* () = Dll.wf t.free1g in
+  let check_list list size =
+    List.fold_left
+      (fun acc i ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          let m = t.meta.(i) in
+          if m.state <> Free then
+            err "frame %d on %s list but state %a" i (Dll.name list) pp_state m.state
+          else if not (equal_size m.size size) then
+            err "frame %d on %s list but size %a" i (Dll.name list) pp_size m.size
+          else if i mod frames_per size <> 0 then
+            err "frame %d on %s list misaligned" i (Dll.name list)
+          else Ok ())
+      (Ok ()) (Dll.to_list list)
+  in
+  let* () = check_list t.free4k S4k in
+  let* () = check_list t.free2m S2m in
+  let* () = check_list t.free1g S1g in
+  let result = ref (Ok ()) in
+  let fail fmt = Format.kasprintf (fun s -> if !result = Ok () then result := Error s) fmt in
+  for i = t.first to t.nframes - 1 do
+    let m = t.meta.(i) in
+    (match m.state with
+     | Free ->
+       let list =
+         match m.size with S4k -> t.free4k | S2m -> t.free2m | S1g -> t.free1g
+       in
+       if not (Dll.mem list i) then
+         fail "free frame %d (%a) not on its free list" i pp_size m.size
+     | Allocated | Mapped _ ->
+       if Dll.mem t.free4k i || Dll.mem t.free2m i || Dll.mem t.free1g i then
+         fail "live frame %d on a free list" i;
+       if i mod frames_per m.size <> 0 then
+         fail "head frame %d misaligned for size %a" i pp_size m.size;
+       (match m.state with
+        | Mapped n when n <= 0 -> fail "mapped frame %d has refcount %d" i n
+        | _ -> ())
+     | Merged h ->
+       if not (managed t h) then fail "merged frame %d has unmanaged head %d" i h
+       else begin
+         let hm = t.meta.(h) in
+         (match hm.state with
+          | Merged _ -> fail "merged frame %d points at merged head %d" i h
+          | Free | Allocated | Mapped _ ->
+            let span = frames_per hm.size in
+            if not (h mod span = 0 && h < i && i < h + span) then
+              fail "merged frame %d outside block of head %d (%a)" i h pp_size hm.size)
+       end)
+  done;
+  let* () = !result in
+  (* Heads own their bodies: every non-head frame inside a live superpage
+     block must be Merged into exactly that head. *)
+  let result = ref (Ok ()) in
+  for i = t.first to t.nframes - 1 do
+    let m = t.meta.(i) in
+    match m.state with
+    | (Free | Allocated | Mapped _) when m.size <> S4k ->
+      let span = frames_per m.size in
+      for j = i + 1 to min (i + span) t.nframes - 1 do
+        match t.meta.(j).state with
+        | Merged h when h = i -> ()
+        | st ->
+          if !result = Ok () then
+            result :=
+              Error
+                (Format.asprintf "body frame %d of head %d is %a" j i pp_state st)
+      done
+    | _ -> ()
+  done;
+  !result

@@ -1,0 +1,95 @@
+(** The physical page allocator.
+
+    Faithful executable model of the paper's allocator (§4.2): dynamic
+    memory for kernel objects and user mappings is handed out at 4 KiB,
+    2 MiB and 1 GiB granularity from three doubly-linked free lists; a
+    flat page-metadata array supports O(1) unlink when 4 KiB frames are
+    merged into superpages; every frame is always in exactly one of the
+    states free / allocated / mapped / merged.
+
+    The allocator exposes its internal state as sets (the paper's
+    "explicit memory allocator state"), which the kernel's leak-freedom
+    and safety invariants quantify over. *)
+
+type purpose =
+  | Kernel  (** frame will hold a kernel object or page-table node *)
+  | User  (** frame will be mapped into an address space (refcounted) *)
+
+type t
+
+val create : Atmo_hw.Phys_mem.t -> reserved_frames:int -> t
+(** Manage all frames of the memory except the first [reserved_frames]
+    (boot image, per-CPU data: outside the allocator, like the paper's
+    trusted boot environment). *)
+
+val managed_frames : t -> int
+val free_count_4k : t -> int
+val free_count_2m : t -> int
+val free_count_1g : t -> int
+
+val alloc_4k : t -> purpose:purpose -> int option
+(** Allocate and zero a 4 KiB frame; returns its base address.  Splits a
+    free 2 MiB block on demand when the 4 KiB list is empty.  [None]
+    models out-of-memory. *)
+
+val alloc_2m : t -> purpose:purpose -> int option
+(** Allocate a 2 MiB block; merges free 4 KiB frames on demand (scanning
+    the page array, unlinking each constituent in O(1)), or splits a free
+    1 GiB block. *)
+
+val alloc_1g : t -> purpose:purpose -> int option
+
+val free_kernel_page : t -> addr:int -> unit
+(** Return an [Allocated] block of any size to its free list.  Raises
+    [Invalid_argument] if the frame is not an allocated head. *)
+
+val inc_ref : t -> addr:int -> unit
+(** Additional mapping of a [Mapped] block (page shared over IPC). *)
+
+val dec_ref : t -> addr:int -> [ `Freed | `Live ]
+(** Drop one mapping; the block returns to its free list when the count
+    reaches zero. *)
+
+val ref_count : t -> addr:int -> int option
+(** Reference count of a mapped head frame, if the frame is mapped. *)
+
+val state_of : t -> addr:int -> Page_state.state option
+(** Metadata of the frame containing [addr]; [None] if unmanaged. *)
+
+val size_of : t -> addr:int -> Page_state.size option
+(** Block size if [addr] is a block head. *)
+
+val is_free : t -> addr:int -> bool
+(** The paper's [page_is_free] spec function. *)
+
+(** {2 Spec views (ghost state)} *)
+
+val free_pages_4k : t -> Atmo_util.Iset.t
+(** Base addresses of free 4 KiB frames. *)
+
+val free_pages_2m : t -> Atmo_util.Iset.t
+val free_pages_1g : t -> Atmo_util.Iset.t
+
+val allocated_pages : t -> Atmo_util.Iset.t
+(** Head addresses of blocks in the [Allocated] state. *)
+
+val mapped_pages : t -> Atmo_util.Iset.t
+val merged_pages : t -> Atmo_util.Iset.t
+(** Addresses of body frames absorbed into superpage blocks. *)
+
+val frames_of_block : t -> addr:int -> Atmo_util.Iset.t
+(** All 4 KiB frame addresses covered by the block headed at [addr]. *)
+
+val try_merge_2m : t -> bool
+(** Attempt to form one free 2 MiB block from 512 aligned free 4 KiB
+    frames; [true] on success.  Exposed for tests; [alloc_2m] calls it on
+    demand. *)
+
+val try_merge_1g : t -> bool
+
+val wf : t -> (unit, string) result
+(** The allocator's well-formedness invariant: free lists structurally
+    sound, list membership consistent with frame states, merged frames
+    point into a live superpage head of the right size and alignment,
+    reference counts positive, and the four state sets partition the
+    managed frames. *)

@@ -1,0 +1,1 @@
+lib/pt/nros_pt.ml: Atmo_hw Atmo_pmem Atmo_util Format Imap Iset List Page_table

@@ -1,0 +1,1 @@
+lib/pt/nros_pt.mli: Page_table

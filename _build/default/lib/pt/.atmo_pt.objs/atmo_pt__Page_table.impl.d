@@ -1,0 +1,1 @@
+lib/pt/page_table.ml: Atmo_hw Atmo_pmem Atmo_util Format Hashtbl Imap Iset List

@@ -1,0 +1,1 @@
+lib/pt/pt_refine.ml: Atmo_hw Atmo_pmem Atmo_util Format Hashtbl Imap Iset List Option Page_table

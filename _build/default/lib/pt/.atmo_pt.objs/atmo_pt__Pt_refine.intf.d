@@ -1,0 +1,1 @@
+lib/pt/pt_refine.mli: Page_table

@@ -1,0 +1,200 @@
+open Atmo_util
+module Phys_mem = Atmo_hw.Phys_mem
+module Mmu = Atmo_hw.Mmu
+module Pte = Atmo_hw.Pte_bits
+module Page_state = Atmo_pmem.Page_state
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let size_at_level = function
+  | 3 -> Some Page_state.S1g
+  | 2 -> Some Page_state.S2m
+  | _ -> None
+
+(* Recursive interpretation of the subtree rooted at [table] (a table
+   page of [level]) covering the virtual range starting at [vbase].
+   This is the hierarchical definition: a node's interpretation is the
+   union of its children's, derived afresh on every call. *)
+let rec interp_node mem ~table ~level ~vbase =
+  let shift = 12 + (9 * (level - 1)) in
+  let rec slots i acc =
+    if i > 511 then acc
+    else
+      let e = Phys_mem.read_u64 mem ~addr:(Mmu.entry_addr ~table ~index:i) in
+      let vslot =
+        if level = 4 && i land 0x100 <> 0 then
+          vbase lor (i lsl shift) lor (-1 lsl 48)
+        else vbase lor (i lsl shift)
+      in
+      let acc =
+        if not (Pte.is_present e) then acc
+        else if level = 1 then
+          (vslot, Page_table.{ frame = Pte.addr_of e; size = Page_state.S4k; perm = Pte.perm_of e })
+          :: acc
+        else if Pte.is_huge e then
+          match size_at_level level with
+          | Some size ->
+            (vslot, Page_table.{ frame = Pte.addr_of e; size; perm = Pte.perm_of e }) :: acc
+          | None -> acc (* malformed huge bit; caught by [structure] *)
+        else
+          interp_node mem ~table:(Pte.addr_of e) ~level:(level - 1) ~vbase:vslot @ acc
+      in
+      slots (i + 1) acc
+  in
+  slots 0 []
+
+let interp pt =
+  interp_node (Page_table.mem pt) ~table:(Page_table.cr3 pt) ~level:4 ~vbase:0
+
+(* Frames used by the subtree itself (its table pages), recomputed
+   recursively — the hierarchical analogue of page_closure. *)
+let rec closure_node mem ~table ~level =
+  let rec slots i acc =
+    if i > 511 then acc
+    else
+      let e = Phys_mem.read_u64 mem ~addr:(Mmu.entry_addr ~table ~index:i) in
+      let acc =
+        if Pte.is_present e && (not (Pte.is_huge e)) && level > 1 then
+          Iset.union acc (closure_node mem ~table:(Pte.addr_of e) ~level:(level - 1))
+        else acc
+      in
+      slots (i + 1) acc
+  in
+  slots 0 (Iset.singleton table)
+
+(* Hierarchical refinement, as the recursive-ownership proof structures
+   it: every node's interpretation must equal the union of its
+   children's interpretations, each child's interpretation must fall
+   inside the child's slot range, and children are verified recursively.
+   Since the interpretation is defined by recursion, establishing this
+   at a node re-derives each child's interpretation (once for the range
+   check, once inside the node's own derivation) — the repeated
+   unrolling cost the flat design avoids. *)
+let rec verify_node mem ~table ~level ~vbase =
+  let shift = 12 + (9 * (level - 1)) in
+  let* () =
+    let rec slots i acc =
+      let* () = acc in
+      if i > 511 then Ok ()
+      else
+        let e = Phys_mem.read_u64 mem ~addr:(Mmu.entry_addr ~table ~index:i) in
+        let next =
+          if (not (Pte.is_present e)) || Pte.is_huge e || level = 1 then Ok ()
+          else begin
+            let lo =
+              if level = 4 && i land 0x100 <> 0 then
+                vbase lor (i lsl shift) lor (-1 lsl 48)
+              else vbase lor (i lsl shift)
+            in
+            let child = Pte.addr_of e in
+            let* () = verify_node mem ~table:child ~level:(level - 1) ~vbase:lo in
+            (* re-derive the child's interpretation for the range check *)
+            let hi = lo + (1 lsl shift) in
+            List.fold_left
+              (fun acc (va, _) ->
+                let* () = acc in
+                if (va >= lo && va < hi) || level = 4 then Ok ()
+                else err "nros: child of L%d[%d] interprets 0x%x outside its range" level i va)
+              (Ok ())
+              (interp_node mem ~table:child ~level:(level - 1) ~vbase:lo)
+          end
+        in
+        slots (i + 1) next
+    in
+    slots 0 (Ok ())
+  in
+  (* the node's own interpretation must be internally duplicate-free
+     (derived afresh: the third derivation of each subtree) *)
+  let own = interp_node mem ~table ~level ~vbase in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) own in
+  let rec no_dup = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if a = b then err "nros: node 0x%x interprets 0x%x twice" table a else no_dup rest
+    | _ -> Ok ()
+  in
+  no_dup sorted
+
+let refinement pt =
+  let mem = Page_table.mem pt in
+  let* () = verify_node mem ~table:(Page_table.cr3 pt) ~level:4 ~vbase:0 in
+  let derived =
+    List.fold_left (fun m (va, e) -> Imap.add va e m) Imap.empty (interp pt)
+  in
+  let abstract = Page_table.address_space pt in
+  if Imap.equal Page_table.equal_entry derived abstract then Ok ()
+  else
+    let ddom = Imap.dom derived and adom = Imap.dom abstract in
+    (match Iset.choose_opt (Iset.diff adom ddom) with
+     | Some va -> err "nros refinement: abstract maps 0x%x, derivation faults" va
+     | None ->
+       (match Iset.choose_opt (Iset.diff ddom adom) with
+        | Some va -> err "nros refinement: derivation maps 0x%x, abstract faults" va
+        | None ->
+          let bad =
+            Imap.fold
+              (fun va e acc ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                  (match Imap.find_opt va abstract with
+                   | Some a when not (Page_table.equal_entry a e) -> Some va
+                   | _ -> None))
+              derived None
+          in
+          (match bad with
+           | Some va -> err "nros refinement: values differ at 0x%x" va
+           | None -> Ok ())))
+
+(* Recursive structural well-formedness: a node is wf iff its entries are
+   locally sound, its children are recursively wf, and the children's
+   closures (recomputed here) are pairwise disjoint and exclude this
+   node. *)
+let rec node_wf mem ~table ~level =
+  let rec slots i acc closures =
+    if i > 511 then
+      let* () = acc in
+      if Iset.pairwise_disjoint closures then Ok ()
+      else err "nros structure: sibling subtrees of 0x%x share table pages" table
+    else
+      let e = Phys_mem.read_u64 mem ~addr:(Mmu.entry_addr ~table ~index:i) in
+      if not (Pte.is_present e) then slots (i + 1) acc closures
+      else if Pte.is_huge e then
+        let next =
+          let* () = acc in
+          match size_at_level level with
+          | Some size ->
+            if Pte.addr_of e mod Page_state.bytes_per size <> 0 then
+              err "nros structure: misaligned huge leaf at L%d[%d]" level i
+            else Ok ()
+          | None -> err "nros structure: huge bit at level %d" level
+        in
+        slots (i + 1) next closures
+      else if level = 1 then slots (i + 1) acc closures
+      else begin
+        let child = Pte.addr_of e in
+        let next =
+          let* () = acc in
+          let* () = node_wf mem ~table:child ~level:(level - 1) in
+          let sub = closure_node mem ~table:child ~level:(level - 1) in
+          if Iset.mem table sub then
+            err "nros structure: cycle through table 0x%x" table
+          else Ok ()
+        in
+        slots (i + 1) next (closure_node mem ~table:child ~level:(level - 1) :: closures)
+      end
+  in
+  slots 0 (Ok ()) []
+
+let structure pt =
+  node_wf (Page_table.mem pt) ~table:(Page_table.cr3 pt) ~level:4
+
+let obligations =
+  [ ("nros_pt/refinement", refinement); ("nros_pt/structure", structure) ]
+
+let all pt =
+  List.fold_left
+    (fun acc (_, check) ->
+      let* () = acc in
+      check pt)
+    (Ok ()) obligations

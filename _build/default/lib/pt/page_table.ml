@@ -1,0 +1,369 @@
+open Atmo_util
+module Phys_mem = Atmo_hw.Phys_mem
+module Mmu = Atmo_hw.Mmu
+module Pte = Atmo_hw.Pte_bits
+module Page_state = Atmo_pmem.Page_state
+module Page_alloc = Atmo_pmem.Page_alloc
+
+type entry = {
+  frame : int;
+  size : Page_state.size;
+  perm : Pte.perm;
+}
+
+let equal_entry a b =
+  a.frame = b.frame
+  && Page_state.equal_size a.size b.size
+  && Pte.equal_perm a.perm b.perm
+
+let pp_entry ppf e =
+  Format.fprintf ppf "0x%x/%a:%a" e.frame Page_state.pp_size e.size Pte.pp_perm e.perm
+
+type error =
+  | Already_mapped
+  | Not_mapped
+  | Misaligned
+  | Non_canonical
+  | Conflict
+  | Oom
+
+let pp_error ppf e =
+  Format.pp_print_string ppf
+    (match e with
+     | Already_mapped -> "already mapped"
+     | Not_mapped -> "not mapped"
+     | Misaligned -> "misaligned"
+     | Non_canonical -> "non-canonical address"
+     | Conflict -> "size conflict"
+     | Oom -> "out of memory")
+
+type t = {
+  mem : Phys_mem.t;
+  alloc : Page_alloc.t;
+  cr3 : int;
+  table_levels : (int, int) Hashtbl.t;  (* table page addr -> level *)
+  mutable ghost4k : entry Imap.t;
+  mutable ghost2m : entry Imap.t;
+  mutable ghost1g : entry Imap.t;
+  mutable step_hook : (leaf:bool -> unit) option;
+}
+
+let cr3 t = t.cr3
+let mem t = t.mem
+
+let tables t = Hashtbl.fold (fun a l acc -> (a, l) :: acc) t.table_levels []
+let table_level t ~addr = Hashtbl.find_opt t.table_levels addr
+
+let set_step_hook t h = t.step_hook <- h
+
+let write_entry t ~table ~index v ~leaf =
+  Phys_mem.write_u64 t.mem ~addr:(Mmu.entry_addr ~table ~index) v;
+  match t.step_hook with None -> () | Some f -> f ~leaf
+
+let create mem alloc =
+  match Page_alloc.alloc_4k alloc ~purpose:Page_alloc.Kernel with
+  | None -> Error Oom
+  | Some root ->
+    let table_levels = Hashtbl.create 64 in
+    Hashtbl.replace table_levels root 4;
+    Ok
+      {
+        mem;
+        alloc;
+        cr3 = root;
+        table_levels;
+        ghost4k = Imap.empty;
+        ghost2m = Imap.empty;
+        ghost1g = Imap.empty;
+        step_hook = None;
+      }
+
+(* Fetch (or allocate on demand) the next-level table under
+   [table.(index)].  [Error Conflict] if a huge leaf already occupies the
+   slot. *)
+let next_table t ~table ~index ~level =
+  let e = Phys_mem.read_u64 t.mem ~addr:(Mmu.entry_addr ~table ~index) in
+  if Pte.is_present e then
+    if Pte.is_huge e then Error Conflict else Ok (Pte.addr_of e)
+  else
+    match Page_alloc.alloc_4k t.alloc ~purpose:Page_alloc.Kernel with
+    | None -> Error Oom
+    | Some page ->
+      Hashtbl.replace t.table_levels page (level - 1);
+      write_entry t ~table ~index (Pte.make_table ~addr:page) ~leaf:false;
+      Ok page
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let aligned vaddr frame size =
+  let mask = Page_state.bytes_per size - 1 in
+  vaddr land mask = 0 && frame land mask = 0
+
+let check_addr vaddr frame size =
+  if not (Mmu.canonical vaddr) then Error Non_canonical
+  else if not (aligned vaddr frame size) then Error Misaligned
+  else Ok ()
+
+(* A leaf slot must be empty; a present table entry at leaf position for
+   our size means finer-grained mappings exist underneath. *)
+let leaf_slot_free t ~table ~index =
+  let e = Phys_mem.read_u64 t.mem ~addr:(Mmu.entry_addr ~table ~index) in
+  if not (Pte.is_present e) then Ok ()
+  else if Pte.is_huge e then Error Already_mapped
+  else Error Conflict
+
+let map_4k t ~vaddr ~frame ~perm =
+  let* () = check_addr vaddr frame Page_state.S4k in
+  let* l3 = next_table t ~table:t.cr3 ~index:(Mmu.l4_index vaddr) ~level:4 in
+  let* l2 = next_table t ~table:l3 ~index:(Mmu.l3_index vaddr) ~level:3 in
+  let* l1 = next_table t ~table:l2 ~index:(Mmu.l2_index vaddr) ~level:2 in
+  let index = Mmu.l1_index vaddr in
+  let e = Phys_mem.read_u64 t.mem ~addr:(Mmu.entry_addr ~table:l1 ~index) in
+  if Pte.is_present e then Error Already_mapped
+  else begin
+    write_entry t ~table:l1 ~index (Pte.make ~addr:frame ~perm ~huge:false) ~leaf:true;
+    t.ghost4k <- Imap.add vaddr { frame; size = Page_state.S4k; perm } t.ghost4k;
+    Ok ()
+  end
+
+let map_2m t ~vaddr ~frame ~perm =
+  let* () = check_addr vaddr frame Page_state.S2m in
+  let* l3 = next_table t ~table:t.cr3 ~index:(Mmu.l4_index vaddr) ~level:4 in
+  let* l2 = next_table t ~table:l3 ~index:(Mmu.l3_index vaddr) ~level:3 in
+  let index = Mmu.l2_index vaddr in
+  let* () = leaf_slot_free t ~table:l2 ~index in
+  write_entry t ~table:l2 ~index (Pte.make ~addr:frame ~perm ~huge:true) ~leaf:true;
+  t.ghost2m <- Imap.add vaddr { frame; size = Page_state.S2m; perm } t.ghost2m;
+  Ok ()
+
+let map_1g t ~vaddr ~frame ~perm =
+  let* () = check_addr vaddr frame Page_state.S1g in
+  let* l3 = next_table t ~table:t.cr3 ~index:(Mmu.l4_index vaddr) ~level:4 in
+  let index = Mmu.l3_index vaddr in
+  let* () = leaf_slot_free t ~table:l3 ~index in
+  write_entry t ~table:l3 ~index (Pte.make ~addr:frame ~perm ~huge:true) ~leaf:true;
+  t.ghost1g <- Imap.add vaddr { frame; size = Page_state.S1g; perm } t.ghost1g;
+  Ok ()
+
+(* Locate the leaf slot of an existing mapping whose virtual base is
+   [vaddr]; returns (table, index, entry record). *)
+let find_leaf t ~vaddr =
+  if not (Mmu.canonical vaddr) then Error Non_canonical
+  else
+    let read table index =
+      Phys_mem.read_u64 t.mem ~addr:(Mmu.entry_addr ~table ~index)
+    in
+    let e4 = read t.cr3 (Mmu.l4_index vaddr) in
+    if not (Pte.is_present e4) then Error Not_mapped
+    else
+      let l3 = Pte.addr_of e4 in
+      let e3 = read l3 (Mmu.l3_index vaddr) in
+      if not (Pte.is_present e3) then Error Not_mapped
+      else if Pte.is_huge e3 then
+        if vaddr land (Phys_mem.page_size_1g - 1) <> 0 then Error Misaligned
+        else
+          Ok
+            ( l3,
+              Mmu.l3_index vaddr,
+              { frame = Pte.addr_of e3; size = Page_state.S1g; perm = Pte.perm_of e3 } )
+      else
+        let l2 = Pte.addr_of e3 in
+        let e2 = read l2 (Mmu.l2_index vaddr) in
+        if not (Pte.is_present e2) then Error Not_mapped
+        else if Pte.is_huge e2 then
+          if vaddr land (Phys_mem.page_size_2m - 1) <> 0 then Error Misaligned
+          else
+            Ok
+              ( l2,
+                Mmu.l2_index vaddr,
+                { frame = Pte.addr_of e2; size = Page_state.S2m; perm = Pte.perm_of e2 } )
+        else
+          let l1 = Pte.addr_of e2 in
+          let e1 = read l1 (Mmu.l1_index vaddr) in
+          if not (Pte.is_present e1) then Error Not_mapped
+          else
+            Ok
+              ( l1,
+                Mmu.l1_index vaddr,
+                { frame = Pte.addr_of e1; size = Page_state.S4k; perm = Pte.perm_of e1 } )
+
+let unmap t ~vaddr =
+  let* table, index, entry = find_leaf t ~vaddr in
+  write_entry t ~table ~index Pte.not_present ~leaf:true;
+  (match entry.size with
+   | Page_state.S4k -> t.ghost4k <- Imap.remove vaddr t.ghost4k
+   | Page_state.S2m -> t.ghost2m <- Imap.remove vaddr t.ghost2m
+   | Page_state.S1g -> t.ghost1g <- Imap.remove vaddr t.ghost1g);
+  Ok entry
+
+let update_perm t ~vaddr ~perm =
+  let* table, index, entry = find_leaf t ~vaddr in
+  let huge = entry.size <> Page_state.S4k in
+  write_entry t ~table ~index (Pte.make ~addr:entry.frame ~perm ~huge) ~leaf:true;
+  let entry' = { entry with perm } in
+  (match entry.size with
+   | Page_state.S4k -> t.ghost4k <- Imap.add vaddr entry' t.ghost4k
+   | Page_state.S2m -> t.ghost2m <- Imap.add vaddr entry' t.ghost2m
+   | Page_state.S1g -> t.ghost1g <- Imap.add vaddr entry' t.ghost1g);
+  Ok ()
+
+let resolve t ~vaddr = Mmu.resolve t.mem ~cr3:t.cr3 ~vaddr
+
+let mapping_4k t = t.ghost4k
+let mapping_2m t = t.ghost2m
+let mapping_1g t = t.ghost1g
+
+let address_space t =
+  Imap.union (fun _ a _ -> Some a) t.ghost4k
+    (Imap.union (fun _ a _ -> Some a) t.ghost2m t.ghost1g)
+
+let mapped_frames t =
+  Imap.fold (fun _ e acc -> Iset.add e.frame acc) (address_space t) Iset.empty
+
+let page_closure t =
+  Hashtbl.fold (fun addr _ acc -> Iset.add addr acc) t.table_levels Iset.empty
+
+let destroy t =
+  let still_mapped = mapped_frames t in
+  Hashtbl.iter (fun addr _ -> Page_alloc.free_kernel_page t.alloc ~addr) t.table_levels;
+  Hashtbl.reset t.table_levels;
+  t.ghost4k <- Imap.empty;
+  t.ghost2m <- Imap.empty;
+  t.ghost1g <- Imap.empty;
+  still_mapped
+
+(* Which intermediate-table positions does a mapping of [size] at [va]
+   need?  Positions are identified by the virtual prefix and target
+   level, so that two mappings sharing a new table count it once. *)
+let needed_positions va (size : Page_state.size) =
+  let l4 = Mmu.l4_index va and l3 = Mmu.l3_index va and l2 = Mmu.l2_index va in
+  match size with
+  | Page_state.S1g -> [ (3, l4, 0, 0) ]
+  | Page_state.S2m -> [ (3, l4, 0, 0); (2, l4, l3, 0) ]
+  | Page_state.S4k -> [ (3, l4, 0, 0); (2, l4, l3, 0); (1, l4, l3, l2) ]
+
+let missing_tables t ~vaddrs =
+  let seen = Hashtbl.create 16 in
+  let read table index =
+    Phys_mem.read_u64 t.mem ~addr:(Mmu.entry_addr ~table ~index)
+  in
+  (* does a table already exist at this position in the concrete tree? *)
+  let exists (target_level, l4, l3, l2) =
+    let e4 = read t.cr3 l4 in
+    if not (Pte.is_present e4) then false
+    else if target_level = 3 then true
+    else
+      let e3 = read (Pte.addr_of e4) l3 in
+      if not (Pte.is_present e3) || Pte.is_huge e3 then false
+      else if target_level = 2 then true
+      else
+        let e2 = read (Pte.addr_of e3) l2 in
+        Pte.is_present e2 && not (Pte.is_huge e2)
+  in
+  List.fold_left
+    (fun acc (va, size) ->
+      List.fold_left
+        (fun acc pos ->
+          if Hashtbl.mem seen pos || exists pos then acc
+          else begin
+            Hashtbl.replace seen pos ();
+            acc + 1
+          end)
+        acc (needed_positions va size))
+    0 vaddrs
+
+let prune_empty_tables t ~keep =
+  let read table index =
+    Phys_mem.read_u64 t.mem ~addr:(Mmu.entry_addr ~table ~index)
+  in
+  let table_is_empty table =
+    let rec go i = i > 511 || ((not (Pte.is_present (read table i))) && go (i + 1)) in
+    go 0
+  in
+  let freed = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (* find empty prunable tables *)
+    let empties =
+      Hashtbl.fold
+        (fun addr _level acc ->
+          if addr <> t.cr3 && (not (Iset.mem addr keep)) && table_is_empty addr then
+            Iset.add addr acc
+          else acc)
+        t.table_levels Iset.empty
+    in
+    if not (Iset.is_empty empties) then begin
+      progress := true;
+      (* clear the parent slots pointing at them *)
+      Hashtbl.iter
+        (fun table level ->
+          if level > 1 then
+            for i = 0 to 511 do
+              let e = read table i in
+              if
+                Pte.is_present e
+                && (not (Pte.is_huge e))
+                && Iset.mem (Pte.addr_of e) empties
+              then write_entry t ~table ~index:i Pte.not_present ~leaf:false
+            done)
+        t.table_levels;
+      Iset.iter
+        (fun addr ->
+          Hashtbl.remove t.table_levels addr;
+          Page_alloc.free_kernel_page t.alloc ~addr;
+          incr freed)
+        empties
+    end
+  done;
+  !freed
+
+(* Walk the concrete tables through the flat registry.  Rather than
+   recursing from cr3, we iterate every owned table page and emit the
+   leaves it contains, reconstructing virtual bases from the positions
+   recorded implicitly by the parent walk; this requires knowing each
+   table's virtual prefix, so we do one breadth-first pass per level
+   starting at the root — still bounded by the registry, never by
+   recursion over unbounded structure. *)
+let walk_concrete t =
+  let acc = ref [] in
+  let read table index =
+    Phys_mem.read_u64 t.mem ~addr:(Mmu.entry_addr ~table ~index)
+  in
+  let emit vbase frame size perm = acc := (vbase, { frame; size; perm }) :: !acc in
+  for i4 = 0 to 511 do
+    let e4 = read t.cr3 i4 in
+    if Pte.is_present e4 then begin
+      let l3 = Pte.addr_of e4 in
+      for i3 = 0 to 511 do
+        let e3 = read l3 i3 in
+        if Pte.is_present e3 then
+          if Pte.is_huge e3 then
+            emit
+              (Mmu.va_of_indices ~l4:i4 ~l3:i3 ~l2:0 ~l1:0)
+              (Pte.addr_of e3) Page_state.S1g (Pte.perm_of e3)
+          else begin
+            let l2 = Pte.addr_of e3 in
+            for i2 = 0 to 511 do
+              let e2 = read l2 i2 in
+              if Pte.is_present e2 then
+                if Pte.is_huge e2 then
+                  emit
+                    (Mmu.va_of_indices ~l4:i4 ~l3:i3 ~l2:i2 ~l1:0)
+                    (Pte.addr_of e2) Page_state.S2m (Pte.perm_of e2)
+                else begin
+                  let l1 = Pte.addr_of e2 in
+                  for i1 = 0 to 511 do
+                    let e1 = read l1 i1 in
+                    if Pte.is_present e1 then
+                      emit
+                        (Mmu.va_of_indices ~l4:i4 ~l3:i3 ~l2:i2 ~l1:i1)
+                        (Pte.addr_of e1) Page_state.S4k (Pte.perm_of e1)
+                  done
+                end
+            done
+          end
+      done
+    end
+  done;
+  !acc

@@ -1,0 +1,118 @@
+(** 4-level page tables with 4 KiB / 2 MiB / 1 GiB mappings.
+
+    The concrete state is real page-table pages in simulated physical
+    memory; the abstract state is the paper's three ghost maps (one per
+    page size) from virtual address to mapped frame + permission,
+    maintained side by side with every update.  {!Pt_refine} checks the
+    refinement between the two (ghost map vs MMU walk) and the structural
+    invariants.
+
+    Following the paper's flat permission storage, the permissions to all
+    table pages of a page table are held at the top level, in the
+    [tables] registry: each table page address is recorded with its level,
+    giving the checkers a global, non-recursive view of the tree. *)
+
+type entry = {
+  frame : int;  (** physical base address of the mapped block *)
+  size : Atmo_pmem.Page_state.size;
+  perm : Atmo_hw.Pte_bits.perm;
+}
+
+val equal_entry : entry -> entry -> bool
+val pp_entry : Format.formatter -> entry -> unit
+
+type error =
+  | Already_mapped
+  | Not_mapped
+  | Misaligned
+  | Non_canonical
+  | Conflict  (** a mapping of a different size covers this range *)
+  | Oom
+
+val pp_error : Format.formatter -> error -> unit
+
+type t
+
+val create : Atmo_hw.Phys_mem.t -> Atmo_pmem.Page_alloc.t -> (t, error) result
+(** Allocates the root (L4) table page from the allocator. *)
+
+val cr3 : t -> int
+val mem : t -> Atmo_hw.Phys_mem.t
+
+val tables : t -> (int * int) list
+(** Flat registry of table pages as [(page address, level)] pairs,
+    level 4 = root.  This is the executable form of storing the
+    [PointsTo] permissions of every PML level at the top. *)
+
+val table_level : t -> addr:int -> int option
+
+val map_4k : t -> vaddr:int -> frame:int -> perm:Atmo_hw.Pte_bits.perm -> (unit, error) result
+(** Install a 4 KiB mapping, allocating intermediate table pages on
+    demand.  The frame's allocator state is the caller's concern (the
+    kernel's mmap path allocates/refcounts around this call). *)
+
+val map_2m : t -> vaddr:int -> frame:int -> perm:Atmo_hw.Pte_bits.perm -> (unit, error) result
+val map_1g : t -> vaddr:int -> frame:int -> perm:Atmo_hw.Pte_bits.perm -> (unit, error) result
+
+val unmap : t -> vaddr:int -> (entry, error) result
+(** Remove the mapping whose range contains [vaddr] (given its exact
+    virtual base), returning what was mapped.  Intermediate tables are
+    not reclaimed until {!destroy}, as in the paper's kernel. *)
+
+val update_perm : t -> vaddr:int -> perm:Atmo_hw.Pte_bits.perm -> (unit, error) result
+(** Change the permission bits of an existing leaf mapping in place. *)
+
+val resolve : t -> vaddr:int -> Atmo_hw.Mmu.translation option
+(** What the MMU sees — walks the concrete tables. *)
+
+val destroy : t -> Atmo_util.Iset.t
+(** Tear the table down, returning every table page to the allocator.
+    Returns the set of frames that were still mapped (for the caller to
+    unreference); the ghost maps become empty. *)
+
+(** {2 Abstract (ghost) state} *)
+
+val mapping_4k : t -> entry Atmo_util.Imap.t
+(** Ghost map of 4 KiB mappings, keyed by virtual base address. *)
+
+val mapping_2m : t -> entry Atmo_util.Imap.t
+val mapping_1g : t -> entry Atmo_util.Imap.t
+
+val address_space : t -> entry Atmo_util.Imap.t
+(** Union of the three ghost maps — the process's abstract address
+    space as used by the kernel specification. *)
+
+val mapped_frames : t -> Atmo_util.Iset.t
+(** Physical base addresses of all mapped blocks. *)
+
+val page_closure : t -> Atmo_util.Iset.t
+(** Frames owned by the page table itself (its table pages) — the
+    paper's [page_closure] for this data structure.  Mapped user frames
+    are deliberately not included; they are owned by the address-space
+    accounting of the process. *)
+
+val missing_tables : t -> vaddrs:(int * Atmo_pmem.Page_state.size) list -> int
+(** Dry run: how many intermediate table pages would have to be
+    allocated to install mappings at the given virtual bases.  Shared
+    new tables between the addresses are counted once.  The kernel uses
+    this to charge container quota exactly, before any side effect. *)
+
+val prune_empty_tables : t -> keep:Atmo_util.Iset.t -> int
+(** Free table pages (never the root, never pages in [keep]) that
+    currently contain no present entries, iterating to a fixpoint.
+    Returns the number of pages freed.  Used to roll back a partially
+    failed multi-page mmap so that failures are side-effect free. *)
+
+(** {2 Step hook (update consistency, §4.2)} *)
+
+val set_step_hook : t -> (leaf:bool -> unit) option -> unit
+(** The paper proves that each individual page-table write is consistent:
+    non-leaf writes leave the abstract mapping unchanged, a leaf write
+    changes exactly one entry.  The hook fires after every concrete
+    table-entry write with [leaf] telling which case applies, letting
+    tests re-check the MMU-visible mapping at every intermediate step. *)
+
+val walk_concrete : t -> (int * entry) list
+(** Enumerate the MMU-visible mappings by walking the concrete tables
+    through the flat registry: [(virtual base, entry)] pairs.  Used by
+    the refinement checker as the "hardware view". *)

@@ -1,0 +1,1 @@
+lib/sim/pipeline.ml: Cost Float Printf

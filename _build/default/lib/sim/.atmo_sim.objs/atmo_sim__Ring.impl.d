@@ -1,0 +1,1 @@
+lib/sim/ring.ml: Atmo_hw Bytes Cost Int64

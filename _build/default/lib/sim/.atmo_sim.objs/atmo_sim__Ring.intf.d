@@ -1,0 +1,1 @@
+lib/sim/ring.mli: Atmo_hw Cost

@@ -1,0 +1,1 @@
+lib/sim/smp.ml: Array Atmo_core Atmo_pm Atmo_spec Atmo_util Cost Hashtbl Iset List Option Printf

@@ -1,0 +1,1 @@
+lib/sim/smp.mli: Atmo_core Atmo_spec Cost

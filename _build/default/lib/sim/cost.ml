@@ -1,0 +1,50 @@
+type t = {
+  frequency_hz : float;
+  syscall_entry_exit : int;
+  ipc_oneway : int;
+  ipc_call_reply_extra : int;
+  map_page : int;
+  ring_op : int;
+  driver_per_packet : int;
+  nic_line_rate_pps : float;
+  sel4_call_reply : int;
+  sel4_map_page : int;
+  linux_stack_per_packet : int;
+  linux_block_per_io : int;
+  linux_block_write_per_io : int;
+  spdk_per_io : int;
+  nvme_read_latency_s : float;
+  nvme_read_cap_iops : float;
+  nvme_write_cap_iops : float;
+  nvme_atmo_write_penalty : float;
+  nginx_per_request_overhead : int;
+  atmo_httpd_overhead : int;
+}
+
+let default =
+  {
+    frequency_hz = 2.2e9;
+    syscall_entry_exit = 298;
+    ipc_oneway = 380;
+    ipc_call_reply_extra = 298;
+    map_page = 1984;
+    ring_op = 12;
+    driver_per_packet = 76;
+    nic_line_rate_pps = 14.2e6;
+    sel4_call_reply = 1026;
+    sel4_map_page = 2650;
+    linux_stack_per_packet = 2400;
+    linux_block_per_io = 15600;
+    linux_block_write_per_io = 8600;
+    spdk_per_io = 1200;
+    nvme_read_latency_s = 77e-6;
+    nvme_read_cap_iops = 270e3;
+    nvme_write_cap_iops = 256e3;
+    nvme_atmo_write_penalty = 0.10;
+    nginx_per_request_overhead = 11000;
+    atmo_httpd_overhead = 2100;
+  }
+
+let atmo_call_reply t = (2 * t.ipc_oneway) + t.ipc_call_reply_extra
+let seconds_of_cycles t c = float_of_int c /. t.frequency_hz
+let per_second t ~cycles_per_item = t.frequency_hz /. cycles_per_item

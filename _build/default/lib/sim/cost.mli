@@ -1,0 +1,46 @@
+(** Calibrated cycle-cost model.
+
+    All performance experiments in this reproduction run on a
+    cycle-accounting model instead of the paper's CloudLab testbed (see
+    DESIGN.md §1).  The constants below are calibrated once, against the
+    numbers the paper reports in Table 3 and §6.4–§6.6, and then used
+    unchanged by every benchmark; the benchmarks recompute the paper's
+    tables and figures from the same mechanisms (per-packet system
+    calls, shared-memory rings, IPC batching, device rate caps) rather
+    than from per-figure fudge factors. *)
+
+type t = {
+  frequency_hz : float;  (** 2.2 GHz, the c220g5 clock *)
+  (* kernel paths *)
+  syscall_entry_exit : int;  (** trap + sysret trampoline pair *)
+  ipc_oneway : int;  (** send or recv through an endpoint incl. switch *)
+  ipc_call_reply_extra : int;  (** rendezvous bookkeeping beyond 2 one-ways *)
+  map_page : int;  (** Atmosphere mmap of one 4 KiB page (Table 3) *)
+  (* user-level data path *)
+  ring_op : int;  (** one shared-memory ring push or pop *)
+  driver_per_packet : int;  (** ixgbe descriptor handling per packet *)
+  nic_line_rate_pps : float;  (** 10 GbE at 64 B: 14.2 Mpps *)
+  (* comparator systems (baselines, from the paper's measurements) *)
+  sel4_call_reply : int;  (** 1026 cycles *)
+  sel4_map_page : int;  (** 2650 cycles *)
+  linux_stack_per_packet : int;  (** socket syscall + kernel network stack *)
+  linux_block_per_io : int;  (** block layer + fio overhead per IO *)
+  linux_block_write_per_io : int;
+  spdk_per_io : int;
+  nvme_read_latency_s : float;  (** synchronous qd-1 read latency *)
+  nvme_read_cap_iops : float;
+  nvme_write_cap_iops : float;
+  nvme_atmo_write_penalty : float;  (** §6.5.2: 10% on writes *)
+  nginx_per_request_overhead : int;  (** sockets + epoll around the work *)
+  atmo_httpd_overhead : int;  (** driver + ring path per request *)
+}
+
+val default : t
+(** The calibration used by every bench. *)
+
+val atmo_call_reply : t -> int
+(** Table 3 first row: [2 * ipc_oneway + ipc_call_reply_extra]. *)
+
+val seconds_of_cycles : t -> int -> float
+val per_second : t -> cycles_per_item:float -> float
+(** Items per second on one core spending [cycles_per_item] each. *)

@@ -1,0 +1,40 @@
+type config =
+  | Atmo_driver
+  | Atmo_c2
+  | Atmo_c1 of int
+  | Linux
+  | Dpdk_like
+
+let name = function
+  | Atmo_driver -> "atmo-driver"
+  | Atmo_c2 -> "atmo-c2"
+  | Atmo_c1 b -> Printf.sprintf "atmo-c1-b%d" b
+  | Linux -> "linux"
+  | Dpdk_like -> "dpdk"
+
+let cycles_per_item ~(cost : Cost.t) ~app_cycles ~driver_cycles config =
+  let app = float_of_int app_cycles in
+  let drv = float_of_int driver_cycles in
+  let ring = float_of_int cost.Cost.ring_op in
+  match config with
+  | Atmo_driver | Dpdk_like ->
+    (* same address space: no rings, no kernel crossings on the data path *)
+    app +. drv
+  | Atmo_c2 ->
+    (* two cores in a pipeline: each item costs one ring op per stage;
+       the slower stage sets the rate *)
+    Float.max (app +. ring) (drv +. ring)
+  | Atmo_c1 batch ->
+    (* one core runs both stages; each batch additionally pays one IPC
+       call/reply to enter the driver *)
+    let b = float_of_int (max 1 batch) in
+    app +. drv +. (2. *. ring)
+    +. (float_of_int (Cost.atmo_call_reply cost) /. b)
+  | Linux ->
+    (* one kernel crossing and the generic in-kernel stack per item *)
+    app +. float_of_int cost.Cost.linux_stack_per_packet
+
+let throughput ~cost ~app_cycles ~driver_cycles ?device_cap config =
+  let cpp = cycles_per_item ~cost ~app_cycles ~driver_cycles config in
+  let raw = cost.Cost.frequency_hz /. cpp in
+  match device_cap with None -> raw | Some cap -> Float.min raw cap

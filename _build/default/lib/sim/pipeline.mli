@@ -1,0 +1,39 @@
+(** Throughput model for the evaluation's deployment configurations.
+
+    §6.5 runs every driver and application in the same family of
+    configurations; this module composes per-item cycle costs for each
+    of them from the {!Cost} constants:
+
+    - [Atmo_driver]: application statically linked with the driver
+      (like DPDK/SPDK inside the process);
+    - [Atmo_c2]: application and driver on two cores, connected by a
+      shared-memory ring — throughput is set by the slower stage;
+    - [Atmo_c1 batch]: application and driver share one core; the app
+      fills the ring with [batch] requests, then invokes the driver
+      through an endpoint (one IPC call/reply per batch);
+    - [Linux]: per-item kernel socket/syscall path;
+    - [Dpdk_like]: polling user-space comparator (DPDK/SPDK). *)
+
+type config =
+  | Atmo_driver
+  | Atmo_c2
+  | Atmo_c1 of int  (** batch size per IPC invocation *)
+  | Linux
+  | Dpdk_like
+
+val name : config -> string
+(** The paper's labels: atmo-driver, atmo-c2, atmo-c1-b<n>, linux,
+    dpdk. *)
+
+val cycles_per_item :
+  cost:Cost.t -> app_cycles:int -> driver_cycles:int -> config -> float
+(** Busy cycles on the bottleneck core for one item. *)
+
+val throughput :
+  cost:Cost.t ->
+  app_cycles:int ->
+  driver_cycles:int ->
+  ?device_cap:float ->
+  config ->
+  float
+(** Items per second, capped by the device when a cap is given. *)

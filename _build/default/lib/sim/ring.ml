@@ -1,0 +1,60 @@
+module Phys_mem = Atmo_hw.Phys_mem
+module Clock = Atmo_hw.Clock
+
+(* layout: [head:u64][tail:u64][slot 0][slot 1]... ; head/tail are free-
+   running counters, masked by (slots-1) for the slot index. *)
+type t = {
+  mem : Phys_mem.t;
+  base : int;
+  slots : int;
+  slot_size : int;
+  clock : Clock.t;
+  cost : Cost.t;
+}
+
+let header_bytes = 16
+
+let bytes_needed ~slots ~slot_size = header_bytes + (slots * slot_size)
+
+let slots t = t.slots
+let slot_size t = t.slot_size
+
+let create mem ~base ~slots ~slot_size ~clock ~cost =
+  if slots <= 0 || slots land (slots - 1) <> 0 then
+    invalid_arg "Ring.create: slots must be a positive power of two";
+  if slot_size <= 0 then invalid_arg "Ring.create: slot_size <= 0";
+  if base land 7 <> 0 then invalid_arg "Ring.create: base must be 8-byte aligned";
+  { mem; base; slots; slot_size; clock; cost }
+
+let head t = Int64.to_int (Phys_mem.read_u64 t.mem ~addr:t.base)
+let tail t = Int64.to_int (Phys_mem.read_u64 t.mem ~addr:(t.base + 8))
+let set_head t v = Phys_mem.write_u64 t.mem ~addr:t.base (Int64.of_int v)
+let set_tail t v = Phys_mem.write_u64 t.mem ~addr:(t.base + 8) (Int64.of_int v)
+
+let length t = head t - tail t
+let is_empty t = length t = 0
+let is_full t = length t >= t.slots
+
+let slot_addr t idx = t.base + header_bytes + (idx land (t.slots - 1)) * t.slot_size
+
+let push t payload =
+  Clock.advance t.clock t.cost.Cost.ring_op;
+  if is_full t then false
+  else begin
+    let h = head t in
+    let record = Bytes.make t.slot_size '\000' in
+    Bytes.blit payload 0 record 0 (min (Bytes.length payload) t.slot_size);
+    Phys_mem.blit_to t.mem ~addr:(slot_addr t h) record;
+    set_head t (h + 1);
+    true
+  end
+
+let pop t =
+  Clock.advance t.clock t.cost.Cost.ring_op;
+  if is_empty t then None
+  else begin
+    let tl = tail t in
+    let record = Phys_mem.blit_from t.mem ~addr:(slot_addr t tl) ~len:t.slot_size in
+    set_tail t (tl + 1);
+    Some record
+  end

@@ -1,0 +1,37 @@
+(** Single-producer / single-consumer shared-memory ring buffer.
+
+    The asynchronous communication substrate of §3 and §6.5: processes
+    that share memory pages (established over endpoint page grants)
+    exchange work through rings.  The ring lives in simulated physical
+    memory — head/tail indices and fixed-size slots are real bytes in a
+    shared frame — so both sides see exactly what the MMU maps, and a
+    cycle clock is charged {!Cost.t.ring_op} per operation. *)
+
+type t
+
+val slots : t -> int
+val slot_size : t -> int
+
+val create :
+  Atmo_hw.Phys_mem.t ->
+  base:int ->
+  slots:int ->
+  slot_size:int ->
+  clock:Atmo_hw.Clock.t ->
+  cost:Cost.t ->
+  t
+(** Lay the ring out at physical address [base] ([slots] must be a power
+    of two; header + payload must fit the backing region the caller
+    mapped). *)
+
+val push : t -> bytes -> bool
+(** Enqueue one record (truncated/padded to [slot_size]); [false] when
+    full. *)
+
+val pop : t -> bytes option
+val length : t -> int
+val is_empty : t -> bool
+val is_full : t -> bool
+
+val bytes_needed : slots:int -> slot_size:int -> int
+(** Size of the backing region for {!create}. *)

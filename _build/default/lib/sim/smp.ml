@@ -1,0 +1,128 @@
+open Atmo_util
+module Kernel = Atmo_core.Kernel
+module Syscall = Atmo_spec.Syscall
+
+type program = {
+  thread : int;
+  think_cycles : int;
+  call_of : int -> Syscall.t;
+}
+
+type stats = {
+  cpus : int;
+  syscalls_executed : int;
+  wall_cycles : int;
+  lock_wait_cycles : int;
+  busy_cycles : int array;
+  placement : (int * int) list;
+}
+
+let syscall_cycles (cost : Cost.t) = function
+  | Syscall.Send _ | Syscall.Recv _ | Syscall.Send_nb _ | Syscall.Recv_nb _
+  | Syscall.Recv_reject _ ->
+    Cost.atmo_call_reply cost
+  | Syscall.Mmap { count; _ } -> cost.Cost.map_page * max 1 count
+  | Syscall.Munmap { count; _ } -> (cost.Cost.map_page / 2) * max 1 count
+  | Syscall.Io_map _ | Syscall.Io_unmap _ -> cost.Cost.map_page
+  | Syscall.Yield -> cost.Cost.syscall_entry_exit + (2 * cost.Cost.ipc_oneway / 3)
+  | Syscall.Irq_fire _ -> cost.Cost.ipc_oneway
+  | Syscall.Mprotect _ | Syscall.New_container _ | Syscall.New_process
+  | Syscall.New_thread | Syscall.New_endpoint _ | Syscall.Close_endpoint _
+  | Syscall.Terminate_container _ | Syscall.Terminate_process _
+  | Syscall.Assign_device _ | Syscall.Register_irq _ ->
+    cost.Cost.syscall_entry_exit + 900
+
+(* CPUs a thread may run on: its container's reservation intersected
+   with the machine; an empty reservation means "any CPU". *)
+let allowed_cpus k ~thread ~cpus =
+  match Kernel.container_of_thread k ~thread with
+  | None -> Iset.empty
+  | Some cntr ->
+    let c = Atmo_pm.Perm_map.borrow k.Kernel.pm.Atmo_pm.Proc_mgr.cntr_perms ~ptr:cntr in
+    let machine = Iset.of_range ~lo:0 ~hi:cpus in
+    let reserved = c.Atmo_pm.Container.cpus in
+    if Iset.is_empty reserved then machine else Iset.inter reserved machine
+
+let run k ~cost ~cpus ~programs ~iterations =
+  if cpus <= 0 then Error "Smp.run: cpus <= 0"
+  else begin
+    (* least-loaded placement over each thread's allowed CPUs *)
+    let load = Array.make cpus 0 in
+    let placement = ref [] in
+    let place_err = ref None in
+    List.iter
+      (fun p ->
+        let allowed = allowed_cpus k ~thread:p.thread ~cpus in
+        if Iset.is_empty allowed then
+          (if !place_err = None then
+             place_err :=
+               Some (Printf.sprintf "thread 0x%x has no allowed CPU" p.thread))
+        else begin
+          let best =
+            Iset.fold
+              (fun c acc ->
+                match acc with
+                | None -> Some c
+                | Some b -> if load.(c) < load.(b) then Some c else acc)
+              allowed None
+          in
+          let cpu = Option.get best in
+          load.(cpu) <- load.(cpu) + 1;
+          placement := (p.thread, cpu) :: !placement
+        end)
+      programs;
+    match !place_err with
+    | Some msg -> Error msg
+    | None ->
+      let placement = List.rev !placement in
+      let cpu_of = Hashtbl.create 8 in
+      List.iter (fun (th, c) -> Hashtbl.replace cpu_of th c) placement;
+      (* event simulation: per-thread and per-CPU readiness plus a FIFO
+         big lock.  Threads sharing a CPU interleave think time; the
+         lock serializes kernel time machine-wide. *)
+      let cpu_free = Array.make cpus 0 in
+      let busy = Array.make cpus 0 in
+      let lock_free = ref 0 in
+      let lock_wait = ref 0 in
+      let executed = ref 0 in
+      let wall = ref 0 in
+      let thread_ready = Hashtbl.create 8 in
+      List.iter (fun p -> Hashtbl.replace thread_ready p.thread 0) programs;
+      for i = 0 to iterations - 1 do
+        List.iter
+          (fun p ->
+            let cpu = Hashtbl.find cpu_of p.thread in
+            let ready = Hashtbl.find thread_ready p.thread in
+            (* user-mode think occupies the CPU *)
+            let think_start = max ready cpu_free.(cpu) in
+            let lock_request = think_start + p.think_cycles in
+            let call = p.call_of i in
+            let kcycles = syscall_cycles cost call in
+            let grant = max lock_request !lock_free in
+            lock_wait := !lock_wait + (grant - lock_request);
+            (* the call really executes against the kernel *)
+            ignore (Kernel.step k ~thread:p.thread call);
+            incr executed;
+            let finish = grant + kcycles in
+            lock_free := finish;
+            (* kernel time also occupies the caller's CPU *)
+            cpu_free.(cpu) <- finish;
+            busy.(cpu) <- busy.(cpu) + p.think_cycles + kcycles;
+            Hashtbl.replace thread_ready p.thread finish;
+            if finish > !wall then wall := finish)
+          programs
+      done;
+      Ok
+        {
+          cpus;
+          syscalls_executed = !executed;
+          wall_cycles = !wall;
+          lock_wait_cycles = !lock_wait;
+          busy_cycles = busy;
+          placement;
+        }
+  end
+
+let throughput s =
+  if s.wall_cycles = 0 then 0.
+  else float_of_int s.syscalls_executed /. float_of_int s.wall_cycles *. 2.2e9

@@ -1,0 +1,49 @@
+(** Multiprocessor execution under the big lock.
+
+    Atmosphere runs on multi-CPU machines but executes all kernel
+    entries under one global lock with interrupts disabled (§3).  This
+    module models exactly that: threads run user code ("think") in
+    parallel on their CPUs, but every system call serializes through
+    the big kernel lock, FIFO.  Container CPU reservations are honored:
+    a thread may only be placed on a CPU its owning container reserved.
+
+    The model drives the real kernel — each simulated kernel entry
+    issues the thread's next system call through [Kernel.step] — so the
+    timeline is annotated over genuine kernel transitions, and the
+    scaling ablation (throughput vs CPU count, saturating at the lock)
+    reflects the paper's stated design trade-off. *)
+
+type program = {
+  thread : int;
+  think_cycles : int;  (** user-mode work between kernel entries *)
+  call_of : int -> Atmo_spec.Syscall.t;  (** the i-th system call *)
+}
+
+type stats = {
+  cpus : int;
+  syscalls_executed : int;
+  wall_cycles : int;  (** completion time of the last thread *)
+  lock_wait_cycles : int;  (** total cycles spent queued on the big lock *)
+  busy_cycles : int array;  (** per-CPU think + kernel time *)
+  placement : (int * int) list;  (** (thread, cpu) assignments *)
+}
+
+val syscall_cycles : Cost.t -> Atmo_spec.Syscall.t -> int
+(** Kernel-path cost of one call under the cycle model (IPC at the
+    call/reply figure, mapping at the map-page figure, a generic
+    trap cost otherwise). *)
+
+val run :
+  Atmo_core.Kernel.t ->
+  cost:Cost.t ->
+  cpus:int ->
+  programs:program list ->
+  iterations:int ->
+  (stats, string) result
+(** Place each program's thread on an allowed CPU (error if a thread's
+    container reserved none of the available CPUs), then simulate
+    [iterations] think+syscall rounds per thread.  System calls really
+    execute against the kernel. *)
+
+val throughput : stats -> float
+(** Syscalls per second at the model frequency. *)

@@ -1,0 +1,1 @@
+lib/spec/abstract_state.ml: Atmo_pm Atmo_pt Atmo_util Format Imap Iset List Option Printf

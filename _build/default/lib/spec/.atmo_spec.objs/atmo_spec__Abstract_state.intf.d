@@ -1,0 +1,1 @@
+lib/spec/abstract_state.mli: Atmo_pm Atmo_pt Atmo_util Format

@@ -1,0 +1,1 @@
+lib/spec/syscall.mli: Atmo_hw Atmo_pm Atmo_pmem Atmo_util Format

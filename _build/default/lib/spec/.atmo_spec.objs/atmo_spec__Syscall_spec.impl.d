@@ -1,0 +1,1 @@
+lib/spec/syscall_spec.ml: Abstract_state Atmo_hw Atmo_pm Atmo_pmem Atmo_pt Atmo_util Hashtbl Imap Iset List Option Printf Syscall

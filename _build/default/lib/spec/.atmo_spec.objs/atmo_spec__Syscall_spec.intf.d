@@ -1,0 +1,1 @@
+lib/spec/syscall_spec.mli: Abstract_state Syscall

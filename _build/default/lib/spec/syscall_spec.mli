@@ -1,0 +1,41 @@
+(** Top-level system-call specifications.
+
+    Executable counterpart of the paper's 2.9 K lines of abstract
+    interface specification: for every system call, a relation between
+    the abstract pre-state Ψ, post-state Ψ', the invoking thread, the
+    arguments and the return value.  Each relation is a conjunction of
+    named clauses (effect on the touched objects, frame conditions for
+    everything else, allocator-set evolution), so a refinement failure
+    reports the exact violated clause, like a Verus error location.
+
+    Two properties hold uniformly across all calls and are checked
+    first:
+
+    - {b error atomicity}: a call returning [Rerr _] leaves Ψ unchanged;
+    - {b frame conservation}: the allocator's page sets always account
+      for exactly the same managed frames (nothing appears or
+      disappears). *)
+
+val check :
+  pre:Abstract_state.t ->
+  post:Abstract_state.t ->
+  thread:int ->
+  Syscall.t ->
+  Syscall.ret ->
+  (unit, string) result
+(** First violated clause (prefixed with the syscall name), or [Ok]. *)
+
+val clauses :
+  pre:Abstract_state.t ->
+  post:Abstract_state.t ->
+  thread:int ->
+  Syscall.t ->
+  Syscall.ret ->
+  (string * bool) list
+(** All clauses with their verdicts, for reporting and for the
+    per-obligation timing of the verification harness. *)
+
+val free_frame_total : Abstract_state.t -> int
+(** Number of 4 KiB frames on the free lists (superpage blocks counted
+    by their frame span) — invariant under merge/split, so specs can
+    state exact free-memory deltas. *)

@@ -1,0 +1,1 @@
+lib/util/errno.mli: Format

@@ -1,0 +1,24 @@
+type t =
+  | Enomem
+  | Equota
+  | Einval
+  | Esrch
+  | Eperm
+  | Efull
+  | Eexist
+  | Ewouldblock
+  | Ebusy
+
+let to_string = function
+  | Enomem -> "ENOMEM"
+  | Equota -> "EQUOTA"
+  | Einval -> "EINVAL"
+  | Esrch -> "ESRCH"
+  | Eperm -> "EPERM"
+  | Efull -> "EFULL"
+  | Eexist -> "EEXIST"
+  | Ewouldblock -> "EWOULDBLOCK"
+  | Ebusy -> "EBUSY"
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+let equal (a : t) b = a = b

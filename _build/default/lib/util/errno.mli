@@ -1,0 +1,17 @@
+(** Kernel error numbers shared by the concrete kernel and the abstract
+    specification: system calls return [('a, Errno.t) result]. *)
+
+type t =
+  | Enomem  (** out of physical memory *)
+  | Equota  (** container memory quota exhausted *)
+  | Einval  (** malformed argument (alignment, range, slot index) *)
+  | Esrch  (** no such object (dangling pointer argument) *)
+  | Eperm  (** caller lacks the right (wrong container/process) *)
+  | Efull  (** a fixed-capacity kernel list is full *)
+  | Eexist  (** target already occupied (mapping, slot) *)
+  | Ewouldblock  (** non-blocking operation would block *)
+  | Ebusy  (** object still referenced and cannot be destroyed *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val to_string : t -> string

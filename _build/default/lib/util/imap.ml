@@ -1,0 +1,23 @@
+include Map.Make (Int)
+
+let dom m = fold (fun k _ acc -> Iset.add k acc) m Iset.empty
+
+let keys m = List.map fst (bindings m)
+
+let agree_on ~eq m m' s =
+  Iset.for_all
+    (fun k ->
+      match (find_opt k m, find_opt k m') with
+      | Some a, Some b -> eq a b
+      | _ -> false)
+    s
+
+let same_on_complement ~eq m m' s =
+  let outside m = Iset.diff (dom m) s in
+  Iset.equal (outside m) (outside m')
+  && Iset.for_all
+       (fun k ->
+         match (find_opt k m, find_opt k m') with
+         | Some a, Some b -> eq a b
+         | _ -> false)
+       (outside m)

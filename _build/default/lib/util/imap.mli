@@ -1,0 +1,18 @@
+(** Maps keyed by ints; executable counterpart of Verus [Map<K,V>]. *)
+
+include Map.S with type key = int
+
+val dom : 'a t -> Iset.t
+(** Domain as a set — mirrors the ubiquitous [.dom()] of the paper's
+    specifications. *)
+
+val keys : 'a t -> int list
+
+val agree_on : eq:('a -> 'a -> bool) -> 'a t -> 'a t -> Iset.t -> bool
+(** [agree_on ~eq m m' s]: both maps are defined and [eq]-equal on every
+    key in [s].  Used by frame conditions ("other objects unchanged"). *)
+
+val same_on_complement :
+  eq:('a -> 'a -> bool) -> 'a t -> 'a t -> Iset.t -> bool
+(** Both maps have the same domain outside [s] and [eq]-agree there; the
+    standard "nothing outside the touched set changed" clause. *)

@@ -1,0 +1,1 @@
+lib/verif/catalog.ml: Atmo_core Atmo_hw Atmo_pm Atmo_pmem Atmo_pt Atmo_spec Atmo_util Errno Format Iset List Obligation Random Refine_harness

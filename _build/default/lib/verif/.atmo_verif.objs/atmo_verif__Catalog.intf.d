@@ -1,0 +1,1 @@
+lib/verif/catalog.mli: Atmo_core Atmo_pt Obligation

@@ -1,0 +1,1 @@
+lib/verif/effort.ml: Array Filename String Sys

@@ -1,0 +1,1 @@
+lib/verif/obligation.ml: Format Printexc Stdlib Unix

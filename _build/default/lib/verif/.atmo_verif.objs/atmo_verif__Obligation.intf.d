@@ -1,0 +1,1 @@
+lib/verif/obligation.mli: Format Stdlib

@@ -1,0 +1,1 @@
+lib/verif/refine_harness.ml: Atmo_core Atmo_hw Atmo_pm Atmo_pmem Atmo_pt Atmo_spec Atmo_util Imap Iset List Random

@@ -1,0 +1,1 @@
+lib/verif/refine_harness.mli: Atmo_core Atmo_spec Random

@@ -1,0 +1,1 @@
+lib/verif/runner.ml: Array Domain Format Hashtbl List Obligation Option Unix

@@ -1,0 +1,1 @@
+lib/verif/runner.mli: Format Obligation

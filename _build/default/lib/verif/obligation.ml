@@ -1,0 +1,28 @@
+type result = {
+  name : string;
+  ok : bool;
+  detail : string option;
+  elapsed_s : float;
+}
+
+type t = {
+  name : string;
+  group : string;
+  run : unit -> (unit, string) Stdlib.result;
+}
+
+let make ~name ~group run = { name; group; run }
+
+let discharge t =
+  let t0 = Unix.gettimeofday () in
+  let outcome = try t.run () with exn -> Error (Printexc.to_string exn) in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  match outcome with
+  | Ok () -> { name = t.name; ok = true; detail = None; elapsed_s }
+  | Error d -> { name = t.name; ok = false; detail = Some d; elapsed_s }
+
+let pp_result ppf (r : result) =
+  Format.fprintf ppf "%-40s %s %8.3f ms%s" r.name
+    (if r.ok then "ok  " else "FAIL")
+    (r.elapsed_s *. 1000.)
+    (match r.detail with None -> "" | Some d -> "  (" ^ d ^ ")")

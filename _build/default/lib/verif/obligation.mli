@@ -1,0 +1,29 @@
+(** Proof obligations.
+
+    One obligation corresponds to one verification condition of the
+    paper's proof: an invariant that must hold of a state, or a spec
+    relation that must hold of a transition.  Where Verus discharges
+    these statically through Z3, this reproduction discharges them by
+    executable checking over concrete and generated states; the
+    obligation carries everything the runner needs to time and report
+    the discharge. *)
+
+type result = {
+  name : string;
+  ok : bool;
+  detail : string option;  (** first violated clause, if any *)
+  elapsed_s : float;
+}
+
+type t = {
+  name : string;
+  group : string;  (** subsystem, e.g. "pt", "pm", "kernel" *)
+  run : unit -> (unit, string) Stdlib.result;
+}
+
+val make : name:string -> group:string -> (unit -> (unit, string) Stdlib.result) -> t
+
+val discharge : t -> result
+(** Run and time one obligation. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,185 @@
+open Atmo_util
+module Kernel = Atmo_core.Kernel
+module Invariants = Atmo_core.Invariants
+module Abstraction = Atmo_core.Abstraction
+module Syscall = Atmo_spec.Syscall
+module Syscall_spec = Atmo_spec.Syscall_spec
+module Page_state = Atmo_pmem.Page_state
+module Pte = Atmo_hw.Pte_bits
+module Message = Atmo_pm.Message
+module Perm_map = Atmo_pm.Perm_map
+module Proc_mgr = Atmo_pm.Proc_mgr
+module Kconfig = Atmo_pm.Kconfig
+
+type step_outcome = {
+  thread : int;
+  call : Syscall.t;
+  ret : Syscall.ret;
+  spec : (unit, string) result;
+  wf : (unit, string) result;
+}
+
+let step_checked k ~thread call =
+  let pre = Abstraction.abstract k in
+  let ret = Kernel.step k ~thread call in
+  let post = Abstraction.abstract k in
+  {
+    thread;
+    call;
+    ret;
+    spec = Syscall_spec.check ~pre ~post ~thread call ret;
+    wf = Invariants.total_wf k;
+  }
+
+let run_trace k trace =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (thread, call) :: rest ->
+      let o = step_checked k ~thread call in
+      if o.spec = Ok () && o.wf = Ok () then go (o :: acc) rest else Error o
+  in
+  go [] trace
+
+(* ------------------------------------------------------------------ *)
+(* Random generation                                                   *)
+
+let pick rng = function
+  | [] -> None
+  | l -> Some (List.nth l (Random.State.int rng (List.length l)))
+
+let random_thread rng k =
+  pick rng (Iset.elements (Perm_map.dom k.Kernel.pm.Proc_mgr.thrd_perms))
+
+(* A virtual base address: usually well-formed within a small arena so
+   calls collide interestingly, occasionally garbage. *)
+let random_va rng =
+  match Random.State.int rng 10 with
+  | 0 -> Random.State.int rng 1_000_000_000 (* arbitrary, likely misaligned *)
+  | 1 -> (1 lsl 49) + 4096 (* non-canonical *)
+  | _ -> 0x4000_0000 + (Random.State.int rng 64 * 4096)
+
+let random_size rng =
+  match Random.State.int rng 8 with
+  | 0 -> Page_state.S2m
+  | _ -> Page_state.S4k
+
+let random_perm rng =
+  match Random.State.int rng 3 with
+  | 0 -> Pte.perm_rw
+  | 1 -> Pte.perm_ro
+  | _ -> Pte.perm_rx
+
+let random_slot rng =
+  match Random.State.int rng 6 with
+  | 0 -> Random.State.int rng 64 - 8 (* possibly out of range *)
+  | _ -> Random.State.int rng Kconfig.max_endpoint_slots
+
+let random_ptr rng k =
+  (* usually a live object of some kind, sometimes garbage *)
+  let pm = k.Kernel.pm in
+  let pools =
+    [
+      Iset.elements (Perm_map.dom pm.Proc_mgr.cntr_perms);
+      Iset.elements (Perm_map.dom pm.Proc_mgr.proc_perms);
+      Iset.elements (Perm_map.dom pm.Proc_mgr.thrd_perms);
+    ]
+  in
+  match Random.State.int rng 5 with
+  | 0 -> Random.State.int rng 0xfff000
+  | n ->
+    (match pick rng (List.nth pools (n mod 3)) with
+     | Some p -> p
+     | None -> 0xdead000)
+
+let random_msg rng k ~thread =
+  let scalars = List.init (Random.State.int rng 4) (fun _ -> Random.State.int rng 1000) in
+  let page =
+    if Random.State.int rng 3 = 0 then
+      let src_vaddr =
+        (* prefer an actually-mapped page of the caller *)
+        match Perm_map.borrow_opt k.Kernel.pm.Proc_mgr.thrd_perms ~ptr:thread with
+        | Some th ->
+          let p =
+            Perm_map.borrow k.Kernel.pm.Proc_mgr.proc_perms
+              ~ptr:th.Atmo_pm.Thread.owner_proc
+          in
+          let space = Atmo_pt.Page_table.address_space p.Atmo_pm.Process.pt in
+          (match pick rng (List.map fst (Imap.bindings space)) with
+           | Some va -> va
+           | None -> random_va rng)
+        | None -> random_va rng
+      in
+      Some { Message.src_vaddr; dst_vaddr = 0x6000_0000 + (Random.State.int rng 32 * 4096) }
+    else None
+  in
+  let endpoint =
+    if Random.State.int rng 4 = 0 then
+      Some { Message.src_slot = random_slot rng; dst_slot = random_slot rng }
+    else None
+  in
+  { Message.scalars; page; endpoint }
+
+let random_call rng k ~thread =
+  match Random.State.int rng 16 with
+  | 0 | 1 ->
+    Syscall.Mmap
+      {
+        va = random_va rng;
+        count = 1 + Random.State.int rng 4;
+        size = random_size rng;
+        perm = random_perm rng;
+      }
+  | 2 ->
+    Syscall.Munmap
+      { va = random_va rng; count = 1 + Random.State.int rng 4; size = random_size rng }
+  | 3 -> Syscall.Mprotect { va = random_va rng; perm = random_perm rng }
+  | 4 ->
+    Syscall.New_container { quota = Random.State.int rng 30; cpus = Iset.empty }
+  | 5 -> Syscall.New_process
+  | 6 -> Syscall.New_thread
+  | 7 -> Syscall.New_endpoint { slot = random_slot rng }
+  | 8 -> Syscall.Close_endpoint { slot = random_slot rng }
+  | 9 | 10 -> Syscall.Send { slot = random_slot rng; msg = random_msg rng k ~thread }
+  | 11 | 12 -> Syscall.Recv { slot = random_slot rng }
+  | 13 ->
+    (match Random.State.int rng 4 with
+     | 0 -> Syscall.Yield
+     | 1 -> Syscall.Send_nb { slot = random_slot rng; msg = random_msg rng k ~thread }
+     | 2 -> Syscall.Recv_reject { slot = random_slot rng }
+     | _ -> Syscall.Recv_nb { slot = random_slot rng })
+  | 14 ->
+    if Random.State.int rng 2 = 0 then
+      Syscall.Terminate_container { container = random_ptr rng k }
+    else Syscall.Terminate_process { proc = random_ptr rng k }
+  | _ ->
+    (match Random.State.int rng 5 with
+     | 0 -> Syscall.Assign_device { device = Random.State.int rng 8 }
+     | 1 ->
+       Syscall.Io_map
+         {
+           device = Random.State.int rng 8;
+           iova = 0x9000_0000 + (Random.State.int rng 32 * 4096);
+           va = random_va rng;
+         }
+     | 2 ->
+       Syscall.Io_unmap
+         {
+           device = Random.State.int rng 8;
+           iova = 0x9000_0000 + (Random.State.int rng 32 * 4096);
+         }
+     | 3 -> Syscall.Register_irq { device = Random.State.int rng 8; slot = random_slot rng }
+     | _ -> Syscall.Irq_fire { device = Random.State.int rng 8 })
+
+let random_trace_check ~seed ~steps k =
+  let rng = Random.State.make [| seed |] in
+  let rec go i =
+    if i >= steps then Ok i
+    else
+      match random_thread rng k with
+      | None -> Ok i (* everything died; nothing left to call *)
+      | Some thread ->
+        let call = random_call rng k ~thread in
+        let o = step_checked k ~thread call in
+        if o.spec = Ok () && o.wf = Ok () then go (i + 1) else Error o
+  in
+  go 0

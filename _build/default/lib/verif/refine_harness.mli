@@ -1,0 +1,45 @@
+(** Transition-level refinement checking.
+
+    Drives the concrete kernel through a trace of system calls and, for
+    every transition, discharges the two theorems of §4: refinement
+    (the abstracted pre/post states satisfy the call's specification in
+    {!Atmo_spec.Syscall_spec}) and well-formedness
+    ({!Atmo_core.Invariants.total_wf}).  Random traces use
+    state-dependent argument generation mixed with adversarial garbage,
+    matching the paper's "arbitrary system call with arbitrary
+    arguments" quantification. *)
+
+type step_outcome = {
+  thread : int;
+  call : Atmo_spec.Syscall.t;
+  ret : Atmo_spec.Syscall.ret;
+  spec : (unit, string) result;
+  wf : (unit, string) result;
+}
+
+val step_checked :
+  Atmo_core.Kernel.t -> thread:int -> Atmo_spec.Syscall.t -> step_outcome
+(** Run one call, checking spec and well-formedness around it. *)
+
+val run_trace :
+  Atmo_core.Kernel.t ->
+  (int * Atmo_spec.Syscall.t) list ->
+  (step_outcome list, step_outcome) result
+(** Execute a trace, stopping at the first failed check. *)
+
+val random_call :
+  Random.State.t -> Atmo_core.Kernel.t -> thread:int -> Atmo_spec.Syscall.t
+(** A plausible-but-unchecked call: most arguments reference live
+    objects, some are adversarial garbage. *)
+
+val random_thread : Random.State.t -> Atmo_core.Kernel.t -> int option
+(** A uniformly random live thread. *)
+
+val random_ptr : Random.State.t -> Atmo_core.Kernel.t -> int
+(** A pointer argument: usually some live object, sometimes garbage. *)
+
+val random_trace_check :
+  seed:int -> steps:int -> Atmo_core.Kernel.t -> (int, step_outcome) result
+(** Fuzz the kernel for [steps] random calls from random threads,
+    checking every transition; returns the number of executed steps or
+    the first failure. *)

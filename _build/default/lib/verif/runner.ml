@@ -1,0 +1,46 @@
+type report = {
+  results : Obligation.result list;
+  wall_s : float;
+  threads : int;
+}
+
+let run_sequential obls = List.map Obligation.discharge obls
+
+(* Static round-robin partition over domains: obligations are
+   independent, so any split is sound; round-robin balances the heavy
+   kernel-wide checks across domains. *)
+let run_parallel ~threads obls =
+  let buckets = Array.make threads [] in
+  List.iteri (fun i o -> buckets.(i mod threads) <- o :: buckets.(i mod threads)) obls;
+  let domains =
+    Array.map (fun bucket -> Domain.spawn (fun () -> run_sequential (List.rev bucket))) buckets
+  in
+  Array.to_list domains |> List.concat_map Domain.join
+
+let run ?(threads = 1) obls =
+  let t0 = Unix.gettimeofday () in
+  let results = if threads <= 1 then run_sequential obls else run_parallel ~threads obls in
+  { results; wall_s = Unix.gettimeofday () -. t0; threads }
+
+let all_ok r = List.for_all (fun (x : Obligation.result) -> x.Obligation.ok) r.results
+let failures r = List.filter (fun (x : Obligation.result) -> not x.Obligation.ok) r.results
+
+let total_check_time r =
+  List.fold_left (fun acc (x : Obligation.result) -> acc +. x.Obligation.elapsed_s) 0. r.results
+
+let by_group obls =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (o : Obligation.t) ->
+      if not (Hashtbl.mem tbl o.Obligation.group) then order := o.Obligation.group :: !order;
+      Hashtbl.replace tbl o.Obligation.group
+        (o :: Option.value ~default:[] (Hashtbl.find_opt tbl o.Obligation.group)))
+    obls;
+  List.rev_map (fun g -> (g, List.rev (Hashtbl.find tbl g))) !order
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%d obligations on %d thread(s), wall %.3f s, check %.3f s@,"
+    (List.length r.results) r.threads r.wall_s (total_check_time r);
+  List.iter (fun x -> Format.fprintf ppf "%a@," Obligation.pp_result x) r.results;
+  Format.fprintf ppf "@]"

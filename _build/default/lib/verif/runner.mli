@@ -1,0 +1,27 @@
+(** Obligation discharge runner — the reproduction's "verifier".
+
+    Discharges a set of obligations sequentially or across several OCaml
+    domains (Verus parallelises verification across threads; Table 2 and
+    Figure 2 report 1-thread vs 8-thread times).  Results carry
+    per-obligation timing so the harness can reproduce the paper's
+    per-function verification-time distribution. *)
+
+type report = {
+  results : Obligation.result list;
+  wall_s : float;
+  threads : int;
+}
+
+val run : ?threads:int -> Obligation.t list -> report
+(** [threads] defaults to 1.  With [threads > 1] obligations are
+    distributed over that many domains. *)
+
+val all_ok : report -> bool
+val failures : report -> Obligation.result list
+val total_check_time : report -> float
+(** Sum of per-obligation times (CPU-style total, vs [wall_s]). *)
+
+val by_group : Obligation.t list -> (string * Obligation.t list) list
+(** Stable grouping by the obligation's [group] field. *)
+
+val pp : Format.formatter -> report -> unit

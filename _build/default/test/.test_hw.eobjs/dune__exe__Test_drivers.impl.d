@@ -1,0 +1,1 @@
+test/test_drivers.ml: Alcotest Array Atmo_drivers Atmo_hw Atmo_net Atmo_pmem Atmo_pt Atmo_sim Bytes List Option Result

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Atmo_hw Bytes Char Clock E820 Iommu List Mmu Phys_mem Pte_bits QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Atmo_core Atmo_hw Atmo_pm Atmo_pmem Atmo_spec Atmo_util Errno Imap Iset List Result

@@ -1,0 +1,1 @@
+test/test_mutations.ml: Alcotest Atmo_core Atmo_hw Atmo_pm Atmo_pmem Atmo_pt Atmo_spec Atmo_util Atmo_verif Errno Iset Option

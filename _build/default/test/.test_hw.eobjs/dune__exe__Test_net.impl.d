@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Atmo_net Bytes Fnv Fun Gen Hashtbl Http Httpd Kv_store List Maglev Option Packet Printf QCheck QCheck_alcotest Result String Workload

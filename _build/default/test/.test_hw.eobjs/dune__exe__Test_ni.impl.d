@@ -1,0 +1,1 @@
+test/test_ni.ml: Alcotest Atmo_core Atmo_hw Atmo_ni Atmo_pm Atmo_pmem Atmo_pt Atmo_spec

@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Atmo_hw Atmo_pmem Atmo_util Dll Fun Iset List Option Page_alloc Page_state QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pt.ml: Alcotest Atmo_hw Atmo_pmem Atmo_pt Atmo_util Imap Iset List Nros_pt Page_table Pt_refine QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Atmo_baselines Atmo_core Atmo_hw Atmo_pm Atmo_sim Atmo_spec Atmo_util Bytes Char List QCheck QCheck_alcotest Queue

@@ -1,0 +1,1 @@
+test/test_tree_spec.ml: Alcotest Atmo_hw Atmo_pm Atmo_pmem Atmo_util Errno Iset List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_verif.ml: Alcotest Atmo_core Atmo_pm Atmo_pt Atmo_verif List Option Sys

@@ -1,0 +1,342 @@
+(* Hardware substrate: physical memory, PTE encoding, MMU walk, IOMMU. *)
+
+open Atmo_hw
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Phys_mem                                                            *)
+
+let test_mem_rw () =
+  let m = Phys_mem.create ~page_count:16 in
+  Phys_mem.write_u64 m ~addr:0 0x1122334455667788L;
+  check Alcotest.int64 "u64 round-trip" 0x1122334455667788L (Phys_mem.read_u64 m ~addr:0);
+  Phys_mem.write_u8 m ~addr:4096 0xab;
+  check Alcotest.int "u8 round-trip" 0xab (Phys_mem.read_u8 m ~addr:4096)
+
+let test_mem_untouched_zero () =
+  let m = Phys_mem.create ~page_count:16 in
+  check Alcotest.int64 "untouched reads zero" 0L (Phys_mem.read_u64 m ~addr:8192);
+  check Alcotest.int "no frames materialised by reads" 0 (Phys_mem.touched_frames m)
+
+let test_mem_zero_page () =
+  let m = Phys_mem.create ~page_count:16 in
+  Phys_mem.write_u64 m ~addr:4096 42L;
+  Phys_mem.zero_page m ~addr:4100;
+  check Alcotest.int64 "zeroed" 0L (Phys_mem.read_u64 m ~addr:4096);
+  check Alcotest.int "zeroing drops the frame" 0 (Phys_mem.touched_frames m)
+
+let test_mem_bounds () =
+  let m = Phys_mem.create ~page_count:2 in
+  Alcotest.check_raises "oob write" (Invalid_argument "Phys_mem.write_u64: address 0x2000 out of bounds")
+    (fun () -> Phys_mem.write_u64 m ~addr:8192 0L);
+  Alcotest.check_raises "unaligned" (Invalid_argument "Phys_mem.read_u64: unaligned")
+    (fun () -> ignore (Phys_mem.read_u64 m ~addr:4))
+
+let test_mem_blit_cross_frame () =
+  let m = Phys_mem.create ~page_count:4 in
+  let data = Bytes.init 100 (fun i -> Char.chr (i land 0xff)) in
+  Phys_mem.blit_to m ~addr:4060 data;
+  let back = Phys_mem.blit_from m ~addr:4060 ~len:100 in
+  checkb "blit across frame boundary round-trips" true (Bytes.equal data back)
+
+let test_mem_geometry () =
+  checkb "page_base" true (Phys_mem.page_base 4097 = 4096);
+  checkb "page_index" true (Phys_mem.page_index 8192 = 2);
+  checkb "addr_of_index" true (Phys_mem.addr_of_index 3 = 12288);
+  checkb "aligned" true (Phys_mem.is_page_aligned 8192);
+  checkb "unaligned" false (Phys_mem.is_page_aligned 8193)
+
+(* ------------------------------------------------------------------ *)
+(* Pte_bits                                                            *)
+
+let test_pte_round_trip () =
+  let e = Pte_bits.make ~addr:0x3000 ~perm:Pte_bits.perm_rw ~huge:false in
+  checkb "present" true (Pte_bits.is_present e);
+  checkb "not huge" false (Pte_bits.is_huge e);
+  check Alcotest.int "addr" 0x3000 (Pte_bits.addr_of e);
+  checkb "perm" true (Pte_bits.equal_perm Pte_bits.perm_rw (Pte_bits.perm_of e))
+
+let test_pte_huge_nx () =
+  let e = Pte_bits.make ~addr:0x200000 ~perm:Pte_bits.perm_rx ~huge:true in
+  checkb "huge" true (Pte_bits.is_huge e);
+  let p = Pte_bits.perm_of e in
+  checkb "exec" true p.Pte_bits.execute;
+  checkb "ro" false p.Pte_bits.write
+
+let test_pte_not_present () =
+  checkb "zero entry not present" false (Pte_bits.is_present Pte_bits.not_present)
+
+let test_pte_unaligned_rejected () =
+  Alcotest.check_raises "unaligned addr"
+    (Invalid_argument "Pte_bits.make: unaligned address") (fun () ->
+      ignore (Pte_bits.make ~addr:0x3001 ~perm:Pte_bits.perm_rw ~huge:false))
+
+(* ------------------------------------------------------------------ *)
+(* Mmu                                                                 *)
+
+(* Hand-build a small page table: L4 at 0x1000, L3 at 0x2000, L2 at
+   0x3000, L1 at 0x4000, mapping va 0x200000000 -> frame 0x5000. *)
+let build_manual_pt m =
+  let va = 0x2_0000_0000 in
+  let l4 = 0x1000 and l3 = 0x2000 and l2 = 0x3000 and l1 = 0x4000 in
+  Phys_mem.write_u64 m
+    ~addr:(Mmu.entry_addr ~table:l4 ~index:(Mmu.l4_index va))
+    (Pte_bits.make_table ~addr:l3);
+  Phys_mem.write_u64 m
+    ~addr:(Mmu.entry_addr ~table:l3 ~index:(Mmu.l3_index va))
+    (Pte_bits.make_table ~addr:l2);
+  Phys_mem.write_u64 m
+    ~addr:(Mmu.entry_addr ~table:l2 ~index:(Mmu.l2_index va))
+    (Pte_bits.make_table ~addr:l1);
+  Phys_mem.write_u64 m
+    ~addr:(Mmu.entry_addr ~table:l1 ~index:(Mmu.l1_index va))
+    (Pte_bits.make ~addr:0x5000 ~perm:Pte_bits.perm_rw ~huge:false);
+  (l4, va)
+
+let test_mmu_walk_4k () =
+  let m = Phys_mem.create ~page_count:16 in
+  let cr3, va = build_manual_pt m in
+  match Mmu.resolve m ~cr3 ~vaddr:(va + 0x123) with
+  | None -> Alcotest.fail "expected translation"
+  | Some tr ->
+    check Alcotest.int "paddr" (0x5000 + 0x123) tr.Mmu.paddr;
+    check Alcotest.int "frame" 0x5000 tr.Mmu.frame;
+    check Alcotest.int "size" Phys_mem.page_size tr.Mmu.size
+
+let test_mmu_fault_unmapped () =
+  let m = Phys_mem.create ~page_count:16 in
+  let cr3, va = build_manual_pt m in
+  checkb "fault one page later" true (Mmu.resolve m ~cr3 ~vaddr:(va + 4096) = None);
+  checkb "fault other l4 slot" true (Mmu.resolve m ~cr3 ~vaddr:0x40_0000_0000 = None)
+
+let test_mmu_huge_2m () =
+  let m = Phys_mem.create ~page_count:16 in
+  let va = 0x4000_0000 in
+  let l4 = 0x1000 and l3 = 0x2000 and l2 = 0x3000 in
+  Phys_mem.write_u64 m
+    ~addr:(Mmu.entry_addr ~table:l4 ~index:(Mmu.l4_index va))
+    (Pte_bits.make_table ~addr:l3);
+  Phys_mem.write_u64 m
+    ~addr:(Mmu.entry_addr ~table:l3 ~index:(Mmu.l3_index va))
+    (Pte_bits.make_table ~addr:l2);
+  Phys_mem.write_u64 m
+    ~addr:(Mmu.entry_addr ~table:l2 ~index:(Mmu.l2_index va))
+    (Pte_bits.make ~addr:0x0 ~perm:Pte_bits.perm_rw ~huge:true);
+  (match Mmu.resolve m ~cr3:l4 ~vaddr:(va + 0x1234) with
+   | Some tr ->
+     check Alcotest.int "2M size" Phys_mem.page_size_2m tr.Mmu.size;
+     check Alcotest.int "paddr offset" 0x1234 tr.Mmu.paddr
+   | None -> Alcotest.fail "expected 2M translation")
+
+let test_mmu_non_canonical () =
+  let m = Phys_mem.create ~page_count:16 in
+  checkb "non-canonical faults" true (Mmu.resolve m ~cr3:0x1000 ~vaddr:(1 lsl 50) = None)
+
+let test_mmu_indices_roundtrip () =
+  let va = Mmu.va_of_indices ~l4:5 ~l3:17 ~l2:301 ~l1:511 in
+  check Alcotest.int "l4" 5 (Mmu.l4_index va);
+  check Alcotest.int "l3" 17 (Mmu.l3_index va);
+  check Alcotest.int "l2" 301 (Mmu.l2_index va);
+  check Alcotest.int "l1" 511 (Mmu.l1_index va);
+  (* high half sign-extends *)
+  let hva = Mmu.va_of_indices ~l4:0x180 ~l3:0 ~l2:0 ~l1:0 in
+  checkb "high-half canonical" true (Mmu.canonical hva);
+  check Alcotest.int "high-half l4" 0x180 (Mmu.l4_index hva)
+
+let test_mmu_write_respects_ro () =
+  let m = Phys_mem.create ~page_count:16 in
+  let va = 0x2_0000_0000 in
+  let l4 = 0x1000 and l3 = 0x2000 and l2 = 0x3000 and l1 = 0x4000 in
+  Phys_mem.write_u64 m
+    ~addr:(Mmu.entry_addr ~table:l4 ~index:(Mmu.l4_index va))
+    (Pte_bits.make_table ~addr:l3);
+  Phys_mem.write_u64 m
+    ~addr:(Mmu.entry_addr ~table:l3 ~index:(Mmu.l3_index va))
+    (Pte_bits.make_table ~addr:l2);
+  Phys_mem.write_u64 m
+    ~addr:(Mmu.entry_addr ~table:l2 ~index:(Mmu.l2_index va))
+    (Pte_bits.make_table ~addr:l1);
+  Phys_mem.write_u64 m
+    ~addr:(Mmu.entry_addr ~table:l1 ~index:(Mmu.l1_index va))
+    (Pte_bits.make ~addr:0x5000 ~perm:Pte_bits.perm_ro ~huge:false);
+  checkb "ro store refused" false (Mmu.write_u64 m ~cr3:l4 ~vaddr:va 1L);
+  checkb "load works" true (Mmu.read_u64 m ~cr3:l4 ~vaddr:va <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Iommu                                                               *)
+
+let test_iommu_translate_and_dma () =
+  let m = Phys_mem.create ~page_count:16 in
+  let cr3, va = build_manual_pt m in
+  let io = Iommu.create m in
+  Iommu.attach io ~device:7 ~root:cr3;
+  checkb "translates through domain" true (Iommu.translate io ~device:7 ~iova:va <> None);
+  checkb "dma write ok" true (Iommu.dma_write io ~device:7 ~iova:va (Bytes.make 16 'x'));
+  (match Iommu.dma_read io ~device:7 ~iova:va ~len:16 with
+   | Some b -> checkb "dma read back" true (Bytes.equal b (Bytes.make 16 'x'))
+   | None -> Alcotest.fail "dma read failed")
+
+let test_iommu_unattached_faults () =
+  let m = Phys_mem.create ~page_count:16 in
+  let io = Iommu.create m in
+  checkb "unattached device faults" true (Iommu.translate io ~device:1 ~iova:0 = None);
+  check Alcotest.int "fault counted" 1 (Iommu.faults io)
+
+let test_iommu_unmapped_dma_rejected () =
+  let m = Phys_mem.create ~page_count:16 in
+  let cr3, va = build_manual_pt m in
+  let io = Iommu.create m in
+  Iommu.attach io ~device:7 ~root:cr3;
+  (* burst crossing into an unmapped page is rejected whole *)
+  checkb "partial burst rejected" false
+    (Iommu.dma_write io ~device:7 ~iova:(va + 4090) (Bytes.make 16 'x'));
+  (* the mapped prefix must be untouched *)
+  (match Iommu.dma_read io ~device:7 ~iova:(va + 4090) ~len:6 with
+   | Some b -> checkb "no partial write" true (Bytes.equal b (Bytes.make 6 '\000'))
+   | None -> Alcotest.fail "prefix should read")
+
+let test_iommu_detach () =
+  let m = Phys_mem.create ~page_count:16 in
+  let cr3, va = build_manual_pt m in
+  let io = Iommu.create m in
+  Iommu.attach io ~device:7 ~root:cr3;
+  Iommu.detach io ~device:7;
+  checkb "detached device faults" true (Iommu.translate io ~device:7 ~iova:va = None)
+
+(* ------------------------------------------------------------------ *)
+(* E820                                                                *)
+
+let test_e820_typical_valid () =
+  let m = E820.typical_pc ~total_mib:64 in
+  (match E820.validate m with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "typical map invalid: %s" msg);
+  check Alcotest.int "usable bytes" ((640 * 1024) + (61 * 1024 * 1024))
+    (E820.usable_bytes m)
+
+let test_e820_largest_usable () =
+  let m = E820.typical_pc ~total_mib:64 in
+  match E820.largest_usable m with
+  | Some r ->
+    check Alcotest.int "main memory starts at 1MiB" (1024 * 1024) r.E820.base;
+    check Alcotest.int "frames" (61 * 256) (E820.frames_of r);
+    check Alcotest.int "first frame" 256 (E820.first_frame_of r)
+  | None -> Alcotest.fail "no usable region"
+
+let test_e820_rejects_overlap () =
+  let bad =
+    [
+      { E820.base = 0; len = 8192; kind = E820.Usable };
+      { E820.base = 4096; len = 8192; kind = E820.Reserved };
+    ]
+  in
+  checkb "overlap rejected" true (Result.is_error (E820.validate bad));
+  let unsorted =
+    [
+      { E820.base = 8192; len = 4096; kind = E820.Usable };
+      { E820.base = 0; len = 4096; kind = E820.Usable };
+    ]
+  in
+  checkb "unsorted rejected" true (Result.is_error (E820.validate unsorted));
+  checkb "empty region rejected" true
+    (Result.is_error (E820.validate [ { E820.base = 0; len = 0; kind = E820.Usable } ]))
+
+let test_e820_partial_frames () =
+  (* a usable region not frame-aligned only yields its interior frames *)
+  let r = { E820.base = 1000; len = 12000; kind = E820.Usable } in
+  (* frames fully inside [1000, 13000): frames 1 and 2 ([4096,12288)) *)
+  check Alcotest.int "interior frames" 2 (E820.frames_of r);
+  check Alcotest.int "first frame" 1 (E820.first_frame_of r)
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+
+let test_clock () =
+  let c = Clock.create () in
+  Clock.advance c 2200;
+  check Alcotest.int "cycles" 2200 (Clock.now c);
+  checkb "seconds" true (abs_float (Clock.seconds c -. 1e-6) < 1e-12);
+  Clock.reset c;
+  check Alcotest.int "reset" 0 (Clock.now c);
+  Alcotest.check_raises "negative charge" (Invalid_argument "Clock.advance: negative charge")
+    (fun () -> Clock.advance c (-1))
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+
+let prop_mem_rw =
+  QCheck.Test.make ~name:"phys_mem u64 write/read round-trips" ~count:200
+    QCheck.(pair (int_bound 2047) int64)
+    (fun (slot, v) ->
+      let m = Phys_mem.create ~page_count:4 in
+      let addr = slot * 8 in
+      Phys_mem.write_u64 m ~addr v;
+      Phys_mem.read_u64 m ~addr = v)
+
+let prop_pte_round_trip =
+  QCheck.Test.make ~name:"pte encode/decode round-trips" ~count:200
+    QCheck.(quad (int_bound 0xfffff) bool bool bool)
+    (fun (frame_idx, w, u, x) ->
+      let addr = frame_idx * 4096 in
+      let perm = { Pte_bits.write = w; user = u; execute = x } in
+      let e = Pte_bits.make ~addr ~perm ~huge:false in
+      Pte_bits.addr_of e = addr && Pte_bits.equal_perm (Pte_bits.perm_of e) perm)
+
+let prop_va_indices =
+  QCheck.Test.make ~name:"va_of_indices inverts index extraction" ~count:200
+    QCheck.(quad (int_bound 511) (int_bound 511) (int_bound 511) (int_bound 511))
+    (fun (l4, l3, l2, l1) ->
+      let va = Mmu.va_of_indices ~l4 ~l3 ~l2 ~l1 in
+      Mmu.canonical va
+      && Mmu.l4_index va = l4 && Mmu.l3_index va = l3
+      && Mmu.l2_index va = l2 && Mmu.l1_index va = l1)
+
+let () =
+  Alcotest.run "hw"
+    [
+      ( "phys_mem",
+        [
+          Alcotest.test_case "read/write" `Quick test_mem_rw;
+          Alcotest.test_case "untouched reads zero" `Quick test_mem_untouched_zero;
+          Alcotest.test_case "zero_page" `Quick test_mem_zero_page;
+          Alcotest.test_case "bounds and alignment" `Quick test_mem_bounds;
+          Alcotest.test_case "blit across frames" `Quick test_mem_blit_cross_frame;
+          Alcotest.test_case "geometry helpers" `Quick test_mem_geometry;
+        ] );
+      ( "pte",
+        [
+          Alcotest.test_case "round trip" `Quick test_pte_round_trip;
+          Alcotest.test_case "huge + nx" `Quick test_pte_huge_nx;
+          Alcotest.test_case "not present" `Quick test_pte_not_present;
+          Alcotest.test_case "unaligned rejected" `Quick test_pte_unaligned_rejected;
+        ] );
+      ( "mmu",
+        [
+          Alcotest.test_case "4k walk" `Quick test_mmu_walk_4k;
+          Alcotest.test_case "faults" `Quick test_mmu_fault_unmapped;
+          Alcotest.test_case "2M huge page" `Quick test_mmu_huge_2m;
+          Alcotest.test_case "non-canonical" `Quick test_mmu_non_canonical;
+          Alcotest.test_case "index round trip" `Quick test_mmu_indices_roundtrip;
+          Alcotest.test_case "read-only enforced" `Quick test_mmu_write_respects_ro;
+        ] );
+      ( "iommu",
+        [
+          Alcotest.test_case "translate and dma" `Quick test_iommu_translate_and_dma;
+          Alcotest.test_case "unattached faults" `Quick test_iommu_unattached_faults;
+          Alcotest.test_case "unmapped dma rejected" `Quick test_iommu_unmapped_dma_rejected;
+          Alcotest.test_case "detach" `Quick test_iommu_detach;
+        ] );
+      ( "e820",
+        [
+          Alcotest.test_case "typical map valid" `Quick test_e820_typical_valid;
+          Alcotest.test_case "largest usable" `Quick test_e820_largest_usable;
+          Alcotest.test_case "rejects overlap" `Quick test_e820_rejects_overlap;
+          Alcotest.test_case "partial frames" `Quick test_e820_partial_frames;
+        ] );
+      ("clock", [ Alcotest.test_case "advance/seconds" `Quick test_clock ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_mem_rw; prop_pte_round_trip; prop_va_indices ] );
+    ]

@@ -1,0 +1,324 @@
+(* Cycle model and shared-memory rings: calibration identities and the
+   throughput shapes of the evaluation configurations. *)
+
+module Cost = Atmo_sim.Cost
+module Pipeline = Atmo_sim.Pipeline
+module Ring = Atmo_sim.Ring
+module Clock = Atmo_hw.Clock
+module Phys_mem = Atmo_hw.Phys_mem
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let cost = Cost.default
+
+(* ------------------------------------------------------------------ *)
+(* Cost calibration                                                    *)
+
+let test_table3_calibration () =
+  checki "atmo call/reply = 1058" 1058 (Cost.atmo_call_reply cost);
+  checki "atmo map page = 1984" 1984 cost.Cost.map_page;
+  checki "sel4 call/reply = 1026" 1026 cost.Cost.sel4_call_reply;
+  checki "sel4 map page = 2650" 2650 cost.Cost.sel4_map_page
+
+let test_seconds_conversion () =
+  checkb "2.2e9 cycles = 1s" true
+    (abs_float (Cost.seconds_of_cycles cost 2_200_000_000 -. 1.0) < 1e-9);
+  checkb "per_second inverse" true
+    (abs_float (Cost.per_second cost ~cycles_per_item:2.2e9 -. 1.0) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline shapes                                                     *)
+
+let mpps config ~app =
+  Pipeline.throughput ~cost ~app_cycles:app ~driver_cycles:cost.Cost.driver_per_packet
+    ~device_cap:cost.Cost.nic_line_rate_pps config
+  /. 1e6
+
+let test_fig4_shape () =
+  let linux = Atmo_baselines.Linux_model.packet_pps cost ~app_cycles:56 /. 1e6 in
+  let b1 = mpps (Pipeline.Atmo_c1 1) ~app:56 in
+  let b32 = mpps (Pipeline.Atmo_c1 32) ~app:56 in
+  let direct = mpps Pipeline.Atmo_driver ~app:56 in
+  let c2 = mpps Pipeline.Atmo_c2 ~app:56 in
+  (* who wins, in the paper's order *)
+  checkb "linux < c1-b1" true (linux < b1);
+  checkb "c1-b1 < c1-b32" true (b1 < b32);
+  checkb "c1-b32 < line rate" true (b32 < 14.2);
+  checkb "direct at line rate" true (abs_float (direct -. 14.2) < 0.01);
+  checkb "c2 at line rate" true (abs_float (c2 -. 14.2) < 0.01);
+  (* rough magnitudes from the paper *)
+  checkb "linux ~0.9" true (linux > 0.7 && linux < 1.1);
+  checkb "b1 in 1.5..3" true (b1 > 1.5 && b1 < 3.0);
+  checkb "b32 in 9..13" true (b32 > 9.0 && b32 < 13.0)
+
+let test_batching_amortizes_ipc () =
+  (* doubling the batch strictly reduces the per-item cost, approaching
+     the no-IPC cost *)
+  let cpp b =
+    Pipeline.cycles_per_item ~cost ~app_cycles:56
+      ~driver_cycles:cost.Cost.driver_per_packet (Pipeline.Atmo_c1 b)
+  in
+  checkb "monotone" true (cpp 1 > cpp 2 && cpp 2 > cpp 8 && cpp 8 > cpp 64);
+  let floor =
+    Pipeline.cycles_per_item ~cost ~app_cycles:56
+      ~driver_cycles:cost.Cost.driver_per_packet Pipeline.Atmo_driver
+  in
+  checkb "approaches direct + ring" true (cpp 1024 -. floor < 40.)
+
+let test_fig5_shape () =
+  let lr b = Atmo_baselines.Linux_model.nvme_read_iops cost ~batch:b in
+  let sr = Atmo_baselines.Dpdk_model.nvme_read_iops cost ~batch:1 in
+  checkb "linux read b1 ~13K" true (abs_float (lr 1 -. 13_000.) /. 13_000. < 0.05);
+  checkb "linux read b32 cpu bound ~141K" true
+    (abs_float (lr 32 -. 141_000.) /. 141_000. < 0.05);
+  checkb "spdk at device cap" true (abs_float (sr -. cost.Cost.nvme_read_cap_iops) < 1.);
+  let lw32 = Atmo_baselines.Linux_model.nvme_write_iops cost ~batch:32 in
+  checkb "linux write b32 within 3% of 256K" true
+    (lw32 > 0.97 *. cost.Cost.nvme_write_cap_iops)
+
+let test_fig6_shape () =
+  let linux = Atmo_baselines.Linux_model.packet_pps cost ~app_cycles:150 /. 1e6 in
+  let dpdk = Atmo_baselines.Dpdk_model.packet_pps cost ~app_cycles:150 /. 1e6 in
+  let c2 = mpps Pipeline.Atmo_c2 ~app:150 in
+  let b1 = mpps (Pipeline.Atmo_c1 1) ~app:150 in
+  let b32 = mpps (Pipeline.Atmo_c1 32) ~app:150 in
+  (* the paper's headline: atmo-c2 beats even DPDK (pipelining), DPDK
+     beats c1-b32, and everything beats linux *)
+  checkb "c2 > dpdk" true (c2 > dpdk);
+  checkb "dpdk > b32" true (dpdk > b32);
+  checkb "b32 > b1" true (b32 > b1);
+  checkb "b1 > linux" true (b1 > linux)
+
+let test_fig6_httpd_shape () =
+  let nginx = Atmo_baselines.Nginx_model.requests_per_second cost ~request_work:20000 in
+  let atmo =
+    cost.Cost.frequency_hz /. float_of_int (20000 + cost.Cost.atmo_httpd_overhead)
+  in
+  checkb "httpd beats nginx" true (atmo > nginx);
+  checkb "ratio ~1.4" true (atmo /. nginx > 1.25 && atmo /. nginx < 1.6)
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                                *)
+
+let mk_ring ?(slots = 8) () =
+  let mem = Phys_mem.create ~page_count:4 in
+  let clock = Clock.create () in
+  (Ring.create mem ~base:0 ~slots ~slot_size:64 ~clock ~cost, clock)
+
+let test_ring_fifo () =
+  let r, _ = mk_ring () in
+  checkb "push a" true (Ring.push r (Bytes.of_string "a"));
+  checkb "push b" true (Ring.push r (Bytes.of_string "b"));
+  (match (Ring.pop r, Ring.pop r, Ring.pop r) with
+   | Some a, Some b, None ->
+     checkb "fifo order" true (Bytes.get a 0 = 'a' && Bytes.get b 0 = 'b')
+   | _ -> Alcotest.fail "pop sequence")
+
+let test_ring_full () =
+  let r, _ = mk_ring ~slots:4 () in
+  for i = 0 to 3 do
+    checkb "push fits" true (Ring.push r (Bytes.make 1 (Char.chr (65 + i))))
+  done;
+  checkb "full rejects" false (Ring.push r (Bytes.of_string "x"));
+  checkb "is_full" true (Ring.is_full r);
+  ignore (Ring.pop r);
+  checkb "push after pop" true (Ring.push r (Bytes.of_string "y"))
+
+let test_ring_wraps () =
+  let r, _ = mk_ring ~slots:4 () in
+  for lap = 0 to 19 do
+    checkb "push" true (Ring.push r (Bytes.make 1 (Char.chr (65 + (lap mod 26)))));
+    match Ring.pop r with
+    | Some b -> checkb "lap data" true (Bytes.get b 0 = Char.chr (65 + (lap mod 26)))
+    | None -> Alcotest.fail "pop"
+  done;
+  checki "empty at end" 0 (Ring.length r)
+
+let test_ring_charges_cycles () =
+  let r, clock = mk_ring () in
+  let before = Clock.now clock in
+  ignore (Ring.push r (Bytes.of_string "a"));
+  ignore (Ring.pop r);
+  checki "two ring ops" (2 * cost.Cost.ring_op) (Clock.now clock - before)
+
+let test_ring_lives_in_shared_memory () =
+  (* a second ring handle over the same physical page sees the data:
+     that is what "shared memory" means here *)
+  let mem = Phys_mem.create ~page_count:4 in
+  let c1 = Clock.create () and c2 = Clock.create () in
+  let producer = Ring.create mem ~base:0 ~slots:8 ~slot_size:64 ~clock:c1 ~cost in
+  let consumer = Ring.create mem ~base:0 ~slots:8 ~slot_size:64 ~clock:c2 ~cost in
+  checkb "producer pushes" true (Ring.push producer (Bytes.of_string "cross"));
+  (match Ring.pop consumer with
+   | Some b -> checkb "consumer sees it" true (Bytes.sub_string b 0 5 = "cross")
+   | None -> Alcotest.fail "nothing in shared ring")
+
+let prop_ring_model =
+  QCheck.Test.make ~name:"ring matches a queue model" ~count:100
+    QCheck.(list (option (int_bound 255)))
+    (fun ops ->
+      let r, _ = mk_ring ~slots:8 () in
+      let model = Queue.create () in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some byte ->
+            let pushed = Ring.push r (Bytes.make 1 (Char.chr byte)) in
+            if Queue.length model < 8 then begin
+              Queue.add byte model;
+              pushed
+            end
+            else not pushed
+          | None ->
+            (match (Ring.pop r, Queue.take_opt model) with
+             | Some b, Some expect -> Char.code (Bytes.get b 0) = expect
+             | None, None -> true
+             | _ -> false))
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* SMP under the big lock                                              *)
+
+module Kernel = Atmo_core.Kernel
+module Syscall = Atmo_spec.Syscall
+module Smp = Atmo_sim.Smp
+
+let smp_world n_threads =
+  let k, init =
+    match Kernel.boot Kernel.default_boot with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "boot: %a" Atmo_util.Errno.pp e
+  in
+  let threads =
+    init
+    :: List.init (n_threads - 1) (fun _ ->
+           match Kernel.step k ~thread:init Atmo_spec.Syscall.New_thread with
+           | Syscall.Rptr t -> t
+           | r -> Alcotest.failf "thread: %a" Syscall.pp_ret r)
+  in
+  (k, threads)
+
+let yield_prog thread =
+  { Smp.thread; think_cycles = 100; call_of = (fun _ -> Syscall.Yield) }
+
+let test_smp_executes_real_syscalls () =
+  let k, threads = smp_world 2 in
+  let programs = List.map yield_prog threads in
+  match Smp.run k ~cost ~cpus:2 ~programs ~iterations:10 with
+  | Ok s ->
+    checki "all calls executed" 20 s.Smp.syscalls_executed;
+    checkb "wall time positive" true (s.Smp.wall_cycles > 0);
+    (match Atmo_core.Invariants.total_wf k with
+     | Ok () -> ()
+     | Error m -> Alcotest.failf "kernel unwell after smp run: %s" m)
+  | Error m -> Alcotest.fail m
+
+let test_smp_placement_least_loaded () =
+  let k, threads = smp_world 4 in
+  let programs = List.map yield_prog threads in
+  match Smp.run k ~cost ~cpus:2 ~programs ~iterations:1 with
+  | Ok s ->
+    let on cpu = List.length (List.filter (fun (_, c) -> c = cpu) s.Smp.placement) in
+    checki "balanced placement" 2 (on 0);
+    checki "balanced placement'" 2 (on 1)
+  | Error m -> Alcotest.fail m
+
+let test_smp_respects_reservations () =
+  (* a container reserved to CPU 1: its thread must land there, and a
+     machine without CPU 1 must refuse it *)
+  let k, init = match Kernel.boot Kernel.default_boot with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "boot: %a" Atmo_util.Errno.pp e
+  in
+  let cntr =
+    match Kernel.step k ~thread:init
+            (Syscall.New_container { quota = 32; cpus = Atmo_util.Iset.singleton 1 })
+    with
+    | Syscall.Rptr c -> c
+    | r -> Alcotest.failf "container: %a" Syscall.pp_ret r
+  in
+  let proc =
+    match Atmo_pm.Proc_mgr.new_process k.Kernel.pm ~container:cntr ~parent:None with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "proc: %a" Atmo_util.Errno.pp e
+  in
+  let th =
+    match Atmo_pm.Proc_mgr.new_thread k.Kernel.pm ~proc with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "thread: %a" Atmo_util.Errno.pp e
+  in
+  (match Smp.run k ~cost ~cpus:4 ~programs:[ yield_prog th ] ~iterations:1 with
+   | Ok s -> checkb "pinned to cpu 1" true (List.assoc th s.Smp.placement = 1)
+   | Error m -> Alcotest.fail m);
+  match Smp.run k ~cost ~cpus:1 ~programs:[ yield_prog th ] ~iterations:1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "reservation violated: cpu 1 does not exist"
+
+let test_smp_big_lock_saturates () =
+  (* kernel-heavy workload: adding CPUs cannot scale past the big lock *)
+  let run cpus =
+    let k, threads = smp_world cpus in
+    let programs = List.map yield_prog threads in
+    match Smp.run k ~cost ~cpus ~programs ~iterations:50 with
+    | Ok s -> Smp.throughput s
+    | Error m -> Alcotest.fail m
+  in
+  let t1 = run 1 and t4 = run 4 in
+  checkb "4 CPUs do not give 4x under the big lock" true (t4 < 2.5 *. t1);
+  (* think-heavy workload: user time runs in parallel, so scaling is
+     close to linear *)
+  let run_thinky cpus =
+    let k, threads = smp_world cpus in
+    let programs =
+      List.map
+        (fun th -> { Smp.thread = th; think_cycles = 50_000; call_of = (fun _ -> Syscall.Yield) })
+        threads
+    in
+    match Smp.run k ~cost ~cpus ~programs ~iterations:20 with
+    | Ok s -> Smp.throughput s
+    | Error m -> Alcotest.fail m
+  in
+  let u1 = run_thinky 1 and u4 = run_thinky 4 in
+  checkb "think-heavy scales" true (u4 > 3.0 *. u1)
+
+let test_smp_lock_wait_accounted () =
+  let k, threads = smp_world 4 in
+  let programs = List.map yield_prog threads in
+  match Smp.run k ~cost ~cpus:4 ~programs ~iterations:20 with
+  | Ok s -> checkb "contention visible" true (s.Smp.lock_wait_cycles > 0)
+  | Error m -> Alcotest.fail m
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "cost",
+        [
+          Alcotest.test_case "table3 calibration" `Quick test_table3_calibration;
+          Alcotest.test_case "seconds conversion" `Quick test_seconds_conversion;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "fig4 shape" `Quick test_fig4_shape;
+          Alcotest.test_case "batching amortizes IPC" `Quick test_batching_amortizes_ipc;
+          Alcotest.test_case "fig5 shape" `Quick test_fig5_shape;
+          Alcotest.test_case "fig6 maglev shape" `Quick test_fig6_shape;
+          Alcotest.test_case "fig6 httpd shape" `Quick test_fig6_httpd_shape;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "fifo" `Quick test_ring_fifo;
+          Alcotest.test_case "full" `Quick test_ring_full;
+          Alcotest.test_case "wraps" `Quick test_ring_wraps;
+          Alcotest.test_case "charges cycles" `Quick test_ring_charges_cycles;
+          Alcotest.test_case "shared memory" `Quick test_ring_lives_in_shared_memory;
+        ] );
+      ( "smp",
+        [
+          Alcotest.test_case "executes real syscalls" `Quick test_smp_executes_real_syscalls;
+          Alcotest.test_case "least-loaded placement" `Quick test_smp_placement_least_loaded;
+          Alcotest.test_case "honors reservations" `Quick test_smp_respects_reservations;
+          Alcotest.test_case "big lock saturates" `Quick test_smp_big_lock_saturates;
+          Alcotest.test_case "lock wait accounted" `Quick test_smp_lock_wait_accounted;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_ring_model ]);
+    ]

@@ -1,0 +1,165 @@
+(* The §4.1 / Listing 3 proof structure, executably: open transition
+   "ensures" specs, the closed structural invariant (tree_wf), and the
+   preservation lemma checked over real and randomized tree
+   operations. *)
+
+open Atmo_util
+module Proc_mgr = Atmo_pm.Proc_mgr
+module Tree_ensures = Atmo_pm.Tree_ensures
+module Perm_map = Atmo_pm.Perm_map
+module Container = Atmo_pm.Container
+module Phys_mem = Atmo_hw.Phys_mem
+module Page_alloc = Atmo_pmem.Page_alloc
+
+let checkb = Alcotest.(check bool)
+
+let expect what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %a" what Errno.pp e
+
+let expect_ok what = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: %s" what msg
+
+let expect_fail what = function
+  | Error _ -> ()
+  | Ok () -> Alcotest.failf "%s: expected a violation" what
+
+let mk_pm () =
+  let mem = Phys_mem.create ~page_count:2048 in
+  let alloc = Page_alloc.create mem ~reserved_frames:0 in
+  expect "create"
+    (Proc_mgr.create mem alloc ~root_quota:1500 ~cpus:(Iset.of_range ~lo:0 ~hi:4))
+
+(* ------------------------------------------------------------------ *)
+
+let test_new_container_satisfies_ensures () =
+  let pm = mk_pm () in
+  let root = pm.Proc_mgr.root_container in
+  let pre = Tree_ensures.snapshot pm in
+  let child = expect "child" (Proc_mgr.new_container pm ~parent:root ~quota:64 ~cpus:Iset.empty) in
+  let post = Tree_ensures.snapshot pm in
+  expect_ok "ensures holds of the real transition"
+    (Tree_ensures.new_container_ensures ~pre ~post ~parent:root ~child ~quota:64);
+  expect_ok "wf before" (Tree_ensures.tree_wf pre);
+  expect_ok "wf after" (Tree_ensures.tree_wf post)
+
+let test_nested_creation_ensures () =
+  let pm = mk_pm () in
+  let root = pm.Proc_mgr.root_container in
+  let a = expect "a" (Proc_mgr.new_container pm ~parent:root ~quota:256 ~cpus:Iset.empty) in
+  let b = expect "b" (Proc_mgr.new_container pm ~parent:a ~quota:64 ~cpus:Iset.empty) in
+  let pre = Tree_ensures.snapshot pm in
+  let c = expect "c" (Proc_mgr.new_container pm ~parent:b ~quota:16 ~cpus:Iset.empty) in
+  let post = Tree_ensures.snapshot pm in
+  (* the ancestors' subtree growth (root and a and b) is exactly {c} *)
+  expect_ok "deep ensures"
+    (Tree_ensures.new_container_ensures ~pre ~post ~parent:b ~child:c ~quota:16)
+
+let test_terminate_satisfies_ensures () =
+  let pm = mk_pm () in
+  let root = pm.Proc_mgr.root_container in
+  let a = expect "a" (Proc_mgr.new_container pm ~parent:root ~quota:256 ~cpus:Iset.empty) in
+  ignore (expect "aa" (Proc_mgr.new_container pm ~parent:a ~quota:32 ~cpus:Iset.empty));
+  ignore (expect "ab" (Proc_mgr.new_container pm ~parent:a ~quota:32 ~cpus:Iset.empty));
+  let pre = Tree_ensures.snapshot pm in
+  expect "terminate" (Proc_mgr.terminate_container pm ~container:a);
+  let post = Tree_ensures.snapshot pm in
+  expect_ok "terminate ensures" (Tree_ensures.terminate_ensures ~pre ~post ~victim:a);
+  expect_ok "wf after" (Tree_ensures.tree_wf post)
+
+let test_ensures_rejects_wrong_transition () =
+  (* claim the wrong parent / quota: the open spec must refuse *)
+  let pm = mk_pm () in
+  let root = pm.Proc_mgr.root_container in
+  let a = expect "a" (Proc_mgr.new_container pm ~parent:root ~quota:256 ~cpus:Iset.empty) in
+  let pre = Tree_ensures.snapshot pm in
+  let b = expect "b" (Proc_mgr.new_container pm ~parent:a ~quota:16 ~cpus:Iset.empty) in
+  let post = Tree_ensures.snapshot pm in
+  expect_fail "wrong parent"
+    (Tree_ensures.new_container_ensures ~pre ~post ~parent:root ~child:b ~quota:16);
+  expect_fail "wrong quota"
+    (Tree_ensures.new_container_ensures ~pre ~post ~parent:a ~child:b ~quota:99);
+  (* and a hidden extra effect also violates the frame condition *)
+  let pre2 = Tree_ensures.snapshot pm in
+  let c = expect "c" (Proc_mgr.new_container pm ~parent:a ~quota:16 ~cpus:Iset.empty) in
+  Perm_map.update pm.Proc_mgr.cntr_perms ~ptr:root (fun cc ->
+      { cc with Container.quota = cc.Container.quota + 1 });
+  let post2 = Tree_ensures.snapshot pm in
+  expect_fail "hidden effect"
+    (Tree_ensures.new_container_ensures ~pre:pre2 ~post:post2 ~parent:a ~child:c ~quota:16)
+
+let test_wf_rejects_corruption () =
+  let pm = mk_pm () in
+  let root = pm.Proc_mgr.root_container in
+  let a = expect "a" (Proc_mgr.new_container pm ~parent:root ~quota:64 ~cpus:Iset.empty) in
+  Perm_map.update pm.Proc_mgr.cntr_perms ~ptr:a (fun c ->
+      { c with Container.path = [] });
+  expect_fail "broken path" (Tree_ensures.tree_wf (Tree_ensures.snapshot pm))
+
+(* the preservation lemma over randomized create/terminate traffic *)
+let prop_preservation =
+  QCheck.Test.make ~name:"ensures + wf-before implies wf-after (preservation)" ~count:40
+    QCheck.(list (pair bool (int_bound 7)))
+    (fun ops ->
+      let pm = mk_pm () in
+      let root = pm.Proc_mgr.root_container in
+      let live = ref [ root ] in
+      List.for_all
+        (fun (create, pick) ->
+          let parent = List.nth !live (pick mod List.length !live) in
+          if create then begin
+            let pre = Tree_ensures.snapshot pm in
+            match Proc_mgr.new_container pm ~parent ~quota:8 ~cpus:Iset.empty with
+            | Error _ -> true
+            | Ok child ->
+              live := child :: !live;
+              let post = Tree_ensures.snapshot pm in
+              let ensures =
+                Tree_ensures.new_container_ensures ~pre ~post ~parent ~child ~quota:8
+              in
+              ensures = Ok ()
+              && Tree_ensures.check_preservation ~pre ~post ~ensures = Ok ()
+          end
+          else if parent = root then true
+          else begin
+            let pre = Tree_ensures.snapshot pm in
+            match Proc_mgr.terminate_container pm ~container:parent with
+            | Error _ -> true
+            | Ok () ->
+              let post = Tree_ensures.snapshot pm in
+              live :=
+                List.filter
+                  (fun c -> Perm_map.mem pm.Proc_mgr.cntr_perms ~ptr:c)
+                  !live;
+              let ensures = Tree_ensures.terminate_ensures ~pre ~post ~victim:parent in
+              ensures = Ok ()
+              && Tree_ensures.check_preservation ~pre ~post ~ensures = Ok ()
+          end)
+        ops)
+
+let test_preservation_vacuous_cases () =
+  let pm = mk_pm () in
+  let s = Tree_ensures.snapshot pm in
+  (* a failed ensures makes the lemma vacuous, not violated *)
+  checkb "vacuous on failed ensures" true
+    (Tree_ensures.check_preservation ~pre:s ~post:s ~ensures:(Error "no") = Ok ())
+
+let () =
+  Alcotest.run "tree_spec"
+    [
+      ( "ensures",
+        [
+          Alcotest.test_case "new_container" `Quick test_new_container_satisfies_ensures;
+          Alcotest.test_case "nested creation" `Quick test_nested_creation_ensures;
+          Alcotest.test_case "terminate" `Quick test_terminate_satisfies_ensures;
+          Alcotest.test_case "rejects wrong transitions" `Quick
+            test_ensures_rejects_wrong_transition;
+        ] );
+      ( "wf",
+        [
+          Alcotest.test_case "rejects corruption" `Quick test_wf_rejects_corruption;
+          Alcotest.test_case "vacuous preservation" `Quick test_preservation_vacuous_cases;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_preservation ]);
+    ]

@@ -1,0 +1,186 @@
+(* Verification machinery: obligations, the runner (sequential and
+   multi-domain), the catalog, and effort accounting. *)
+
+module Obligation = Atmo_verif.Obligation
+module Runner = Atmo_verif.Runner
+module Catalog = Atmo_verif.Catalog
+module Effort = Atmo_verif.Effort
+module Pt_refine = Atmo_pt.Pt_refine
+module Nros_pt = Atmo_pt.Nros_pt
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let ok_obl name = Obligation.make ~name ~group:"t" (fun () -> Ok ())
+let fail_obl name = Obligation.make ~name ~group:"t" (fun () -> Error "broken")
+let raise_obl name = Obligation.make ~name ~group:"t" (fun () -> failwith "boom")
+
+let test_discharge () =
+  let r = Obligation.discharge (ok_obl "a") in
+  checkb "ok" true r.Obligation.ok;
+  let r = Obligation.discharge (fail_obl "b") in
+  checkb "fail" false r.Obligation.ok;
+  checkb "detail" true (r.Obligation.detail = Some "broken");
+  let r = Obligation.discharge (raise_obl "c") in
+  checkb "exception contained" false r.Obligation.ok
+
+let test_runner_sequential () =
+  let report = Runner.run [ ok_obl "a"; fail_obl "b"; ok_obl "c" ] in
+  checki "three results" 3 (List.length report.Runner.results);
+  checkb "not all ok" false (Runner.all_ok report);
+  checki "one failure" 1 (List.length (Runner.failures report))
+
+let test_runner_parallel_matches () =
+  let obls = List.init 12 (fun i -> if i mod 5 = 0 then fail_obl (string_of_int i) else ok_obl (string_of_int i)) in
+  let seq = Runner.run ~threads:1 obls in
+  let par = Runner.run ~threads:3 obls in
+  checki "same count" (List.length seq.Runner.results) (List.length par.Runner.results);
+  let names r =
+    List.sort compare
+      (List.map (fun (x : Obligation.result) -> (x.Obligation.name, x.Obligation.ok)) r.Runner.results)
+  in
+  checkb "same verdicts" true (names seq = names par)
+
+let test_by_group () =
+  let obls =
+    [ Obligation.make ~name:"a" ~group:"g1" (fun () -> Ok ());
+      Obligation.make ~name:"b" ~group:"g2" (fun () -> Ok ());
+      Obligation.make ~name:"c" ~group:"g1" (fun () -> Ok ()) ]
+  in
+  match Runner.by_group obls with
+  | [ ("g1", g1); ("g2", g2) ] ->
+    checki "g1 size" 2 (List.length g1);
+    checki "g2 size" 1 (List.length g2)
+  | other -> Alcotest.failf "unexpected grouping (%d groups)" (List.length other)
+
+(* ------------------------------------------------------------------ *)
+(* Catalog                                                             *)
+
+let test_catalog_pt_suites_pass () =
+  let pt = Catalog.build_pt ~mappings:600 in
+  let flat = Runner.run (Catalog.pt_obligations_flat pt) in
+  let rec_ = Runner.run (Catalog.pt_obligations_recursive pt) in
+  checkb "flat ok" true (Runner.all_ok flat);
+  checkb "recursive ok" true (Runner.all_ok rec_)
+
+let test_catalog_world_wf () =
+  match Catalog.build_world ~scale:3 with
+  | Error msg -> Alcotest.failf "world: %s" msg
+  | Ok (k, _) ->
+    let report = Runner.run (Catalog.kernel_obligations k) in
+    checkb "kernel obligations discharge" true (Runner.all_ok report);
+    checkb "plenty of obligations" true (List.length report.Runner.results >= 15)
+
+let test_catalog_full_suite () =
+  match Catalog.full_suite ~scale:2 with
+  | Error msg -> Alcotest.failf "suite: %s" msg
+  | Ok suite ->
+    checkb "page-table, kernel and spec obligations present" true
+      (List.exists (fun (o : Obligation.t) -> o.Obligation.group = "pt-flat") suite
+       && List.exists (fun (o : Obligation.t) -> o.Obligation.group = "kernel") suite
+       && List.exists (fun (o : Obligation.t) -> o.Obligation.group = "spec") suite)
+
+let test_catalog_detects_corruption () =
+  (* corrupting the populated world must flip at least one obligation *)
+  match Catalog.build_world ~scale:2 with
+  | Error msg -> Alcotest.failf "world: %s" msg
+  | Ok (k, _) ->
+    Atmo_pm.Perm_map.update k.Atmo_core.Kernel.pm.Atmo_pm.Proc_mgr.cntr_perms
+      ~ptr:k.Atmo_core.Kernel.pm.Atmo_pm.Proc_mgr.root_container (fun c ->
+        { c with Atmo_pm.Container.used = c.Atmo_pm.Container.used + 1 });
+    let report = Runner.run (Catalog.kernel_obligations k) in
+    checkb "corruption detected" false (Runner.all_ok report)
+
+let test_catalog_spec_obligations_discharge () =
+  (* a representative sample of the per-syscall transition-spec
+     obligations (the full set runs in the bench harness) *)
+  let wanted = [ "spec/mmap"; "spec/send"; "spec/terminate_container"; "spec/io_map" ] in
+  let obls =
+    List.filter
+      (fun (o : Obligation.t) -> List.mem o.Obligation.name wanted)
+      (Catalog.syscall_obligations ~scale:2)
+  in
+  checki "all four found" 4 (List.length obls);
+  let report = Runner.run obls in
+  List.iter
+    (fun (r : Obligation.result) ->
+      if not r.Obligation.ok then
+        Alcotest.failf "%s failed: %s" r.Obligation.name
+          (Option.value ~default:"?" r.Obligation.detail))
+    report.Runner.results
+
+(* ------------------------------------------------------------------ *)
+(* Flat vs recursive agreement                                         *)
+
+let test_flat_recursive_agree () =
+  let pt = Catalog.build_pt ~mappings:800 in
+  checkb "flat passes" true (Pt_refine.all pt = Ok ());
+  checkb "recursive passes" true (Nros_pt.all pt = Ok ());
+  checkb "interps equal" true
+    (List.sort compare (Nros_pt.interp pt)
+     = List.sort compare (Atmo_pt.Page_table.walk_concrete pt))
+
+(* ------------------------------------------------------------------ *)
+(* Effort                                                              *)
+
+let test_table1_data () =
+  checki "seven systems" 7 (List.length Effort.table1);
+  let atmo = List.find (fun r -> r.Effort.system = "Atmosphere") Effort.table1 in
+  checkb "atmo ratio" true (abs_float (atmo.Effort.ratio -. 3.32) < 0.01);
+  let sel4 = List.find (fun r -> r.Effort.system = "seL4") Effort.table1 in
+  checkb "ordering preserved" true (sel4.Effort.ratio > atmo.Effort.ratio)
+
+let test_fig3_series_shape () =
+  let s = Effort.fig3_series in
+  checki "14 months" 14 (List.length s);
+  let final = List.nth s 13 in
+  checki "final exec LoC" 6000 final.Effort.exec_loc;
+  checki "final proof LoC" 20100 final.Effort.proof_loc;
+  (* clean-slate rewrites drop the line count *)
+  let at n = List.nth s n in
+  checkb "v2 rewrite drops" true ((at 2).Effort.exec_loc < (at 1).Effort.exec_loc);
+  checkb "v3 rewrite drops" true ((at 10).Effort.exec_loc < (at 9).Effort.exec_loc);
+  checkb "v3 keeps ~50%" true
+    (float_of_int (at 10).Effort.exec_loc /. float_of_int (at 9).Effort.exec_loc > 0.4)
+
+let test_measure_repo () =
+  (* dune runs tests from the build dir; point at the source root *)
+  let root =
+    if Sys.file_exists "lib" then "."
+    else if Sys.file_exists "../../../lib" then "../../.."
+    else "."
+  in
+  match Effort.measure_repo ~root with
+  | Some s ->
+    checkb "found spec lines" true (s.Effort.spec_lines > 1000);
+    checkb "found exec lines" true (s.Effort.exec_lines > 1000);
+    checkb "ratio positive" true (s.Effort.ratio > 0.)
+  | None -> () (* sources not reachable in this environment: acceptable *)
+
+let () =
+  Alcotest.run "verif"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "discharge" `Quick test_discharge;
+          Alcotest.test_case "sequential" `Quick test_runner_sequential;
+          Alcotest.test_case "parallel matches" `Quick test_runner_parallel_matches;
+          Alcotest.test_case "by group" `Quick test_by_group;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "pt suites pass" `Quick test_catalog_pt_suites_pass;
+          Alcotest.test_case "world wf" `Quick test_catalog_world_wf;
+          Alcotest.test_case "full suite groups" `Quick test_catalog_full_suite;
+          Alcotest.test_case "detects corruption" `Quick test_catalog_detects_corruption;
+          Alcotest.test_case "spec obligations discharge" `Quick
+            test_catalog_spec_obligations_discharge;
+          Alcotest.test_case "flat/recursive agree" `Quick test_flat_recursive_agree;
+        ] );
+      ( "effort",
+        [
+          Alcotest.test_case "table1 data" `Quick test_table1_data;
+          Alcotest.test_case "fig3 shape" `Quick test_fig3_series_shape;
+          Alcotest.test_case "measure repo" `Quick test_measure_repo;
+        ] );
+    ]
