@@ -1,0 +1,26 @@
+# Convenience targets over dune; `make check` is the pre-commit gate.
+
+.PHONY: all build test bench check trace obs clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- all
+
+check:
+	dune build && dune runtest && dune exec bench/main.exe -- table3
+
+trace:
+	dune exec bin/atmo_cli.exe -- trace
+
+obs:
+	dune exec bench/main.exe -- obs
+
+clean:
+	dune clean

@@ -183,15 +183,19 @@ let table3 () =
   line "%-14s %12d %8d" "Map a page" cost.Cost.map_page
     (Atmo_baselines.Sel4.map_page_cycles cost);
   line "(paper: call/reply 1058 vs 1026; map 1984 vs 2650)";
-  (* sanity: drive the functional kernel through the same paths *)
+  (* sanity: drive the functional kernel through the same paths, and
+     record per-pair host latency in an Atmo_obs histogram so the table
+     reports the distribution, not just the mean *)
   (match Kernel.boot Kernel.default_boot with
    | Error _ -> ()
    | Ok (k, init) ->
+     let hist = Atmo_obs.Metrics.Histogram.make "bench/mmap_pair_ns" in
      let t0 = Unix.gettimeofday () in
      let n = 20000 in
      (match Kernel.step k ~thread:init (Syscall.New_endpoint { slot = 0 }) with
       | Syscall.Rptr _ ->
         for i = 0 to n - 1 do
+          let p0 = Unix.gettimeofday () in
           ignore
             (Kernel.step k ~thread:init
                (Syscall.Mmap
@@ -199,10 +203,17 @@ let table3 () =
           ignore
             (Kernel.step k ~thread:init
                (Syscall.Munmap { va = 0x4000_0000; count = 1; size = Page_state.S4k }));
+          Atmo_obs.Metrics.Histogram.observe hist
+            (int_of_float ((Unix.gettimeofday () -. p0) *. 1e9));
           ignore i
         done;
         line "(functional model: %d mmap+munmap pairs in %.1f ms)" n
-          ((Unix.gettimeofday () -. t0) *. 1000.)
+          ((Unix.gettimeofday () -. t0) *. 1000.);
+        line "host latency per pair (ns, log2 buckets): p50 %d  p90 %d  p99 %d  max %d"
+          (Atmo_obs.Metrics.Histogram.p50 hist)
+          (Atmo_obs.Metrics.Histogram.p90 hist)
+          (Atmo_obs.Metrics.Histogram.p99 hist)
+          (Atmo_obs.Metrics.Histogram.max_value hist)
       | _ -> ()))
 
 (* ------------------------------------------------------------------ *)
@@ -502,6 +513,74 @@ let fig7 () =
      /. float_of_int (Atmo_net.Kv_store.capacity store))
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead: the flight recorder on vs off               *)
+
+(* The tracepoints must be free when disabled (a single flag load) and
+   cycle-model-neutral when enabled: tracing costs host time only, never
+   simulated cycles.  This bench measures both claims on a kernel-heavy
+   SMP workload. *)
+let obs () =
+  section "Observability: tracing overhead on vs off (host time; model cycles)";
+  let workload () =
+    match Kernel.boot Kernel.default_boot with
+    | Error _ -> None
+    | Ok (k, init) ->
+      let t2 =
+        match Kernel.step k ~thread:init Syscall.New_thread with
+        | Syscall.Rptr t -> t
+        | _ -> init
+      in
+      (match Kernel.step k ~thread:init (Syscall.New_endpoint { slot = 0 }) with
+       | Syscall.Rptr ep ->
+         Atmo_pm.Perm_map.update k.Kernel.pm.Atmo_pm.Proc_mgr.thrd_perms ~ptr:t2
+           (fun th -> Atmo_pm.Thread.set_slot th 0 (Some ep))
+       | _ -> ());
+      let programs =
+        [
+          { Atmo_sim.Smp.thread = t2; think_cycles = 600;
+            call_of = (fun _ -> Syscall.Recv { slot = 0 }) };
+          { Atmo_sim.Smp.thread = init; think_cycles = 800;
+            call_of = (fun i -> Syscall.Send { slot = 0; msg = Message.scalars_only [ i ] }) };
+        ]
+      in
+      (match Atmo_sim.Smp.run k ~cost ~cpus:2 ~programs ~iterations:500 with
+       | Ok s -> Some (s.Atmo_sim.Smp.wall_cycles, s.Atmo_sim.Smp.lock_wait_cycles)
+       | Error _ -> None)
+  in
+  let reps = 30 in
+  let time_reps () =
+    let t0 = Unix.gettimeofday () in
+    let cycles = ref None in
+    for _ = 1 to reps do
+      cycles := workload ()
+    done;
+    (Unix.gettimeofday () -. t0, !cycles)
+  in
+  Atmo_obs.Sink.install Atmo_obs.Sink.Disabled;
+  let off_s, off_cycles = time_reps () in
+  let recorder =
+    Atmo_obs.Flight.create ~cpus:2 ~slots:1024 ~slot_size:Atmo_obs.Event.slot_bytes
+  in
+  Atmo_obs.Sink.install (Atmo_obs.Sink.Flight recorder);
+  let on_s, on_cycles = time_reps () in
+  Atmo_obs.Sink.install Atmo_obs.Sink.Disabled;
+  line "disabled sink: %8.2f ms for %d runs" (off_s *. 1000.) reps;
+  line "flight sink:   %8.2f ms for %d runs  (%d events live, %d dropped)"
+    (on_s *. 1000.) reps
+    (List.length (Atmo_obs.Flight.to_list recorder ~cpu:0)
+     + List.length (Atmo_obs.Flight.to_list recorder ~cpu:1))
+    (Atmo_obs.Flight.total_dropped recorder);
+  line "host-time overhead when enabled: %.1f%%"
+    (100. *. (on_s -. off_s) /. Float.max 1e-9 off_s);
+  (match (off_cycles, on_cycles) with
+   | Some (w0, l0), Some (w1, l1) ->
+     line "cycle model (wall, lock-wait): off (%d, %d)  on (%d, %d)  identical: %b" w0 l0
+       w1 l1
+       (w0 = w1 && l0 = l1)
+   | _ -> line "cycle model: workload failed");
+  line "(tracing must never move simulated time: 'identical: true' is the contract)"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 
 let bechamel () =
@@ -599,6 +678,7 @@ let all () =
   fig5 ();
   fig6 ();
   fig7 ();
+  obs ();
   bechamel ()
 
 let () =
@@ -614,6 +694,7 @@ let () =
   | "fig6" -> fig6 ()
   | "fig7" -> fig7 ()
   | "ablation" -> ablation ()
+  | "obs" -> obs ()
   | "bechamel" -> bechamel ()
   | "all" -> all ()
   | other ->

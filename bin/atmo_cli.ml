@@ -4,13 +4,19 @@
      verify   discharge the verification obligation suites
      fuzz     randomized refinement checking of the kernel
      ni       noninterference harness (unwinding conditions)
-     boot     boot a kernel and print its abstract state *)
+     boot     boot a kernel and print its abstract state
+     trace    flight-record a scripted workload and dump events + latency *)
 
 open Cmdliner
 module Runner = Atmo_verif.Runner
 module Catalog = Atmo_verif.Catalog
 module Obligation = Atmo_verif.Obligation
 module Kernel = Atmo_core.Kernel
+module Syscall = Atmo_spec.Syscall
+module Obs_event = Atmo_obs.Event
+module Obs_flight = Atmo_obs.Flight
+module Obs_metrics = Atmo_obs.Metrics
+module Obs_sink = Atmo_obs.Sink
 
 let setup_logs () =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -100,6 +106,155 @@ let boot_cmd () =
        1)
 
 (* ------------------------------------------------------------------ *)
+(* trace: flight-record a scripted IPC + mmap + driver workload        *)
+
+(* The workload is deterministic: boot, an SMP send/recv ping-pong over
+   a shared endpoint, a memory phase (multi-page mmap, MMU walks,
+   superpage formation, munmap), and an NVMe submit/poll phase.  Every
+   cycle figure printed comes from the simulation's cost model, so a
+   run with the Disabled sink doubles as the bit-identical baseline for
+   the zero-overhead guarantee. *)
+let run_trace_workload k ~init ~iterations =
+  let cost = Atmo_sim.Cost.default in
+  let pm = k.Kernel.pm in
+  (* a second thread sharing init's endpoint (the capability a parent
+     would hand a child at spawn) *)
+  let t2 =
+    match Kernel.step k ~thread:init Syscall.New_thread with
+    | Syscall.Rptr t -> t
+    | r -> Fmt.failwith "trace: new_thread -> %a" Syscall.pp_ret r
+  in
+  let ep =
+    match Kernel.step k ~thread:init (Syscall.New_endpoint { slot = 0 }) with
+    | Syscall.Rptr e -> e
+    | r -> Fmt.failwith "trace: new_endpoint -> %a" Syscall.pp_ret r
+  in
+  Atmo_pm.Perm_map.update pm.Atmo_pm.Proc_mgr.thrd_perms ~ptr:t2 (fun th ->
+      Atmo_pm.Thread.set_slot th 0 (Some ep));
+  (* phase 1: IPC ping-pong under the big lock; the receiver runs first
+     so sends rendezvous with a waiting receiver (ep_send), and the
+     receiver's first call of each round blocks (ep_block) *)
+  let programs =
+    [
+      { Atmo_sim.Smp.thread = t2; think_cycles = 600;
+        call_of = (fun _ -> Syscall.Recv { slot = 0 }) };
+      { Atmo_sim.Smp.thread = init; think_cycles = 800;
+        call_of = (fun i -> Syscall.Send { slot = 0; msg = Atmo_pm.Message.scalars_only [ i ] }) };
+    ]
+  in
+  let stats =
+    match Atmo_sim.Smp.run k ~cost ~cpus:2 ~programs ~iterations with
+    | Ok s -> s
+    | Error msg -> Fmt.failwith "trace: smp phase failed: %s" msg
+  in
+  (* phase 2: memory; a manual virtual clock continues where the SMP
+     timeline stopped *)
+  let vnow = ref stats.Atmo_sim.Smp.wall_cycles in
+  if Obs_sink.tracing () then Obs_sink.set_clock (fun () -> !vnow);
+  let tstep thread call =
+    let c = Atmo_sim.Smp.syscall_cycles cost call in
+    let r = Kernel.step k ~thread call in
+    vnow := !vnow + c;
+    if Obs_sink.tracing () then
+      Obs_metrics.observe ("lat/syscall/" ^ Syscall.name call) c;
+    r
+  in
+  let s4k = Atmo_pmem.Page_state.S4k and s2m = Atmo_pmem.Page_state.S2m in
+  let rw = Atmo_hw.Pte_bits.perm_rw in
+  ignore (tstep init (Syscall.Mmap { va = 0x4000_0000; count = 8; size = s4k; perm = rw }));
+  (* user-level loads: real MMU walks through the new page tables *)
+  for i = 0 to 7 do
+    ignore (Kernel.resolve_user k ~thread:init ~vaddr:(0x4000_0000 + (i * 0x1000)))
+  done;
+  ignore (Kernel.resolve_user k ~thread:init ~vaddr:0x7fff_0000);  (* miss *)
+  ignore (tstep init (Syscall.Munmap { va = 0x4000_0000; count = 8; size = s4k }));
+  (* a 2 MiB mapping forces superpage formation out of free 4 KiB frames *)
+  ignore (tstep init (Syscall.Mmap { va = 0x8000_0000; count = 1; size = s2m; perm = rw }));
+  ignore (tstep init (Syscall.Munmap { va = 0x8000_0000; count = 1; size = s2m }));
+  (* phase 3: one last rendezvous in the other direction (sender blocks,
+     receiver harvests it) *)
+  ignore (tstep init (Syscall.Send { slot = 0; msg = Atmo_pm.Message.scalars_only [ 99 ] }));
+  ignore (tstep t2 (Syscall.Recv { slot = 0 }));
+  (* phase 4: NVMe queue pair *)
+  let dclock = Atmo_hw.Clock.create () in
+  Atmo_hw.Clock.advance dclock !vnow;
+  if Obs_sink.tracing () then
+    Obs_sink.set_clock (fun () -> Atmo_hw.Clock.now dclock);
+  let nvme = Atmo_drivers.Nvme.create ~clock:dclock ~cost ~capacity_blocks:1024 in
+  Atmo_drivers.Nvme.set_device nvme 7;
+  let block = Bytes.make Atmo_drivers.Nvme.block_bytes 'a' in
+  for lba = 0 to 7 do
+    ignore (Atmo_drivers.Nvme.submit_write nvme ~lba ~data:block)
+  done;
+  ignore (Atmo_drivers.Nvme.wait_all nvme);
+  for lba = 0 to 3 do
+    ignore (Atmo_drivers.Nvme.submit_read nvme ~lba)
+  done;
+  ignore (Atmo_drivers.Nvme.wait_all nvme);
+  (stats, !vnow, Atmo_hw.Clock.now dclock)
+
+let trace sink_kind iterations max_events slots =
+  setup_logs ();
+  if slots <= 0 || slots land (slots - 1) <> 0 then begin
+    Format.eprintf "trace: --slots must be a positive power of two (got %d)@." slots;
+    exit 2
+  end;
+  Obs_metrics.reset ();
+  let recorder =
+    Obs_flight.create ~cpus:2 ~slots ~slot_size:Obs_event.slot_bytes
+  in
+  (match sink_kind with
+   | "disabled" -> Obs_sink.install Obs_sink.Disabled
+   | "flight" -> Obs_sink.install (Obs_sink.Flight recorder)
+   | other -> Fmt.failwith "trace: unknown sink %S (flight|disabled)" other);
+  match Kernel.boot Kernel.default_boot with
+  | Error e ->
+    Format.eprintf "boot: %a@." Atmo_util.Errno.pp e;
+    1
+  | Ok (k, init) ->
+    let stats, mem_cycles, drv_cycles = run_trace_workload k ~init ~iterations in
+    Format.printf "workload: %d syscalls under the big lock (2 CPUs), wall %d cycles,@."
+      stats.Atmo_sim.Smp.syscalls_executed stats.Atmo_sim.Smp.wall_cycles;
+    Format.printf "          lock wait %d cycles; memory phase to %d; driver clock %d@."
+      stats.Atmo_sim.Smp.lock_wait_cycles mem_cycles drv_cycles;
+    let records = Obs_sink.records () in
+    (match sink_kind with
+     | "disabled" ->
+       Format.printf
+         "sink disabled: 0 events recorded; the cycle totals above are the@.\
+         \ bit-identical baseline any instrumented run must reproduce.@.";
+       0
+     | _ ->
+       Format.printf "@.-- flight recorder: %d live events (%d dropped, oldest-first) --@."
+         (List.length records) (Obs_sink.dropped ());
+       let shown = ref 0 in
+       List.iter
+         (fun r ->
+           if !shown < max_events then begin
+             Format.printf "%a@." Obs_event.pp_record r;
+             incr shown
+           end)
+         records;
+       if List.length records > max_events then
+         Format.printf "... (%d more; raise --events to see them)@."
+           (List.length records - max_events);
+       let by_kind = Hashtbl.create 16 in
+       List.iter
+         (fun (r : Obs_event.record) ->
+           let key = Obs_event.kind r.Obs_event.ev in
+           Hashtbl.replace by_kind key
+             (1 + Option.value ~default:0 (Hashtbl.find_opt by_kind key)))
+         records;
+       Format.printf "@.-- event kinds --@.";
+       Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_kind []
+       |> List.sort compare
+       |> List.iter (fun (kind, n) -> Format.printf "%-16s %6d@." kind n);
+       Format.printf "@.-- metrics (latencies in model cycles) --@.%a"
+         Obs_metrics.pp_table ();
+       Obs_sink.install Obs_sink.Disabled;
+       0)
+
+(* ------------------------------------------------------------------ *)
 
 let scale_arg =
   Arg.(value & opt int 6 & info [ "scale" ] ~doc:"World size for the verification suite.")
@@ -130,9 +285,30 @@ let boot_cmdliner =
   Cmd.v (Cmd.info "boot" ~doc:"Boot a kernel and print its abstract state")
     Term.(const boot_cmd $ const ())
 
+let sink_arg =
+  Arg.(
+    value
+    & opt (enum [ ("flight", "flight"); ("disabled", "disabled") ]) "flight"
+    & info [ "sink" ] ~doc:"Event sink: $(b,flight) records; $(b,disabled) is the baseline.")
+
+let trace_iters_arg =
+  Arg.(value & opt int 50 & info [ "iterations" ] ~doc:"IPC ping-pong rounds in the SMP phase.")
+
+let trace_events_arg =
+  Arg.(value & opt int 40 & info [ "events" ] ~doc:"Maximum decoded events to print.")
+
+let trace_slots_arg =
+  Arg.(value & opt int 256 & info [ "slots" ] ~doc:"Flight-recorder slots per CPU (power of two).")
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Flight-record a scripted workload; dump events and latency tables")
+    Term.(const trace $ sink_arg $ trace_iters_arg $ trace_events_arg $ trace_slots_arg)
+
 let () =
   let info =
     Cmd.info "atmo" ~version:"1.0"
       ~doc:"Atmosphere verified-microkernel reproduction toolkit"
   in
-  exit (Cmd.eval' (Cmd.group info [ verify_cmd; fuzz_cmd; ni_cmd; boot_cmdliner ]))
+  exit
+    (Cmd.eval' (Cmd.group info [ verify_cmd; fuzz_cmd; ni_cmd; boot_cmdliner; trace_cmd ]))

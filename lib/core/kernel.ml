@@ -15,6 +15,8 @@ module Message = Atmo_pm.Message
 module Static_list = Atmo_pm.Static_list
 module Kconfig = Atmo_pm.Kconfig
 module Syscall = Atmo_spec.Syscall
+module Obs = Atmo_obs.Sink
+module Event = Atmo_obs.Event
 
 type device_info = {
   owner_proc : int;
@@ -416,6 +418,8 @@ let send_impl t ~thread ~slot ~msg ~blocking =
              Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:receiver (fun rth ->
                  { rth with Thread.msg_buf = Some msg });
              Proc_mgr.enqueue_runnable t.pm ~thread:receiver;
+             if Obs.tracing () then
+               Obs.emit (Event.Ep_send { ep; sender = thread; receiver });
              Syscall.Runit)
         | [] ->
           if not blocking then err Errno.Ewouldblock
@@ -451,6 +455,8 @@ let send_impl t ~thread ~slot ~msg ~blocking =
               Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:thread (fun th ->
                   { th with Thread.msg_buf = Some msg });
               detach_from_scheduler t ~thread (Thread.Blocked_send ep);
+              if Obs.tracing () then
+                Obs.emit (Event.Ep_block { ep; thread; dir = Event.Dir_send });
               Syscall.Rblocked
             end
           end))
@@ -481,6 +487,8 @@ let recv_impl t ~thread ~slot ~blocking =
              Proc_mgr.enqueue_runnable t.pm ~thread:sender;
              Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:thread (fun th ->
                  { th with Thread.msg_buf = Some msg });
+             if Obs.tracing () then
+               Obs.emit (Event.Ep_recv { ep; receiver = thread; sender });
              Syscall.Rmsg msg)
         | [] ->
           (* a pending interrupt routed to this endpoint is delivered
@@ -515,6 +523,8 @@ let recv_impl t ~thread ~slot ~blocking =
                Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:thread (fun th ->
                    { th with Thread.msg_buf = None });
                detach_from_scheduler t ~thread (Thread.Blocked_recv ep);
+               if Obs.tracing () then
+                 Obs.emit (Event.Ep_block { ep; thread; dir = Event.Dir_recv });
                Syscall.Rblocked
              end)))
 
@@ -796,7 +806,7 @@ let () = sweep_irqs_ref := sweep_irqs
 (* ------------------------------------------------------------------ *)
 (* Dispatcher                                                          *)
 
-let step t ~thread (call : Syscall.t) =
+let dispatch t ~thread (call : Syscall.t) =
   match call with
   | Syscall.Mmap { va; count; size; perm } -> sys_mmap t ~thread ~va ~count ~size ~perm
   | Syscall.Munmap { va; count; size } -> sys_munmap t ~thread ~va ~count ~size
@@ -820,3 +830,16 @@ let step t ~thread (call : Syscall.t) =
   | Syscall.Io_unmap { device; iova } -> sys_io_unmap t ~thread ~device ~iova
   | Syscall.Register_irq { device; slot } -> sys_register_irq t ~thread ~device ~slot
   | Syscall.Irq_fire { device } -> irq_fire t ~device
+
+let step t ~thread (call : Syscall.t) =
+  if not (Obs.tracing ()) then dispatch t ~thread call
+  else begin
+    let sysno = Syscall.number call in
+    Obs.emit (Event.Syscall_enter { thread; sysno });
+    Atmo_obs.Metrics.bump "kernel/syscalls";
+    let ret = dispatch t ~thread call in
+    let errno = match ret with Syscall.Rerr e -> Some e | _ -> None in
+    (match errno with None -> () | Some _ -> Atmo_obs.Metrics.bump "kernel/syscall_errors");
+    Obs.emit (Event.Syscall_exit { thread; sysno; errno });
+    ret
+  end

@@ -2,6 +2,12 @@ module Phys_mem = Atmo_hw.Phys_mem
 module Iommu = Atmo_hw.Iommu
 module Clock = Atmo_hw.Clock
 module Cost = Atmo_sim.Cost
+module Obs = Atmo_obs.Sink
+module Event = Atmo_obs.Event
+
+(* queue ids carried by doorbell/completion tracepoints *)
+let rx_queue = 0
+let tx_queue = 1
 
 let descriptor_bytes = 16
 let line_rate_pps = 14.2e6
@@ -77,6 +83,9 @@ let setup_rx t ~ring_iova ~buffers =
       buffers;
     if !ok then begin
       t.rx <- Some ring;
+      (* arming the ring is the first tail-register write *)
+      if Obs.tracing () then
+        Obs.emit (Event.Drv_doorbell { device = t.device; queue = rx_queue });
       Ok ()
     end
     else Error "setup_rx: descriptor DMA faulted (ring not mapped for the device?)"
@@ -152,23 +161,38 @@ let rx_burst t ~max =
            | None -> acc)
         | _ -> acc
     in
-    List.rev (harvest [] 0)
+    let frames = List.rev (harvest [] 0) in
+    let n = List.length frames in
+    if n > 0 && Obs.tracing () then begin
+      Obs.emit (Event.Drv_completion { device = t.device; count = n });
+      (* recycled descriptors are published with a tail-register write *)
+      Obs.emit (Event.Drv_doorbell { device = t.device; queue = rx_queue });
+      Atmo_obs.Metrics.bump ~by:n "drv/ixgbe_rx"
+    end;
+    frames
 
 let tx_burst t frames =
   match t.tx with
   | None -> 0
   | Some ring ->
-    List.fold_left
-      (fun accepted frame ->
-        Clock.advance t.clock t.cost.Cost.driver_per_packet;
-        (* a slot is free when its OWN and DD bits are clear *)
-        match read_desc t ring ring.drv_next with
-        | Some (_, _, flags) when flags land (flag_own lor flag_dd) = 0 ->
-          ring.drv_next <- (ring.drv_next + 1) mod ring.slots;
-          t.tx_wire <- Bytes.copy frame :: t.tx_wire;
-          t.tx_frames <- t.tx_frames + 1;
-          accepted + 1
-        | _ -> accepted)
-      0 frames
+    let accepted =
+      List.fold_left
+        (fun accepted frame ->
+          Clock.advance t.clock t.cost.Cost.driver_per_packet;
+          (* a slot is free when its OWN and DD bits are clear *)
+          match read_desc t ring ring.drv_next with
+          | Some (_, _, flags) when flags land (flag_own lor flag_dd) = 0 ->
+            ring.drv_next <- (ring.drv_next + 1) mod ring.slots;
+            t.tx_wire <- Bytes.copy frame :: t.tx_wire;
+            t.tx_frames <- t.tx_frames + 1;
+            accepted + 1
+          | _ -> accepted)
+        0 frames
+    in
+    if accepted > 0 && Obs.tracing () then begin
+      Obs.emit (Event.Drv_doorbell { device = t.device; queue = tx_queue });
+      Atmo_obs.Metrics.bump ~by:accepted "drv/ixgbe_tx"
+    end;
+    accepted
 
 let stats t = (t.rx_frames, t.tx_frames)

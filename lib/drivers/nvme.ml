@@ -1,5 +1,9 @@
 module Clock = Atmo_hw.Clock
 module Cost = Atmo_sim.Cost
+module Obs = Atmo_obs.Sink
+module Event = Atmo_obs.Event
+
+let submission_queue = 0
 
 type op = Read | Write
 
@@ -16,12 +20,14 @@ type pending = {
   p_op : op;
   p_lba : int;
   p_data : bytes option;  (* write payload *)
+  submitted : int;  (* cycle count at submission, for latency accounting *)
   due : int;  (* cycle count at which the completion posts *)
 }
 
 type t = {
   clock : Clock.t;
   cost : Cost.t;
+  mutable device : int;  (* id carried by tracepoints *)
   capacity_blocks : int;
   blocks : (int, bytes) Hashtbl.t;
   mutable queue : pending list;  (* oldest first *)
@@ -38,6 +44,7 @@ let create ~clock ~cost ~capacity_blocks =
   {
     clock;
     cost;
+    device = 0;
     capacity_blocks;
     blocks = Hashtbl.create 1024;
     queue = [];
@@ -48,6 +55,8 @@ let create ~clock ~cost ~capacity_blocks =
 
 let capacity_blocks t = t.capacity_blocks
 let queue_depth t = List.length t.queue
+let set_device t device = t.device <- device
+let device t = t.device
 
 (* Service model: a request completes after the device latency, and the
    stream of same-kind requests is spaced by the rate cap (1/cap worth
@@ -75,7 +84,14 @@ let submit t op ~lba ~data =
   else begin
     let tag = t.next_tag in
     t.next_tag <- tag + 1;
-    t.queue <- t.queue @ [ { p_tag = tag; p_op = op; p_lba = lba; p_data = data; due = due_time t op } ];
+    let submitted = Clock.now t.clock in
+    t.queue <-
+      t.queue
+      @ [ { p_tag = tag; p_op = op; p_lba = lba; p_data = data; submitted;
+            due = due_time t op } ];
+    (* submission-queue tail write *)
+    if Obs.tracing () then
+      Obs.emit (Event.Drv_doorbell { device = t.device; queue = submission_queue });
     Ok tag
   end
 
@@ -104,6 +120,13 @@ let poll t =
   let now = Clock.now t.clock in
   let due, still = List.partition (fun p -> p.due <= now) t.queue in
   t.queue <- still;
+  if due <> [] && Obs.tracing () then begin
+    Obs.emit (Event.Drv_completion { device = t.device; count = List.length due });
+    (* modeled submit-to-completion latency, in cycles *)
+    List.iter
+      (fun p -> Atmo_obs.Metrics.observe "lat/nvme_io" (p.due - p.submitted))
+      due
+  end;
   List.map (complete t) due
 
 let wait_all t =

@@ -26,6 +26,12 @@ val capacity_blocks : t -> int
 val queue_depth : t -> int
 (** Outstanding (submitted, not yet completed) requests. *)
 
+val set_device : t -> int -> unit
+(** Device id carried by the [Atmo_obs] doorbell/completion tracepoints
+    (default 0). *)
+
+val device : t -> int
+
 val submit_read : t -> lba:int -> (int, string) result
 (** Returns the tag; fails on out-of-range LBA or full queue. *)
 

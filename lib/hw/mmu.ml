@@ -28,6 +28,8 @@ let entry_addr ~table ~index =
 
 let load mem ~table ~index =
   incr steps;
+  if Atmo_obs.Sink.tracing () then
+    Atmo_obs.Sink.emit (Atmo_obs.Event.Pte_touch { table; index });
   Phys_mem.read_u64 mem ~addr:(entry_addr ~table ~index)
 
 (* Intersection of permissions along the walk: hardware allows an access
@@ -39,7 +41,7 @@ let meet (a : Pte_bits.perm) (b : Pte_bits.perm) : Pte_bits.perm =
     execute = a.execute && b.execute;
   }
 
-let resolve mem ~cr3 ~vaddr =
+let walk mem ~cr3 ~vaddr =
   if not (canonical vaddr) then None
   else
     let e4 = load mem ~table:cr3 ~index:(l4_index vaddr) in
@@ -86,6 +88,12 @@ let resolve mem ~cr3 ~vaddr =
                 size = Phys_mem.page_size;
                 perm = meet p2 (Pte_bits.perm_of e1);
               }
+
+let resolve mem ~cr3 ~vaddr =
+  let r = walk mem ~cr3 ~vaddr in
+  if Atmo_obs.Sink.tracing () then
+    Atmo_obs.Sink.emit (Atmo_obs.Event.Mmu_walk { vaddr; ok = r <> None });
+  r
 
 let read_u64 mem ~cr3 ~vaddr =
   match resolve mem ~cr3 ~vaddr with

@@ -1,0 +1,188 @@
+open Atmo_util
+
+type dir = Dir_send | Dir_recv
+
+type t =
+  | Syscall_enter of { thread : int; sysno : int }
+  | Syscall_exit of { thread : int; sysno : int; errno : Errno.t option }
+  | Page_alloc of { addr : int; order : int }
+  | Page_free of { addr : int; order : int }
+  | Superpage_merge of { head : int; order : int }
+  | Ep_create of { container : int }
+  | Ep_send of { ep : int; sender : int; receiver : int }
+  | Ep_recv of { ep : int; receiver : int; sender : int }
+  | Ep_block of { ep : int; thread : int; dir : dir }
+  | Mmu_walk of { vaddr : int; ok : bool }
+  | Pte_touch of { table : int; index : int }
+  | Drv_doorbell of { device : int; queue : int }
+  | Drv_completion of { device : int; count : int }
+  | Lock_acquire of { cpu : int; wait_cycles : int }
+
+type record = { ts : int; cpu : int; ev : t }
+
+(* Keep in declaration order of [Atmo_spec.Syscall.t]; the cross-check
+   lives in test_obs so the two libraries cannot drift silently. *)
+let syscall_names =
+  [|
+    "mmap"; "munmap"; "mprotect"; "new_container"; "new_process"; "new_thread";
+    "new_endpoint"; "close_endpoint"; "send"; "recv"; "send_nb"; "recv_nb";
+    "recv_reject"; "yield"; "terminate_container"; "terminate_process";
+    "assign_device"; "io_map"; "io_unmap"; "register_irq"; "irq_fire";
+  |]
+
+let syscall_count = Array.length syscall_names
+
+let syscall_name n =
+  if n >= 0 && n < syscall_count then syscall_names.(n)
+  else Printf.sprintf "sys?%d" n
+
+let kind = function
+  | Syscall_enter _ -> "syscall_enter"
+  | Syscall_exit _ -> "syscall_exit"
+  | Page_alloc _ -> "page_alloc"
+  | Page_free _ -> "page_free"
+  | Superpage_merge _ -> "superpage_merge"
+  | Ep_create _ -> "ep_create"
+  | Ep_send _ -> "ep_send"
+  | Ep_recv _ -> "ep_recv"
+  | Ep_block _ -> "ep_block"
+  | Mmu_walk _ -> "mmu_walk"
+  | Pte_touch _ -> "pte_touch"
+  | Drv_doorbell _ -> "drv_doorbell"
+  | Drv_completion _ -> "drv_completion"
+  | Lock_acquire _ -> "lock_acquire"
+
+(* ------------------------------------------------------------------ *)
+(* Binary encoding                                                     *)
+
+(* One event is a fixed 40-byte slot:
+     byte  0      tag (1-based; 0 means "empty slot")
+     byte  1      small auxiliary field (sysno / order / dir / flag)
+     byte  2      cpu
+     bytes 3-7    reserved (zero)
+     bytes 8-15   timestamp, cycles, u64 LE
+     bytes 16-23  field a, u64 LE
+     bytes 24-31  field b, u64 LE
+     bytes 32-39  field c, u64 LE *)
+let slot_bytes = 40
+
+let errno_code = function
+  | Errno.Enomem -> 1
+  | Errno.Equota -> 2
+  | Errno.Einval -> 3
+  | Errno.Esrch -> 4
+  | Errno.Eperm -> 5
+  | Errno.Efull -> 6
+  | Errno.Eexist -> 7
+  | Errno.Ewouldblock -> 8
+  | Errno.Ebusy -> 9
+
+let errno_of_code = function
+  | 1 -> Some Errno.Enomem
+  | 2 -> Some Errno.Equota
+  | 3 -> Some Errno.Einval
+  | 4 -> Some Errno.Esrch
+  | 5 -> Some Errno.Eperm
+  | 6 -> Some Errno.Efull
+  | 7 -> Some Errno.Eexist
+  | 8 -> Some Errno.Ewouldblock
+  | 9 -> Some Errno.Ebusy
+  | _ -> None
+
+let fields = function
+  | Syscall_enter { thread; sysno } -> (1, sysno, thread, 0, 0)
+  | Syscall_exit { thread; sysno; errno } ->
+    (2, sysno, thread, (match errno with None -> 0 | Some e -> errno_code e), 0)
+  | Page_alloc { addr; order } -> (3, order, addr, 0, 0)
+  | Page_free { addr; order } -> (4, order, addr, 0, 0)
+  | Superpage_merge { head; order } -> (5, order, head, 0, 0)
+  | Ep_create { container } -> (6, 0, container, 0, 0)
+  | Ep_send { ep; sender; receiver } -> (7, 0, ep, sender, receiver)
+  | Ep_recv { ep; receiver; sender } -> (8, 0, ep, receiver, sender)
+  | Ep_block { ep; thread; dir } ->
+    (9, (match dir with Dir_send -> 0 | Dir_recv -> 1), ep, thread, 0)
+  | Mmu_walk { vaddr; ok } -> (10, (if ok then 1 else 0), vaddr, 0, 0)
+  | Pte_touch { table; index } -> (11, 0, table, index, 0)
+  | Drv_doorbell { device; queue } -> (12, 0, device, queue, 0)
+  | Drv_completion { device; count } -> (13, 0, device, count, 0)
+  | Lock_acquire { cpu; wait_cycles } -> (14, 0, cpu, wait_cycles, 0)
+
+let encode ~ts ~cpu ev =
+  let tag, aux, a, b, c = fields ev in
+  let buf = Bytes.make slot_bytes '\000' in
+  Bytes.set_uint8 buf 0 tag;
+  Bytes.set_uint8 buf 1 aux;
+  Bytes.set_uint8 buf 2 (cpu land 0xff);
+  Bytes.set_int64_le buf 8 (Int64.of_int ts);
+  Bytes.set_int64_le buf 16 (Int64.of_int a);
+  Bytes.set_int64_le buf 24 (Int64.of_int b);
+  Bytes.set_int64_le buf 32 (Int64.of_int c);
+  buf
+
+let decode buf =
+  if Bytes.length buf < slot_bytes then None
+  else begin
+    let tag = Bytes.get_uint8 buf 0 in
+    let aux = Bytes.get_uint8 buf 1 in
+    let cpu = Bytes.get_uint8 buf 2 in
+    let ts = Int64.to_int (Bytes.get_int64_le buf 8) in
+    let a = Int64.to_int (Bytes.get_int64_le buf 16) in
+    let b = Int64.to_int (Bytes.get_int64_le buf 24) in
+    let c = Int64.to_int (Bytes.get_int64_le buf 32) in
+    let ev =
+      match tag with
+      | 1 -> Some (Syscall_enter { thread = a; sysno = aux })
+      | 2 -> Some (Syscall_exit { thread = a; sysno = aux; errno = errno_of_code b })
+      | 3 -> Some (Page_alloc { addr = a; order = aux })
+      | 4 -> Some (Page_free { addr = a; order = aux })
+      | 5 -> Some (Superpage_merge { head = a; order = aux })
+      | 6 -> Some (Ep_create { container = a })
+      | 7 -> Some (Ep_send { ep = a; sender = b; receiver = c })
+      | 8 -> Some (Ep_recv { ep = a; receiver = b; sender = c })
+      | 9 ->
+        Some (Ep_block { ep = a; thread = b; dir = (if aux = 0 then Dir_send else Dir_recv) })
+      | 10 -> Some (Mmu_walk { vaddr = a; ok = aux = 1 })
+      | 11 -> Some (Pte_touch { table = a; index = b })
+      | 12 -> Some (Drv_doorbell { device = a; queue = b })
+      | 13 -> Some (Drv_completion { device = a; count = b })
+      | 14 -> Some (Lock_acquire { cpu = a; wait_cycles = b })
+      | _ -> None
+    in
+    Option.map (fun ev -> { ts; cpu; ev }) ev
+  end
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf = function
+  | Syscall_enter { thread; sysno } ->
+    Format.fprintf ppf "syscall_enter  %-18s thread=0x%x" (syscall_name sysno) thread
+  | Syscall_exit { thread; sysno; errno } ->
+    Format.fprintf ppf "syscall_exit   %-18s thread=0x%x %s" (syscall_name sysno) thread
+      (match errno with None -> "ok" | Some e -> Errno.to_string e)
+  | Page_alloc { addr; order } ->
+    Format.fprintf ppf "page_alloc     addr=0x%x order=%d" addr order
+  | Page_free { addr; order } ->
+    Format.fprintf ppf "page_free      addr=0x%x order=%d" addr order
+  | Superpage_merge { head; order } ->
+    Format.fprintf ppf "superpage_merge head=0x%x order=%d" head order
+  | Ep_create { container } -> Format.fprintf ppf "ep_create      container=0x%x" container
+  | Ep_send { ep; sender; receiver } ->
+    Format.fprintf ppf "ep_send        ep=0x%x sender=0x%x receiver=0x%x" ep sender receiver
+  | Ep_recv { ep; receiver; sender } ->
+    Format.fprintf ppf "ep_recv        ep=0x%x receiver=0x%x sender=0x%x" ep receiver sender
+  | Ep_block { ep; thread; dir } ->
+    Format.fprintf ppf "ep_block       ep=0x%x thread=0x%x dir=%s" ep thread
+      (match dir with Dir_send -> "send" | Dir_recv -> "recv")
+  | Mmu_walk { vaddr; ok } ->
+    Format.fprintf ppf "mmu_walk       vaddr=0x%x %s" vaddr (if ok then "hit" else "miss")
+  | Pte_touch { table; index } ->
+    Format.fprintf ppf "pte_touch      table=0x%x index=%d" table index
+  | Drv_doorbell { device; queue } ->
+    Format.fprintf ppf "drv_doorbell   device=%d queue=%d" device queue
+  | Drv_completion { device; count } ->
+    Format.fprintf ppf "drv_completion device=%d count=%d" device count
+  | Lock_acquire { cpu; wait_cycles } ->
+    Format.fprintf ppf "lock_acquire   cpu=%d wait=%d" cpu wait_cycles
+
+let pp_record ppf r =
+  Format.fprintf ppf "[cpu%d @%10d] %a" r.cpu r.ts pp r.ev

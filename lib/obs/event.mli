@@ -1,0 +1,61 @@
+(** Typed kernel tracepoints.
+
+    One variant covers every instrumented hot path of the stack: system
+    call entry/exit (with the {!Atmo_util.Errno.t} result), physical
+    page allocation/free and superpage formation, endpoint send / recv /
+    block transitions, MMU walks and the individual PTE loads they
+    perform, driver queue doorbells/completions, and big-lock
+    acquisitions.  Events carry no heap structure so that encoding them
+    into a flight-recorder slot is a handful of stores. *)
+
+type dir = Dir_send | Dir_recv
+
+type t =
+  | Syscall_enter of { thread : int; sysno : int }
+  | Syscall_exit of { thread : int; sysno : int; errno : Atmo_util.Errno.t option }
+      (** [errno = None] means the call succeeded (any non-[Rerr] return). *)
+  | Page_alloc of { addr : int; order : int }
+      (** [order]: 0 = 4 KiB, 1 = 2 MiB, 2 = 1 GiB. *)
+  | Page_free of { addr : int; order : int }
+  | Superpage_merge of { head : int; order : int }
+      (** [order] is the size of the block formed. *)
+  | Ep_create of { container : int }
+  | Ep_send of { ep : int; sender : int; receiver : int }
+      (** A message crossed the endpoint (observed on the send path). *)
+  | Ep_recv of { ep : int; receiver : int; sender : int }
+      (** A message crossed the endpoint (observed on the receive path). *)
+  | Ep_block of { ep : int; thread : int; dir : dir }
+  | Mmu_walk of { vaddr : int; ok : bool }
+  | Pte_touch of { table : int; index : int }
+      (** One page-table-entry load during a walk (TLB-fill traffic). *)
+  | Drv_doorbell of { device : int; queue : int }
+      (** Driver notified the device (tail-register write / submission). *)
+  | Drv_completion of { device : int; count : int }
+  | Lock_acquire of { cpu : int; wait_cycles : int }
+      (** Big kernel lock granted after [wait_cycles] queued cycles. *)
+
+type record = { ts : int; cpu : int; ev : t }
+(** A decoded flight-recorder slot: cycle timestamp, recording CPU, event. *)
+
+val syscall_name : int -> string
+(** Name of a syscall number, matching [Atmo_spec.Syscall.number]
+    (declaration order of the syscall variant). *)
+
+val syscall_count : int
+
+val kind : t -> string
+(** Constructor name, for grouping decoded streams. *)
+
+val slot_bytes : int
+(** Fixed size of one encoded event: 40 bytes. *)
+
+val encode : ts:int -> cpu:int -> t -> bytes
+(** Encode into a fresh [slot_bytes] buffer (little-endian u64 fields,
+    tag byte first; a zero tag byte denotes an empty slot). *)
+
+val decode : bytes -> record option
+(** Inverse of {!encode}; [None] on an empty or corrupt slot. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_record : Format.formatter -> record -> unit

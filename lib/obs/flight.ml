@@ -1,0 +1,93 @@
+(* Per-CPU flight-recorder rings.
+
+   The whole recorder lives in one flat byte arena, mirroring the
+   byte-accurate layout of [Atmo_sim.Ring] over simulated physical
+   memory: each CPU owns a contiguous region
+
+     [head:u64][tail:u64][dropped:u64][slot 0][slot 1]...
+
+   head/tail are free-running counters masked by (slots-1) for the slot
+   index; all recorder state is stored in the arena (the OCaml record
+   only caches the geometry), so a decoder handed the raw bytes can
+   reconstruct the stream exactly. *)
+
+type t = {
+  arena : Bytes.t;
+  cpus : int;
+  slots : int;
+  slot_size : int;
+}
+
+let header_bytes = 24
+
+let ring_bytes t = header_bytes + (t.slots * t.slot_size)
+let cpu_base t cpu = cpu * ring_bytes t
+
+let create ~cpus ~slots ~slot_size =
+  if cpus <= 0 then invalid_arg "Flight.create: cpus <= 0";
+  if slots <= 0 || slots land (slots - 1) <> 0 then
+    invalid_arg "Flight.create: slots must be a positive power of two";
+  if slot_size <= 0 then invalid_arg "Flight.create: slot_size <= 0";
+  let t = { arena = Bytes.empty; cpus; slots; slot_size } in
+  let total = cpus * ring_bytes t in
+  { t with arena = Bytes.make total '\000' }
+
+let cpus t = t.cpus
+let slots t = t.slots
+let slot_size t = t.slot_size
+let size_bytes t = Bytes.length t.arena
+
+let check_cpu t cpu =
+  if cpu < 0 || cpu >= t.cpus then invalid_arg "Flight: cpu out of range"
+
+let read_u64 t addr = Int64.to_int (Bytes.get_int64_le t.arena addr)
+let write_u64 t addr v = Bytes.set_int64_le t.arena addr (Int64.of_int v)
+
+let head t ~cpu = read_u64 t (cpu_base t cpu)
+let tail t ~cpu = read_u64 t (cpu_base t cpu + 8)
+let dropped t ~cpu = read_u64 t (cpu_base t cpu + 16)
+let set_head t ~cpu v = write_u64 t (cpu_base t cpu) v
+let set_tail t ~cpu v = write_u64 t (cpu_base t cpu + 8) v
+let set_dropped t ~cpu v = write_u64 t (cpu_base t cpu + 16) v
+
+let length t ~cpu =
+  check_cpu t cpu;
+  head t ~cpu - tail t ~cpu
+
+let slot_addr t ~cpu idx =
+  cpu_base t cpu + header_bytes + ((idx land (t.slots - 1)) * t.slot_size)
+
+(* Overwrite-oldest: a full ring advances the tail over the victim slot
+   and counts it dropped; a flight recorder never refuses an event. *)
+let push t ~cpu payload =
+  check_cpu t cpu;
+  let h = head t ~cpu in
+  if h - tail t ~cpu >= t.slots then begin
+    set_tail t ~cpu (tail t ~cpu + 1);
+    set_dropped t ~cpu (dropped t ~cpu + 1)
+  end;
+  let addr = slot_addr t ~cpu h in
+  let len = min (Bytes.length payload) t.slot_size in
+  Bytes.fill t.arena addr t.slot_size '\000';
+  Bytes.blit payload 0 t.arena addr len;
+  set_head t ~cpu (h + 1)
+
+let to_list t ~cpu =
+  check_cpu t cpu;
+  let tl = tail t ~cpu and h = head t ~cpu in
+  let rec go i acc =
+    if i >= h then List.rev acc
+    else
+      go (i + 1) (Bytes.sub t.arena (slot_addr t ~cpu i) t.slot_size :: acc)
+  in
+  go tl []
+
+let total_dropped t =
+  let acc = ref 0 in
+  for c = 0 to t.cpus - 1 do
+    acc := !acc + dropped t ~cpu:c
+  done;
+  !acc
+
+let clear t =
+  Bytes.fill t.arena 0 (Bytes.length t.arena) '\000'

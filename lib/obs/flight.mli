@@ -1,0 +1,38 @@
+(** Per-CPU flight-recorder rings in a flat byte arena.
+
+    Layout per CPU (mirroring {!Atmo_sim.Ring}'s byte-accurate style):
+    [[head:u64][tail:u64][dropped:u64][slot 0][slot 1]...] with
+    free-running head/tail counters masked by [slots-1].  All state
+    lives in the arena; pushing to a full ring overwrites the oldest
+    slot and increments the drop counter (a flight recorder never
+    refuses an event). *)
+
+type t
+
+val header_bytes : int
+
+val create : cpus:int -> slots:int -> slot_size:int -> t
+(** [slots] must be a positive power of two (per CPU). *)
+
+val cpus : t -> int
+val slots : t -> int
+val slot_size : t -> int
+val size_bytes : t -> int
+
+val head : t -> cpu:int -> int
+val tail : t -> cpu:int -> int
+val length : t -> cpu:int -> int
+(** Live slots ([head - tail], at most [slots]). *)
+
+val dropped : t -> cpu:int -> int
+(** Events overwritten before being read on this CPU's ring. *)
+
+val total_dropped : t -> int
+
+val push : t -> cpu:int -> bytes -> unit
+(** Record a payload (truncated / zero-padded to [slot_size]). *)
+
+val to_list : t -> cpu:int -> bytes list
+(** Live slots, oldest first. *)
+
+val clear : t -> unit

@@ -1,0 +1,145 @@
+(* Monotonic counters and log2-bucketed latency histograms, with a
+   process-global registry keyed by name.  Values are cycle-clock deltas
+   (or any non-negative integer); bucket [i] covers [2^i, 2^(i+1)), with
+   bucket 0 absorbing 0 and 1. *)
+
+module Counter = struct
+  type t = { name : string; mutable v : int }
+
+  let make name = { name; v = 0 }
+  let name t = t.name
+  let incr ?(by = 1) t = if by > 0 then t.v <- t.v + by
+  let value t = t.v
+  let reset t = t.v <- 0
+end
+
+module Histogram = struct
+  let bucket_count = 63
+
+  type t = {
+    name : string;
+    counts : int array;
+    mutable n : int;
+    mutable sum : int;
+    mutable vmin : int;
+    mutable vmax : int;
+  }
+
+  let make name =
+    { name; counts = Array.make bucket_count 0; n = 0; sum = 0; vmin = max_int; vmax = 0 }
+
+  let name t = t.name
+
+  let bucket_of v =
+    if v <= 1 then 0
+    else begin
+      let b = ref 0 in
+      let x = ref v in
+      while !x > 1 do
+        incr b;
+        x := !x lsr 1
+      done;
+      min !b (bucket_count - 1)
+    end
+
+  let observe t v =
+    let v = max 0 v in
+    t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+    t.n <- t.n + 1;
+    t.sum <- t.sum + v;
+    if v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v
+
+  let count t = t.n
+  let sum t = t.sum
+  let mean t = if t.n = 0 then 0. else float_of_int t.sum /. float_of_int t.n
+  let min_value t = if t.n = 0 then 0 else t.vmin
+  let max_value t = t.vmax
+
+  (* Upper edge of the bucket holding the q-th ranked observation,
+     clamped to the observed extremes.  Monotone in q by construction
+     (cumulative counts are non-decreasing). *)
+  let quantile t q =
+    if t.n = 0 then 0
+    else begin
+      let q = Float.min 1. (Float.max 0. q) in
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int t.n))) in
+      let rec go i cum =
+        if i >= bucket_count then t.vmax
+        else begin
+          let cum = cum + t.counts.(i) in
+          if cum >= rank then
+            let upper = if i >= 62 then max_int else (1 lsl (i + 1)) - 1 in
+            max (min upper t.vmax) (min_value t)
+          else go (i + 1) cum
+        end
+      in
+      go 0 0
+    end
+
+  let p50 t = quantile t 0.50
+  let p90 t = quantile t 0.90
+  let p99 t = quantile t 0.99
+
+  let reset t =
+    Array.fill t.counts 0 bucket_count 0;
+    t.n <- 0;
+    t.sum <- 0;
+    t.vmin <- max_int;
+    t.vmax <- 0
+
+  let pp_row ppf t =
+    Format.fprintf ppf "%-26s %8d %12.1f %10d %10d %10d %10d" t.name t.n (mean t)
+      (p50 t) (p90 t) (p99 t) (max_value t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+let counters : (string, Counter.t) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, Histogram.t) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = Counter.make name in
+    Hashtbl.replace counters name c;
+    c
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.make name in
+    Hashtbl.replace histograms name h;
+    h
+
+let bump ?by name = Counter.incr ?by (counter name)
+let observe name v = Histogram.observe (histogram name) v
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let all_counters () = sorted_bindings counters
+let all_histograms () = sorted_bindings histograms
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset histograms
+
+let pp_table ppf () =
+  let hs = List.filter (fun (_, h) -> Histogram.count h > 0) (all_histograms ()) in
+  if hs <> [] then begin
+    Format.fprintf ppf "%-26s %8s %12s %10s %10s %10s %10s@." "histogram" "count"
+      "mean" "p50" "p90" "p99" "max";
+    List.iter (fun (_, h) -> Format.fprintf ppf "%a@." Histogram.pp_row h) hs
+  end;
+  let cs = List.filter (fun (_, c) -> Counter.value c > 0) (all_counters ()) in
+  if cs <> [] then begin
+    Format.fprintf ppf "%-26s %8s@." "counter" "value";
+    List.iter
+      (fun (name, c) -> Format.fprintf ppf "%-26s %8d@." name (Counter.value c))
+      cs
+  end

@@ -1,0 +1,63 @@
+(** Monotonic counters and log2-bucketed latency histograms.
+
+    Histogram bucket [i] covers values in [[2^i, 2^(i+1))] (bucket 0
+    absorbs 0 and 1), so 63 buckets span the whole non-negative [int]
+    range; quantiles report the upper edge of the selected bucket,
+    clamped to the observed extremes, and are monotone in [q] by
+    construction.  A process-global registry hands out metrics by name
+    so instrumentation sites need no plumbing. *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  val name : t -> string
+  val incr : ?by:int -> t -> unit
+  (** Monotonic: non-positive [by] is ignored. *)
+
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Histogram : sig
+  type t
+
+  val bucket_count : int
+  val make : string -> t
+  val name : t -> string
+  val bucket_of : int -> int
+  val observe : t -> int -> unit
+  (** Record one sample (negative values clamp to 0). *)
+
+  val count : t -> int
+  val sum : t -> int
+  val mean : t -> float
+  val min_value : t -> int
+  val max_value : t -> int
+
+  val quantile : t -> float -> int
+  (** [quantile t q] for [q] in [0,1]; 0 on an empty histogram. *)
+
+  val p50 : t -> int
+  val p90 : t -> int
+  val p99 : t -> int
+  val reset : t -> unit
+  val pp_row : Format.formatter -> t -> unit
+end
+
+(** {2 Registry} *)
+
+val counter : string -> Counter.t
+(** Get-or-create by name. *)
+
+val histogram : string -> Histogram.t
+val bump : ?by:int -> string -> unit
+val observe : string -> int -> unit
+val all_counters : unit -> (string * Counter.t) list
+val all_histograms : unit -> (string * Histogram.t) list
+val reset : unit -> unit
+(** Drop every registered metric (tests and fresh CLI runs). *)
+
+val pp_table : Format.formatter -> unit -> unit
+(** Histogram table (count / mean / p50 / p90 / p99 / max) followed by
+    non-zero counters. *)

@@ -1,0 +1,61 @@
+(* The sink registry: where tracepoints go.
+
+   Instrumentation sites are written as
+
+     if Sink.tracing () then Sink.emit (Event....)
+
+   so that with the [Disabled] sink the entire observability subsystem
+   costs one mutable-bool load per tracepoint — no event is constructed,
+   no clock is read, no metric is touched, and (crucially for the
+   simulation) no cycle-model state is ever advanced.  Tracing is
+   cycle-model-neutral by design even when enabled: recording happens in
+   host time only, so enabling a sink never changes simulated results. *)
+
+type t = Disabled | Flight of Flight.t
+
+let current = ref Disabled
+let enabled = ref false
+
+(* Timestamp source and current-CPU hint are injected by whoever owns
+   the timeline (the SMP simulator, the trace CLI); instrumented kernel
+   code stays clock-free. *)
+let now_fn : (unit -> int) ref = ref (fun () -> 0)
+let cpu_hint = ref 0
+
+let install s =
+  current := s;
+  enabled := (match s with Disabled -> false | Flight _ -> true)
+
+let installed () = !current
+let tracing () = !enabled
+
+let set_clock f = now_fn := f
+let now () = !now_fn ()
+let set_cpu c = cpu_hint := c
+let current_cpu () = !cpu_hint
+
+let emit ?cpu ev =
+  match !current with
+  | Disabled -> ()
+  | Flight fr ->
+    let cpu =
+      match cpu with
+      | Some c -> if c >= 0 && c < Flight.cpus fr then c else 0
+      | None ->
+        let c = !cpu_hint in
+        if c >= 0 && c < Flight.cpus fr then c else 0
+    in
+    Flight.push fr ~cpu (Event.encode ~ts:(!now_fn ()) ~cpu ev)
+
+let records () =
+  match !current with
+  | Disabled -> []
+  | Flight fr ->
+    let all = ref [] in
+    for c = Flight.cpus fr - 1 downto 0 do
+      all := List.filter_map Event.decode (Flight.to_list fr ~cpu:c) @ !all
+    done;
+    List.stable_sort (fun (a : Event.record) b -> compare a.Event.ts b.Event.ts) !all
+
+let dropped () =
+  match !current with Disabled -> 0 | Flight fr -> Flight.total_dropped fr

@@ -1,0 +1,42 @@
+(** Sink registry: where tracepoints go.
+
+    Exactly one sink is installed at a time, process-global.  With
+    {!Disabled} (the default) every tracepoint reduces to a single
+    mutable-bool load — instrumentation sites guard with {!tracing}
+    before constructing an event — and nothing observable happens: the
+    cycle model of an instrumented run is bit-identical to an
+    uninstrumented one.  Tracing is cycle-model-neutral even when a
+    flight recorder is installed; recording costs host time only. *)
+
+type t =
+  | Disabled
+  | Flight of Flight.t  (** record encoded events into per-CPU rings *)
+
+val install : t -> unit
+val installed : unit -> t
+
+val tracing : unit -> bool
+(** [false] iff the installed sink is {!Disabled}.  Tracepoint guard. *)
+
+val set_clock : (unit -> int) -> unit
+(** Inject the cycle-timestamp source (default: constant 0).  Owned by
+    whoever drives the timeline — the SMP simulator or the trace CLI —
+    so instrumented kernel code stays clock-free. *)
+
+val now : unit -> int
+
+val set_cpu : int -> unit
+(** Current-CPU hint used when {!emit} is called without [?cpu]. *)
+
+val current_cpu : unit -> int
+
+val emit : ?cpu:int -> Event.t -> unit
+(** Record an event (no-op when disabled).  Out-of-range CPUs fall back
+    to ring 0. *)
+
+val records : unit -> Event.record list
+(** Decode every live slot of the installed recorder, merged across
+    CPUs and sorted by timestamp; [[]] when disabled. *)
+
+val dropped : unit -> int
+(** Total events overwritten across all rings of the installed sink. *)

@@ -6,6 +6,10 @@ type t = {
 }
 
 let make ~owner_container =
+  if Atmo_obs.Sink.tracing () then begin
+    Atmo_obs.Sink.emit (Atmo_obs.Event.Ep_create { container = owner_container });
+    Atmo_obs.Metrics.bump "pm/endpoints_created"
+  end;
   {
     owner_container;
     send_queue = Static_list.create ~capacity:Kconfig.max_endpoint_queue;

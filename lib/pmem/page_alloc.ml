@@ -57,11 +57,18 @@ let zero_block t i size =
     Phys_mem.zero_page t.mem ~addr:(frame_addr j)
   done
 
+let order_of = function S4k -> 0 | S2m -> 1 | S1g -> 2
+
 let claim t i size purpose =
   let m = t.meta.(i) in
   m.size <- size;
   m.state <- (match purpose with Kernel -> Allocated | User -> Mapped 1);
   zero_block t i size;
+  if Atmo_obs.Sink.tracing () then begin
+    Atmo_obs.Sink.emit
+      (Atmo_obs.Event.Page_alloc { addr = frame_addr i; order = order_of size });
+    Atmo_obs.Metrics.bump "pmem/alloc"
+  end;
   frame_addr i
 
 (* Merge [count] aligned free sub-blocks of [sub] size headed at [i] into
@@ -101,6 +108,12 @@ let try_merge t ~sub ~super ~sub_list ~super_list =
         t.meta.(head).state <- Free;
         t.meta.(head).size <- super;
         Dll.push_back super_list head;
+        if Atmo_obs.Sink.tracing () then begin
+          Atmo_obs.Sink.emit
+            (Atmo_obs.Event.Superpage_merge
+               { head = frame_addr head; order = order_of super });
+          Atmo_obs.Metrics.bump "pmem/superpage_merge"
+        end;
         true
       end
       else scan (head + span)
@@ -134,6 +147,12 @@ let merge_all t ~sub ~super ~sub_list ~super_list =
       t.meta.(!head).state <- Free;
       t.meta.(!head).size <- super;
       Dll.push_back super_list !head;
+      if Atmo_obs.Sink.tracing () then begin
+        Atmo_obs.Sink.emit
+          (Atmo_obs.Event.Superpage_merge
+             { head = frame_addr !head; order = order_of super });
+        Atmo_obs.Metrics.bump "pmem/superpage_merge"
+      end;
       incr merged
     end;
     head := !head + span
@@ -207,7 +226,12 @@ let release t i =
   let list =
     match m.size with S4k -> t.free4k | S2m -> t.free2m | S1g -> t.free1g
   in
-  Dll.push_back list i
+  Dll.push_back list i;
+  if Atmo_obs.Sink.tracing () then begin
+    Atmo_obs.Sink.emit
+      (Atmo_obs.Event.Page_free { addr = frame_addr i; order = order_of m.size });
+    Atmo_obs.Metrics.bump "pmem/free"
+  end
 
 let free_kernel_page t ~addr =
   let i, m = head_meta t ~addr "free_kernel_page" in

@@ -86,6 +86,13 @@ let run k ~cost ~cpus ~programs ~iterations =
       let lock_wait = ref 0 in
       let executed = ref 0 in
       let wall = ref 0 in
+      (* When tracing, events recorded during kernel entries are stamped
+         with the simulated lock-grant time and attributed to the
+         entering CPU; the simulator owns the timeline, the kernel code
+         stays clock-free. *)
+      let tracing = Atmo_obs.Sink.tracing () in
+      let sim_now = ref 0 in
+      if tracing then Atmo_obs.Sink.set_clock (fun () -> !sim_now);
       let thread_ready = Hashtbl.create 8 in
       List.iter (fun p -> Hashtbl.replace thread_ready p.thread 0) programs;
       for i = 0 to iterations - 1 do
@@ -100,6 +107,15 @@ let run k ~cost ~cpus ~programs ~iterations =
             let kcycles = syscall_cycles cost call in
             let grant = max lock_request !lock_free in
             lock_wait := !lock_wait + (grant - lock_request);
+            if tracing then begin
+              sim_now := grant;
+              Atmo_obs.Sink.set_cpu cpu;
+              Atmo_obs.Sink.emit
+                (Atmo_obs.Event.Lock_acquire
+                   { cpu; wait_cycles = grant - lock_request });
+              Atmo_obs.Metrics.observe "smp/lock_wait" (grant - lock_request);
+              Atmo_obs.Metrics.observe ("lat/syscall/" ^ Syscall.name call) kcycles
+            end;
             (* the call really executes against the kernel *)
             ignore (Kernel.step k ~thread:p.thread call);
             incr executed;

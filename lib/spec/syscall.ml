@@ -38,6 +38,31 @@ type ret =
   | Rmapped of int list
   | Rerr of Atmo_util.Errno.t
 
+(* Stable syscall numbers in declaration order; [Atmo_obs.Event] keeps a
+   matching name table for decoding flight-recorder streams. *)
+let number = function
+  | Mmap _ -> 0
+  | Munmap _ -> 1
+  | Mprotect _ -> 2
+  | New_container _ -> 3
+  | New_process -> 4
+  | New_thread -> 5
+  | New_endpoint _ -> 6
+  | Close_endpoint _ -> 7
+  | Send _ -> 8
+  | Recv _ -> 9
+  | Send_nb _ -> 10
+  | Recv_nb _ -> 11
+  | Recv_reject _ -> 12
+  | Yield -> 13
+  | Terminate_container _ -> 14
+  | Terminate_process _ -> 15
+  | Assign_device _ -> 16
+  | Io_map _ -> 17
+  | Io_unmap _ -> 18
+  | Register_irq _ -> 19
+  | Irq_fire _ -> 20
+
 let name = function
   | Mmap _ -> "mmap"
   | Munmap _ -> "munmap"

@@ -60,3 +60,7 @@ val pp_ret : Format.formatter -> ret -> unit
 val equal_ret : ret -> ret -> bool
 val name : t -> string
 (** Constructor name, for reporting. *)
+
+val number : t -> int
+(** Stable syscall number (declaration order, 0-based), carried by the
+    [Atmo_obs] tracepoints; [Atmo_obs.Event.syscall_name] inverts it. *)

@@ -1,0 +1,335 @@
+(* Observability subsystem: flight-recorder ring invariants, event
+   encode/decode round-trips, histogram quantiles, and the zero-overhead
+   contract of the Disabled sink. *)
+
+module Event = Atmo_obs.Event
+module Flight = Atmo_obs.Flight
+module Metrics = Atmo_obs.Metrics
+module Sink = Atmo_obs.Sink
+module Kernel = Atmo_core.Kernel
+module Syscall = Atmo_spec.Syscall
+module Errno = Atmo_util.Errno
+
+let payload i = Event.encode ~ts:i ~cpu:0 (Event.Page_alloc { addr = i; order = 0 })
+
+let ts_of b =
+  match Event.decode b with
+  | Some r -> r.Event.ts
+  | None -> Alcotest.fail "undecodable slot"
+
+(* ------------------------------------------------------------------ *)
+(* flight recorder rings                                               *)
+
+let test_ring_fill () =
+  let f = Flight.create ~cpus:1 ~slots:8 ~slot_size:Event.slot_bytes in
+  Alcotest.(check int) "empty" 0 (Flight.length f ~cpu:0);
+  for i = 0 to 4 do
+    Flight.push f ~cpu:0 (payload i)
+  done;
+  Alcotest.(check int) "length" 5 (Flight.length f ~cpu:0);
+  Alcotest.(check int) "no drops" 0 (Flight.dropped f ~cpu:0);
+  Alcotest.(check (list int)) "oldest first" [ 0; 1; 2; 3; 4 ]
+    (List.map ts_of (Flight.to_list f ~cpu:0))
+
+let test_ring_wraparound () =
+  let f = Flight.create ~cpus:1 ~slots:8 ~slot_size:Event.slot_bytes in
+  for i = 0 to 19 do
+    Flight.push f ~cpu:0 (payload i)
+  done;
+  Alcotest.(check int) "capped at slots" 8 (Flight.length f ~cpu:0);
+  Alcotest.(check int) "drop counter" 12 (Flight.dropped f ~cpu:0);
+  Alcotest.(check int) "head counts all pushes" 20 (Flight.head f ~cpu:0);
+  (* oldest 12 were overwritten: the survivors are exactly 12..19 *)
+  Alcotest.(check (list int)) "last slots survive, oldest first"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map ts_of (Flight.to_list f ~cpu:0))
+
+let test_ring_per_cpu_isolation () =
+  let f = Flight.create ~cpus:2 ~slots:4 ~slot_size:Event.slot_bytes in
+  for i = 0 to 9 do
+    Flight.push f ~cpu:1 (payload i)
+  done;
+  Alcotest.(check int) "cpu0 untouched" 0 (Flight.length f ~cpu:0);
+  Alcotest.(check int) "cpu1 full" 4 (Flight.length f ~cpu:1);
+  Alcotest.(check int) "cpu1 drops" 6 (Flight.dropped f ~cpu:1);
+  Alcotest.(check int) "total drops" 6 (Flight.total_dropped f);
+  Flight.clear f;
+  Alcotest.(check int) "clear resets length" 0 (Flight.length f ~cpu:1);
+  Alcotest.(check int) "clear resets drops" 0 (Flight.total_dropped f)
+
+let test_ring_rejects_bad_geometry () =
+  Alcotest.check_raises "slots must be a power of two"
+    (Invalid_argument "Flight.create: slots must be a positive power of two")
+    (fun () -> ignore (Flight.create ~cpus:1 ~slots:6 ~slot_size:Event.slot_bytes))
+
+(* ------------------------------------------------------------------ *)
+(* event encode/decode                                                 *)
+
+let sample_events =
+  [
+    Event.Syscall_enter { thread = 0x14000; sysno = 8 };
+    Event.Syscall_exit { thread = 0x14000; sysno = 8; errno = None };
+    Event.Syscall_exit { thread = 1; sysno = 0; errno = Some Errno.Enomem };
+    Event.Page_alloc { addr = 0x15000; order = 0 };
+    Event.Page_free { addr = 0x200000; order = 1 };
+    Event.Superpage_merge { head = 0x200000; order = 1 };
+    Event.Ep_create { container = 0x10000 };
+    Event.Ep_send { ep = 0x15000; sender = 0x13000; receiver = 0x14000 };
+    Event.Ep_recv { ep = 0x15000; receiver = 0x14000; sender = 0x13000 };
+    Event.Ep_block { ep = 0x15000; thread = 0x14000; dir = Event.Dir_recv };
+    Event.Ep_block { ep = 0x15000; thread = 0x13000; dir = Event.Dir_send };
+    Event.Mmu_walk { vaddr = 0x4000_0000; ok = true };
+    Event.Mmu_walk { vaddr = 0x7fff_0000; ok = false };
+    Event.Pte_touch { table = 0x3000; index = 511 };
+    Event.Drv_doorbell { device = 7; queue = 0 };
+    Event.Drv_completion { device = 7; count = 32 };
+    Event.Lock_acquire { cpu = 3; wait_cycles = 458 };
+  ]
+
+let test_roundtrip_samples () =
+  List.iter
+    (fun ev ->
+      let b = Event.encode ~ts:12345 ~cpu:1 ev in
+      Alcotest.(check int) "slot size" Event.slot_bytes (Bytes.length b);
+      match Event.decode b with
+      | None -> Alcotest.failf "decode failed for %s" (Fmt.to_to_string Event.pp ev)
+      | Some r ->
+        Alcotest.(check bool) "event survives" true (Event.equal ev r.Event.ev);
+        Alcotest.(check int) "ts survives" 12345 r.Event.ts;
+        Alcotest.(check int) "cpu survives" 1 r.Event.cpu)
+    sample_events
+
+let test_empty_slot_decodes_to_none () =
+  Alcotest.(check bool) "zeroed slot is empty" true
+    (Event.decode (Bytes.make Event.slot_bytes '\000') = None)
+
+let gen_event =
+  let open QCheck.Gen in
+  let id = int_bound 0xfffff in
+  let sysno = int_bound (Event.syscall_count - 1) in
+  let errno =
+    oneofl
+      [ None; Some Errno.Enomem; Some Errno.Einval; Some Errno.Eperm; Some Errno.Ebusy ]
+  in
+  oneof
+    [
+      map2 (fun thread sysno -> Event.Syscall_enter { thread; sysno }) id sysno;
+      map3
+        (fun thread sysno errno -> Event.Syscall_exit { thread; sysno; errno })
+        id sysno errno;
+      map2 (fun addr order -> Event.Page_alloc { addr; order }) id (int_bound 2);
+      map2 (fun addr order -> Event.Page_free { addr; order }) id (int_bound 2);
+      map2 (fun head order -> Event.Superpage_merge { head; order }) id (int_bound 2);
+      map (fun container -> Event.Ep_create { container }) id;
+      map3 (fun ep sender receiver -> Event.Ep_send { ep; sender; receiver }) id id id;
+      map3 (fun ep receiver sender -> Event.Ep_recv { ep; receiver; sender }) id id id;
+      map3
+        (fun ep thread d ->
+          Event.Ep_block { ep; thread; dir = (if d then Event.Dir_send else Event.Dir_recv) })
+        id id bool;
+      map2 (fun vaddr ok -> Event.Mmu_walk { vaddr; ok }) id bool;
+      map2 (fun table index -> Event.Pte_touch { table; index }) id (int_bound 511);
+      map2 (fun device queue -> Event.Drv_doorbell { device; queue }) (int_bound 255)
+        (int_bound 255);
+      map2 (fun device count -> Event.Drv_completion { device; count }) (int_bound 255) id;
+      map2 (fun cpu wait_cycles -> Event.Lock_acquire { cpu; wait_cycles }) (int_bound 255)
+        id;
+    ]
+
+let arb_event = QCheck.make ~print:(Fmt.to_to_string Event.pp) gen_event
+
+let prop_encode_decode_roundtrip =
+  QCheck.Test.make ~name:"encode/decode round-trips any event" ~count:500
+    QCheck.(triple arb_event (int_bound 0x3fff_ffff) (int_bound 7))
+    (fun (ev, ts, cpu) ->
+      match Event.decode (Event.encode ~ts ~cpu ev) with
+      | None -> false
+      | Some r -> Event.equal ev r.Event.ev && r.Event.ts = ts && r.Event.cpu = cpu)
+
+let test_syscall_names_match_spec () =
+  let calls =
+    [
+      Syscall.Mmap
+        { va = 0; count = 1; size = Atmo_pmem.Page_state.S4k; perm = Atmo_hw.Pte_bits.perm_rw };
+      Syscall.Munmap { va = 0; count = 1; size = Atmo_pmem.Page_state.S4k };
+      Syscall.Mprotect { va = 0; perm = Atmo_hw.Pte_bits.perm_rw };
+      Syscall.New_container { quota = 1; cpus = Atmo_util.Iset.empty };
+      Syscall.New_process;
+      Syscall.New_thread;
+      Syscall.New_endpoint { slot = 0 };
+      Syscall.Close_endpoint { slot = 0 };
+      Syscall.Send { slot = 0; msg = Atmo_pm.Message.scalars_only [] };
+      Syscall.Recv { slot = 0 };
+      Syscall.Send_nb { slot = 0; msg = Atmo_pm.Message.scalars_only [] };
+      Syscall.Recv_nb { slot = 0 };
+      Syscall.Recv_reject { slot = 0 };
+      Syscall.Yield;
+      Syscall.Terminate_container { container = 0 };
+      Syscall.Terminate_process { proc = 0 };
+      Syscall.Assign_device { device = 0 };
+      Syscall.Io_map { device = 0; iova = 0; va = 0 };
+      Syscall.Io_unmap { device = 0; iova = 0 };
+      Syscall.Register_irq { device = 0; slot = 0 };
+      Syscall.Irq_fire { device = 0 };
+    ]
+  in
+  Alcotest.(check int) "one sample per syscall" Event.syscall_count (List.length calls);
+  List.iter
+    (fun c ->
+      Alcotest.(check string)
+        (Printf.sprintf "number %d" (Syscall.number c))
+        (Syscall.name c)
+        (Event.syscall_name (Syscall.number c)))
+    calls
+
+(* ------------------------------------------------------------------ *)
+(* histograms                                                          *)
+
+let test_histogram_basics () =
+  let h = Metrics.Histogram.make "t" in
+  Alcotest.(check int) "empty quantile" 0 (Metrics.Histogram.p99 h);
+  List.iter (Metrics.Histogram.observe h) [ 1; 2; 3; 100; 1000 ];
+  Alcotest.(check int) "count" 5 (Metrics.Histogram.count h);
+  Alcotest.(check int) "sum" 1106 (Metrics.Histogram.sum h);
+  Alcotest.(check int) "min" 1 (Metrics.Histogram.min_value h);
+  Alcotest.(check int) "max" 1000 (Metrics.Histogram.max_value h);
+  (* quantiles land on bucket upper edges, clamped to observed extremes *)
+  Alcotest.(check int) "p50 in third bucket" 3 (Metrics.Histogram.p50 h);
+  Alcotest.(check int) "p99 clamps to max" 1000 (Metrics.Histogram.p99 h)
+
+let test_counter_monotonic () =
+  let c = Metrics.Counter.make "t" in
+  Metrics.Counter.incr c;
+  Metrics.Counter.incr ~by:5 c;
+  Metrics.Counter.incr ~by:(-3) c;
+  Alcotest.(check int) "negative increments ignored" 6 (Metrics.Counter.value c)
+
+let prop_quantiles_monotone =
+  QCheck.Test.make ~name:"histogram quantiles are monotone and bounded" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_bound 1_000_000))
+    (fun samples ->
+      let h = Metrics.Histogram.make "q" in
+      List.iter (Metrics.Histogram.observe h) samples;
+      let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+      let vs = List.map (Metrics.Histogram.quantile h) qs in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      let lo = List.fold_left min max_int samples in
+      let hi = List.fold_left max 0 samples in
+      monotone vs && List.for_all (fun v -> v >= lo && v <= hi) vs)
+
+(* ------------------------------------------------------------------ *)
+(* sink: Disabled must be free, Flight must be cycle-model-neutral     *)
+
+(* the kernel-heavy SMP ping-pong from the trace CLI, shrunk *)
+let run_workload () =
+  match Kernel.boot Kernel.default_boot with
+  | Error e -> Alcotest.failf "boot: %s" (Fmt.to_to_string Errno.pp e)
+  | Ok (k, init) ->
+    let t2 =
+      match Kernel.step k ~thread:init Syscall.New_thread with
+      | Syscall.Rptr t -> t
+      | _ -> Alcotest.fail "new_thread"
+    in
+    (match Kernel.step k ~thread:init (Syscall.New_endpoint { slot = 0 }) with
+     | Syscall.Rptr ep ->
+       Atmo_pm.Perm_map.update k.Kernel.pm.Atmo_pm.Proc_mgr.thrd_perms ~ptr:t2 (fun th ->
+           Atmo_pm.Thread.set_slot th 0 (Some ep))
+     | _ -> Alcotest.fail "new_endpoint");
+    let programs =
+      [
+        { Atmo_sim.Smp.thread = t2; think_cycles = 600;
+          call_of = (fun _ -> Syscall.Recv { slot = 0 }) };
+        { Atmo_sim.Smp.thread = init; think_cycles = 800;
+          call_of =
+            (fun i -> Syscall.Send { slot = 0; msg = Atmo_pm.Message.scalars_only [ i ] }) };
+      ]
+    in
+    (match Atmo_sim.Smp.run k ~cost:Atmo_sim.Cost.default ~cpus:2 ~programs ~iterations:50 with
+     | Ok s -> (s, Atmo_core.Abstraction.abstract k)
+     | Error msg -> Alcotest.failf "smp: %s" msg)
+
+let test_disabled_sink_is_bit_identical () =
+  Sink.install Sink.Disabled;
+  let base_stats, base_abs = run_workload () in
+  let recorder = Flight.create ~cpus:2 ~slots:256 ~slot_size:Event.slot_bytes in
+  Sink.install (Sink.Flight recorder);
+  let traced_stats, traced_abs = run_workload () in
+  Sink.install Sink.Disabled;
+  (* the simulated-cycle accounting must not move at all under tracing *)
+  Alcotest.(check int) "wall cycles" base_stats.Atmo_sim.Smp.wall_cycles
+    traced_stats.Atmo_sim.Smp.wall_cycles;
+  Alcotest.(check int) "lock wait cycles" base_stats.Atmo_sim.Smp.lock_wait_cycles
+    traced_stats.Atmo_sim.Smp.lock_wait_cycles;
+  Alcotest.(check (array int)) "per-cpu busy cycles" base_stats.Atmo_sim.Smp.busy_cycles
+    traced_stats.Atmo_sim.Smp.busy_cycles;
+  Alcotest.(check int) "syscalls executed" base_stats.Atmo_sim.Smp.syscalls_executed
+    traced_stats.Atmo_sim.Smp.syscalls_executed;
+  Alcotest.(check bool) "identical abstract kernel state" true
+    (base_abs = traced_abs);
+  (* and the traced run actually recorded the hot paths *)
+  Alcotest.(check bool) "flight run captured events" true
+    (Flight.length recorder ~cpu:0 + Flight.length recorder ~cpu:1 > 0)
+
+let test_disabled_sink_records_nothing () =
+  Sink.install Sink.Disabled;
+  Sink.emit (Event.Ep_create { container = 1 });
+  Alcotest.(check (list reject)) "no records when disabled" [] (Sink.records ());
+  Alcotest.(check int) "no drops when disabled" 0 (Sink.dropped ())
+
+let test_sink_records_merged_sorted () =
+  let f = Flight.create ~cpus:2 ~slots:8 ~slot_size:Event.slot_bytes in
+  Sink.install (Sink.Flight f);
+  let t = ref 0 in
+  Sink.set_clock (fun () -> !t);
+  t := 30;
+  Sink.emit ~cpu:1 (Event.Page_alloc { addr = 1; order = 0 });
+  t := 10;
+  Sink.emit ~cpu:0 (Event.Page_alloc { addr = 2; order = 0 });
+  t := 20;
+  Sink.emit ~cpu:1 (Event.Page_alloc { addr = 3; order = 0 });
+  let rs = Sink.records () in
+  Sink.install Sink.Disabled;
+  Sink.set_clock (fun () -> 0);
+  Alcotest.(check (list int)) "merged across rings, sorted by ts" [ 10; 20; 30 ]
+    (List.map (fun r -> r.Event.ts) rs)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "flight",
+        [
+          Alcotest.test_case "fill below capacity" `Quick test_ring_fill;
+          Alcotest.test_case "wraparound overwrites oldest" `Quick test_ring_wraparound;
+          Alcotest.test_case "per-cpu isolation + clear" `Quick test_ring_per_cpu_isolation;
+          Alcotest.test_case "bad geometry rejected" `Quick test_ring_rejects_bad_geometry;
+        ] );
+      ( "event",
+        [
+          Alcotest.test_case "round-trip samples" `Quick test_roundtrip_samples;
+          Alcotest.test_case "empty slot" `Quick test_empty_slot_decodes_to_none;
+          Alcotest.test_case "syscall names match the spec" `Quick
+            test_syscall_names_match_spec;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+          Alcotest.test_case "counter monotonic" `Quick test_counter_monotonic;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "disabled sink is bit-identical" `Quick
+            test_disabled_sink_is_bit_identical;
+          Alcotest.test_case "disabled sink records nothing" `Quick
+            test_disabled_sink_records_nothing;
+          Alcotest.test_case "records merged and sorted" `Quick
+            test_sink_records_merged_sorted;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_encode_decode_roundtrip; prop_quantiles_monotone ] );
+    ]
