@@ -1,6 +1,6 @@
 # Convenience targets over dune; `make check` is the pre-commit gate.
 
-.PHONY: all build test bench check trace obs clean
+.PHONY: all build test test-san bench check trace obs san clean
 
 all: build
 
@@ -10,17 +10,34 @@ build:
 test:
 	dune runtest
 
+# Tier-1 suite re-run with the sanitizer armed (shadow permission map
+# checking every physical access); any violation fails the run.
+test-san:
+	SAN=1 dune runtest --force
+
 bench:
 	dune exec bench/main.exe -- all
 
+# Pre-commit gate: build, tier-1 tests, the headline IPC table, and the
+# sanitizer over the scripted IPC/mmap/superpage/NVMe workload (clean run
+# must report zero violations; each plant must be caught).
 check:
-	dune build && dune runtest && dune exec bench/main.exe -- table3
+	dune build && dune runtest && dune exec bench/main.exe -- table3 \
+	&& dune exec bin/atmo_cli.exe -- san
 
 trace:
 	dune exec bin/atmo_cli.exe -- trace
 
 obs:
 	dune exec bench/main.exe -- obs
+
+# Full sanitizer demonstration: clean workload, then the three planted
+# bugs, each of which must be detected with a typed report.
+san:
+	dune exec bin/atmo_cli.exe -- san
+	dune exec bin/atmo_cli.exe -- san --plant double-free
+	dune exec bin/atmo_cli.exe -- san --plant unlocked
+	dune exec bin/atmo_cli.exe -- san --plant bad-pte
 
 clean:
 	dune clean

@@ -581,6 +581,70 @@ let obs () =
   line "(tracing must never move simulated time: 'identical: true' is the contract)"
 
 (* ------------------------------------------------------------------ *)
+(* Sanitizer overhead: atmo-san armed vs off                           *)
+
+(* Same contract as the flight recorder: when disarmed the hooks are a
+   single flag load, and when armed the shadow checks cost host time
+   only — the simulated cycle model must not move.  A clean workload
+   must also report zero violations. *)
+let san () =
+  section "Sanitizer: atmo-san overhead on vs off (host time; model cycles)";
+  let workload () =
+    match Kernel.boot Kernel.default_boot with
+    | Error _ -> None
+    | Ok (k, init) ->
+      let t2 =
+        match Kernel.step k ~thread:init Syscall.New_thread with
+        | Syscall.Rptr t -> t
+        | _ -> init
+      in
+      (match Kernel.step k ~thread:init (Syscall.New_endpoint { slot = 0 }) with
+       | Syscall.Rptr ep ->
+         Atmo_pm.Perm_map.update k.Kernel.pm.Atmo_pm.Proc_mgr.thrd_perms ~ptr:t2
+           (fun th -> Atmo_pm.Thread.set_slot th 0 (Some ep))
+       | _ -> ());
+      let programs =
+        [
+          { Atmo_sim.Smp.thread = t2; think_cycles = 600;
+            call_of = (fun _ -> Syscall.Recv { slot = 0 }) };
+          { Atmo_sim.Smp.thread = init; think_cycles = 800;
+            call_of = (fun i -> Syscall.Send { slot = 0; msg = Message.scalars_only [ i ] }) };
+        ]
+      in
+      (match Atmo_sim.Smp.run k ~cost ~cpus:2 ~programs ~iterations:500 with
+       | Ok s -> Some (s.Atmo_sim.Smp.wall_cycles, s.Atmo_sim.Smp.lock_wait_cycles)
+       | Error _ -> None)
+  in
+  let reps = 30 in
+  let time_reps () =
+    let t0 = Unix.gettimeofday () in
+    let cycles = ref None in
+    for _ = 1 to reps do
+      cycles := workload ()
+    done;
+    (Unix.gettimeofday () -. t0, !cycles)
+  in
+  Atmo_san.Runtime.disarm ();
+  let off_s, off_cycles = time_reps () in
+  Atmo_san.Runtime.arm ();
+  let on_s, on_cycles = time_reps () in
+  let checked = Atmo_san.Memsan.checked () in
+  let violations = Atmo_san.Report.count () in
+  Atmo_san.Runtime.disarm ();
+  line "sanitizer off: %8.2f ms for %d runs" (off_s *. 1000.) reps;
+  line "sanitizer on:  %8.2f ms for %d runs  (%d accesses checked, %d violations)"
+    (on_s *. 1000.) reps checked violations;
+  line "host-time overhead when armed: %.1f%%"
+    (100. *. (on_s -. off_s) /. Float.max 1e-9 off_s);
+  (match (off_cycles, on_cycles) with
+   | Some (w0, l0), Some (w1, l1) ->
+     line "cycle model (wall, lock-wait): off (%d, %d)  on (%d, %d)  identical: %b" w0 l0
+       w1 l1
+       (w0 = w1 && l0 = l1)
+   | _ -> line "cycle model: workload failed");
+  line "(checking must never move simulated time, and a clean run must stay clean)"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 
 let bechamel () =
@@ -679,6 +743,7 @@ let all () =
   fig6 ();
   fig7 ();
   obs ();
+  san ();
   bechamel ()
 
 let () =
@@ -695,6 +760,7 @@ let () =
   | "fig7" -> fig7 ()
   | "ablation" -> ablation ()
   | "obs" -> obs ()
+  | "san" -> san ()
   | "bechamel" -> bechamel ()
   | "all" -> all ()
   | other ->

@@ -5,7 +5,8 @@
      fuzz     randomized refinement checking of the kernel
      ni       noninterference harness (unwinding conditions)
      boot     boot a kernel and print its abstract state
-     trace    flight-record a scripted workload and dump events + latency *)
+     trace    flight-record a scripted workload and dump events + latency
+     san      run the scripted workload under the atmo-san sanitizer *)
 
 open Cmdliner
 module Runner = Atmo_verif.Runner
@@ -255,6 +256,205 @@ let trace sink_kind iterations max_events slots =
        0)
 
 (* ------------------------------------------------------------------ *)
+(* san: the trace workload under the full sanitizer, plus plants       *)
+
+module San_runtime = Atmo_san.Runtime
+module San_report = Atmo_san.Report
+module Lockcheck = Atmo_san.Lockcheck
+module Phys_mem = Atmo_hw.Phys_mem
+module Mmu = Atmo_hw.Mmu
+module Pte_bits = Atmo_hw.Pte_bits
+module Page_table = Atmo_pt.Page_table
+
+(* Harness code legitimately mutates kernel state outside the SMP loop
+   (setup syscalls, device interrupt injection); it takes the modelled
+   big lock like any CPU would. *)
+let locked_step k ~thread call =
+  Lockcheck.locked ~site:"san.harness" ~cpu:0 (fun () -> Kernel.step k ~thread call)
+
+(* Physical address of the L1 entry mapping [vaddr] (the mapping must be
+   a present 4 KiB one). *)
+let leaf_entry_addr pt ~vaddr =
+  let mem = Page_table.mem pt in
+  let walk table index =
+    Pte_bits.addr_of (Phys_mem.read_u64 mem ~addr:(Mmu.entry_addr ~table ~index))
+  in
+  let l3t = walk (Page_table.cr3 pt) (Mmu.l4_index vaddr) in
+  let l2t = walk l3t (Mmu.l3_index vaddr) in
+  let l1t = walk l2t (Mmu.l2_index vaddr) in
+  Mmu.entry_addr ~table:l1t ~index:(Mmu.l1_index vaddr)
+
+let pt_of_thread k ~thread =
+  let proc = Option.get (Kernel.proc_of_thread k ~thread) in
+  (Atmo_pm.Perm_map.borrow k.Kernel.pm.Atmo_pm.Proc_mgr.proc_perms ~ptr:proc)
+    .Atmo_pm.Process.pt
+
+(* The scripted workload of the trace subcommand — IPC ping-pong on two
+   CPUs, mmap / superpage / mprotect churn, IOMMU device assignment with
+   a DMA window, an NVMe phase — driven with every checker armed. *)
+let run_san_workload k ~init ~iterations =
+  let pm = k.Kernel.pm in
+  let t2 =
+    match locked_step k ~thread:init Syscall.New_thread with
+    | Syscall.Rptr t -> t
+    | r -> Fmt.failwith "san: new_thread -> %a" Syscall.pp_ret r
+  in
+  let ep =
+    match locked_step k ~thread:init (Syscall.New_endpoint { slot = 0 }) with
+    | Syscall.Rptr e -> e
+    | r -> Fmt.failwith "san: new_endpoint -> %a" Syscall.pp_ret r
+  in
+  Atmo_pm.Perm_map.update pm.Atmo_pm.Proc_mgr.thrd_perms ~ptr:t2 (fun th ->
+      Atmo_pm.Thread.set_slot th 0 (Some ep));
+  let programs =
+    [
+      { Atmo_sim.Smp.thread = t2; think_cycles = 600;
+        call_of = (fun _ -> Syscall.Recv { slot = 0 }) };
+      { Atmo_sim.Smp.thread = init; think_cycles = 800;
+        call_of = (fun i -> Syscall.Send { slot = 0; msg = Atmo_pm.Message.scalars_only [ i ] }) };
+    ]
+  in
+  let stats =
+    match Atmo_sim.Smp.run k ~cost:Atmo_sim.Cost.default ~cpus:2 ~programs ~iterations with
+    | Ok s -> s
+    | Error msg -> Fmt.failwith "san: smp phase failed: %s" msg
+  in
+  (* memory phase: small pages, user-level MMU walks, permission
+     tightening, then a superpage round trip *)
+  let s4k = Atmo_pmem.Page_state.S4k and s2m = Atmo_pmem.Page_state.S2m in
+  let rw = Atmo_hw.Pte_bits.perm_rw and ro = Atmo_hw.Pte_bits.perm_ro in
+  ignore (locked_step k ~thread:init (Syscall.Mmap { va = 0x4000_0000; count = 8; size = s4k; perm = rw }));
+  for i = 0 to 7 do
+    ignore (Kernel.resolve_user k ~thread:init ~vaddr:(0x4000_0000 + (i * 0x1000)))
+  done;
+  ignore (locked_step k ~thread:init (Syscall.Mprotect { va = 0x4000_0000; perm = ro }));
+  ignore (locked_step k ~thread:init (Syscall.Munmap { va = 0x4000_0000; count = 8; size = s4k }));
+  ignore (locked_step k ~thread:init (Syscall.Mmap { va = 0x8000_0000; count = 1; size = s2m; perm = rw }));
+  ignore (locked_step k ~thread:init (Syscall.Munmap { va = 0x8000_0000; count = 1; size = s2m }));
+  (* device phase: an IOMMU domain with a live DMA window, interrupt
+     routed through the shared endpoint *)
+  ignore (locked_step k ~thread:init (Syscall.Mmap { va = 0x5000_0000; count = 1; size = s4k; perm = rw }));
+  (match locked_step k ~thread:init (Syscall.Assign_device { device = 7 }) with
+   | Syscall.Runit -> ()
+   | r -> Fmt.failwith "san: assign_device -> %a" Syscall.pp_ret r);
+  ignore (locked_step k ~thread:init (Syscall.Io_map { device = 7; iova = 0x1_0000; va = 0x5000_0000 }));
+  ignore (locked_step k ~thread:init (Syscall.Register_irq { device = 7; slot = 0 }));
+  ignore (locked_step k ~thread:t2 (Syscall.Recv { slot = 0 }));
+  ignore (locked_step k ~thread:init (Syscall.Irq_fire { device = 7 }));
+  ignore (locked_step k ~thread:init (Syscall.Io_unmap { device = 7; iova = 0x1_0000 }));
+  (* container lifecycle: delegate quota, then revoke it wholesale *)
+  (match locked_step k ~thread:init (Syscall.New_container { quota = 64; cpus = Atmo_util.Iset.empty }) with
+   | Syscall.Rptr c ->
+     ignore (locked_step k ~thread:init (Syscall.Terminate_container { container = c }))
+   | r -> Fmt.failwith "san: new_container -> %a" Syscall.pp_ret r);
+  (* NVMe phase (driver-private buffers; exercises the cost model and
+     the flight recorder, not the shadow map) *)
+  let dclock = Atmo_hw.Clock.create () in
+  let nvme = Atmo_drivers.Nvme.create ~clock:dclock ~cost:Atmo_sim.Cost.default ~capacity_blocks:1024 in
+  Atmo_drivers.Nvme.set_device nvme 7;
+  let block = Bytes.make Atmo_drivers.Nvme.block_bytes 'a' in
+  for lba = 0 to 7 do
+    ignore (Atmo_drivers.Nvme.submit_write nvme ~lba ~data:block)
+  done;
+  ignore (Atmo_drivers.Nvme.wait_all nvme);
+  stats
+
+let plant_double_free k =
+  match Atmo_pmem.Page_alloc.alloc_4k k.Kernel.alloc ~purpose:Atmo_pmem.Page_alloc.Kernel with
+  | None -> Fmt.failwith "san: plant allocation failed"
+  | Some addr ->
+    Atmo_pmem.Page_alloc.free_kernel_page k.Kernel.alloc ~addr;
+    (* second free: the allocator's own guard raises, but the sanitizer
+       must already have classified the request *)
+    (try Atmo_pmem.Page_alloc.free_kernel_page k.Kernel.alloc ~addr
+     with Invalid_argument _ -> ())
+
+let plant_unlocked k ~init =
+  (* a bare Kernel.step: kernel state mutates inside a syscall with the
+     big lock free *)
+  ignore
+    (Kernel.step k ~thread:init
+       (Syscall.Mmap { va = 0x6000_0000; count = 1; size = Atmo_pmem.Page_state.S4k;
+                       perm = Atmo_hw.Pte_bits.perm_rw }))
+
+let plant_bad_pte k ~init =
+  ignore
+    (locked_step k ~thread:init
+       (Syscall.Mmap { va = 0x7000_0000; count = 1; size = Atmo_pmem.Page_state.S4k;
+                       perm = Atmo_hw.Pte_bits.perm_rw }));
+  let pt = pt_of_thread k ~thread:init in
+  let slot = leaf_entry_addr pt ~vaddr:0x7000_0000 in
+  let mem = Page_table.mem pt in
+  let e = Phys_mem.read_u64 mem ~addr:slot in
+  (* set a bit the kernel never programs (bit 9, "available") *)
+  Phys_mem.write_u64 mem ~addr:slot (Int64.logor e 0x200L);
+  ignore (Atmo_san.Pt_lint.lint k)
+
+let san plant iterations =
+  setup_logs ();
+  Obs_metrics.reset ();
+  (* trace into a flight recorder so violation reports carry the event
+     trail leading up to them *)
+  let recorder = Obs_flight.create ~cpus:2 ~slots:256 ~slot_size:Obs_event.slot_bytes in
+  Obs_sink.install (Obs_sink.Flight recorder);
+  San_runtime.arm ~poison:true ~lockcheck:true ~attribution:true ();
+  let finish code =
+    San_runtime.disarm ();
+    Obs_sink.install Obs_sink.Disabled;
+    code
+  in
+  match Kernel.boot Kernel.default_boot with
+  | Error e ->
+    Format.eprintf "boot: %a@." Atmo_util.Errno.pp e;
+    finish 1
+  | Ok (k, init) ->
+    San_runtime.attach k;
+    let stats = run_san_workload k ~init ~iterations in
+    let structural = San_runtime.full_check k in
+    let clean_count = San_report.count () in
+    Format.printf
+      "san: %d syscalls under the big lock, %d accesses checked, %d structural check(s) failed@."
+      stats.Atmo_sim.Smp.syscalls_executed
+      (Atmo_san.Memsan.checked ())
+      structural;
+    (match plant with
+     | "none" ->
+       if clean_count = 0 then begin
+         Format.printf "clean: no violations.@.";
+         finish 0
+       end
+       else begin
+         Format.printf "%a@." San_report.pp_summary ();
+         finish 1
+       end
+     | _ ->
+       if clean_count <> 0 then begin
+         Format.printf "workload was not clean before planting:@.%a@."
+           San_report.pp_summary ();
+         finish 1
+       end
+       else begin
+         let expected =
+           match plant with
+           | "double-free" -> plant_double_free k; San_report.Double_free
+           | "unlocked" -> plant_unlocked k ~init; San_report.Unlocked_mutation
+           | "bad-pte" -> plant_bad_pte k ~init; San_report.Malformed_pte
+           | other -> Fmt.failwith "san: unknown plant %S" other
+         in
+         let hits =
+           List.filter (fun r -> r.San_report.rule = expected) (San_report.reports ())
+         in
+         match hits with
+         | r :: _ ->
+           Format.printf "planted %s detected:@.%a@." plant San_report.pp r;
+           finish 0
+         | [] ->
+           Format.printf "planted %s NOT detected (%d other report(s)):@.%a@." plant
+             (San_report.count ()) San_report.pp_summary ();
+           finish 1
+       end)
+
+(* ------------------------------------------------------------------ *)
 
 let scale_arg =
   Arg.(value & opt int 6 & info [ "scale" ] ~doc:"World size for the verification suite.")
@@ -305,10 +505,38 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Flight-record a scripted workload; dump events and latency tables")
     Term.(const trace $ sink_arg $ trace_iters_arg $ trace_events_arg $ trace_slots_arg)
 
+let plant_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("none", "none"); ("double-free", "double-free");
+             ("unlocked", "unlocked"); ("bad-pte", "bad-pte") ])
+        "none"
+    & info [ "plant" ]
+        ~doc:
+          "Plant a bug after the clean workload and require the sanitizer to catch it: \
+           $(b,double-free), $(b,unlocked) (mutation without the big lock) or \
+           $(b,bad-pte) (reserved bits in a leaf entry).")
+
+let san_iters_arg =
+  Arg.(value & opt int 50 & info [ "iterations" ] ~doc:"IPC ping-pong rounds in the SMP phase.")
+
+let san_cmd =
+  Cmd.v
+    (Cmd.info "san"
+       ~doc:
+         "Run the scripted workload under atmo-san (shadow permission map, free-page \
+          poisoning, lock-discipline checking, container attribution, page-table lint, \
+          leak audit); exit 0 iff clean — or, with $(b,--plant), iff the planted bug is \
+          detected")
+    Term.(const san $ plant_arg $ san_iters_arg)
+
 let () =
   let info =
     Cmd.info "atmo" ~version:"1.0"
       ~doc:"Atmosphere verified-microkernel reproduction toolkit"
   in
   exit
-    (Cmd.eval' (Cmd.group info [ verify_cmd; fuzz_cmd; ni_cmd; boot_cmdliner; trace_cmd ]))
+    (Cmd.eval'
+       (Cmd.group info [ verify_cmd; fuzz_cmd; ni_cmd; boot_cmdliner; trace_cmd; san_cmd ]))

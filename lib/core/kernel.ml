@@ -831,7 +831,7 @@ let dispatch t ~thread (call : Syscall.t) =
   | Syscall.Register_irq { device; slot } -> sys_register_irq t ~thread ~device ~slot
   | Syscall.Irq_fire { device } -> irq_fire t ~device
 
-let step t ~thread (call : Syscall.t) =
+let step_inner t ~thread (call : Syscall.t) =
   if not (Obs.tracing ()) then dispatch t ~thread call
   else begin
     let sysno = Syscall.number call in
@@ -842,4 +842,31 @@ let step t ~thread (call : Syscall.t) =
     (match errno with None -> () | Some _ -> Atmo_obs.Metrics.bump "kernel/syscall_errors");
     Obs.emit (Event.Syscall_exit { thread; sysno; errno });
     ret
+  end
+
+(* Step observer for the sanitizer: brackets every syscall so an external
+   checker can attribute memory accesses to the executing thread's
+   container.  Same zero-cost-when-unarmed discipline as the Obs guards;
+   the armed path uses [Fun.protect] so the exit bracket fires even when a
+   harness-injected fault escapes the dispatcher. *)
+let step_obs_armed = ref false
+
+let step_obs : (t -> thread:int -> entering:bool -> unit) ref =
+  ref (fun _ ~thread:_ ~entering:_ -> ())
+
+let set_step_observer = function
+  | None ->
+    step_obs_armed := false;
+    step_obs := (fun _ ~thread:_ ~entering:_ -> ())
+  | Some f ->
+    step_obs := f;
+    step_obs_armed := true
+
+let step t ~thread (call : Syscall.t) =
+  if not !step_obs_armed then step_inner t ~thread call
+  else begin
+    !step_obs t ~thread ~entering:true;
+    Fun.protect
+      ~finally:(fun () -> !step_obs t ~thread ~entering:false)
+      (fun () -> step_inner t ~thread call)
   end

@@ -55,6 +55,13 @@ val boot : boot_params -> (t * int, Atmo_util.Errno.t) result
 val step : t -> thread:int -> Atmo_spec.Syscall.t -> Atmo_spec.Syscall.ret
 (** Uniform dispatcher over all system calls. *)
 
+val set_step_observer : (t -> thread:int -> entering:bool -> unit) option -> unit
+(** Process-global bracket around every {!step} (called with
+    [~entering:true] before dispatch, [~entering:false] after, even on
+    exceptions).  Used by atmo_san to attribute physical-memory accesses
+    to the executing thread's container; one bool load per step when not
+    installed. *)
+
 val sys_mmap :
   t -> thread:int -> va:int -> count:int -> size:Atmo_pmem.Page_state.size ->
   perm:Atmo_hw.Pte_bits.perm -> Atmo_spec.Syscall.ret

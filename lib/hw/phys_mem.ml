@@ -1,4 +1,5 @@
 type t = {
+  uid : int;
   page_count : int;
   frames : (int, Bytes.t) Hashtbl.t;
 }
@@ -7,9 +8,32 @@ let page_size = 4096
 let page_size_2m = 512 * page_size
 let page_size_1g = 512 * page_size_2m
 
+(* Access hook for the sanitizer layer (atmo_san): disabled it costs one
+   mutable-bool load per access, exactly like the tracepoint guards in
+   atmo_obs, so the unhooked path stays bit-identical. *)
+type access_op = Read | Write | Zero
+
+let hook_armed = ref false
+let hook : (t -> access_op -> int -> int -> unit) ref = ref (fun _ _ _ _ -> ())
+
+let set_access_hook = function
+  | None ->
+    hook_armed := false;
+    hook := (fun _ _ _ _ -> ())
+  | Some f ->
+    hook := f;
+    hook_armed := true
+
+let observing () = !hook_armed
+
+let uid_counter = ref 0
+
 let create ~page_count =
   if page_count <= 0 then invalid_arg "Phys_mem.create: page_count <= 0";
-  { page_count; frames = Hashtbl.create 1024 }
+  incr uid_counter;
+  { uid = !uid_counter; page_count; frames = Hashtbl.create 1024 }
+
+let uid t = t.uid
 
 let page_count t = t.page_count
 let size_bytes t = t.page_count * page_size
@@ -39,6 +63,7 @@ let frame_opt t addr = Hashtbl.find_opt t.frames (page_index addr)
 let read_u64 t ~addr =
   check_bounds t addr 8 "read_u64";
   if addr land 7 <> 0 then invalid_arg "Phys_mem.read_u64: unaligned";
+  if !hook_armed then !hook t Read addr 8;
   match frame_opt t addr with
   | None -> 0L
   | Some b -> Bytes.get_int64_le b (addr land (page_size - 1))
@@ -46,16 +71,19 @@ let read_u64 t ~addr =
 let write_u64 t ~addr v =
   check_bounds t addr 8 "write_u64";
   if addr land 7 <> 0 then invalid_arg "Phys_mem.write_u64: unaligned";
+  if !hook_armed then !hook t Write addr 8;
   Bytes.set_int64_le (frame_of t addr) (addr land (page_size - 1)) v
 
 let read_u8 t ~addr =
   check_bounds t addr 1 "read_u8";
+  if !hook_armed then !hook t Read addr 1;
   match frame_opt t addr with
   | None -> 0
   | Some b -> Char.code (Bytes.get b (addr land (page_size - 1)))
 
 let write_u8 t ~addr v =
   check_bounds t addr 1 "write_u8";
+  if !hook_armed then !hook t Write addr 1;
   Bytes.set (frame_of t addr) (addr land (page_size - 1)) (Char.chr (v land 0xff))
 
 (* Dropping the frame is observationally identical to zero-filling it
@@ -63,11 +91,13 @@ let write_u8 t ~addr v =
    when superpages are zeroed. *)
 let zero_page t ~addr =
   check_bounds t addr 1 "zero_page";
+  if !hook_armed then !hook t Zero (page_base addr) page_size;
   Hashtbl.remove t.frames (page_index addr)
 
 let blit_to t ~addr src =
   let len = Bytes.length src in
   check_bounds t addr len "blit_to";
+  if !hook_armed && len > 0 then !hook t Write addr len;
   let rec go off =
     if off < len then begin
       let a = addr + off in
@@ -81,6 +111,7 @@ let blit_to t ~addr src =
 
 let blit_from t ~addr ~len =
   check_bounds t addr len "blit_from";
+  if !hook_armed && len > 0 then !hook t Read addr len;
   let dst = Bytes.make len '\000' in
   let rec go off =
     if off < len then begin

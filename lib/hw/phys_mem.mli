@@ -26,6 +26,31 @@ val create : page_count:int -> t
     at physical address 0.  Raises [Invalid_argument] if
     [page_count <= 0]. *)
 
+val uid : t -> int
+(** Process-unique identity of this memory, stamped at creation.  Lets
+    external observers (the sanitizer) key per-memory state without
+    retaining the memory itself. *)
+
+(** {2 Sanitizer access hook}
+
+    A single process-global hook observing every load/store/zero, in the
+    style of the {!Atmo_obs.Sink} tracepoint guard: when no hook is
+    installed (the default) each access costs one mutable-bool load and
+    nothing else, so the unhooked path is bit-identical.  The hook runs
+    after bounds/alignment validation and before the access. *)
+
+type access_op =
+  | Read
+  | Write
+  | Zero  (** whole-frame zeroing via {!zero_page} *)
+
+val set_access_hook : (t -> access_op -> int -> int -> unit) option -> unit
+(** [set_access_hook (Some f)]: call [f mem op addr len] on every access
+    to every memory; [None] restores the zero-cost path. *)
+
+val observing : unit -> bool
+(** True iff an access hook is installed. *)
+
 val page_count : t -> int
 
 val size_bytes : t -> int

@@ -11,14 +11,31 @@ type 'a t = {
 let create ~name = { name; map = Imap.empty; accesses = 0 }
 let name t = t.name
 
+(* Mutation hook for the sanitizer's lock-discipline checker: one bool
+   load per mutation when not installed.  Borrows are reads and are not
+   reported — the big lock protects mutations of kernel state. *)
+let hook_armed = ref false
+let hook : (name:string -> op:string -> ptr:int -> unit) ref =
+  ref (fun ~name:_ ~op:_ ~ptr:_ -> ())
+
+let set_mutation_hook = function
+  | None ->
+    hook_armed := false;
+    hook := (fun ~name:_ ~op:_ ~ptr:_ -> ())
+  | Some f ->
+    hook := f;
+    hook_armed := true
+
 let violation t fmt =
   Format.kasprintf (fun s -> raise (Permission_violation (t.name ^ ": " ^ s))) fmt
 
 let alloc t ~ptr v =
+  if !hook_armed then !hook ~name:t.name ~op:"alloc" ~ptr;
   if Imap.mem ptr t.map then violation t "double allocation at 0x%x" ptr;
   t.map <- Imap.add ptr v t.map
 
 let consume t ~ptr =
+  if !hook_armed then !hook ~name:t.name ~op:"consume" ~ptr;
   match Imap.find_opt ptr t.map with
   | None -> violation t "consume of absent permission 0x%x" ptr
   | Some v ->
@@ -37,6 +54,7 @@ let borrow_opt t ~ptr =
 
 let update t ~ptr f =
   t.accesses <- t.accesses + 1;
+  if !hook_armed then !hook ~name:t.name ~op:"update" ~ptr;
   match Imap.find_opt ptr t.map with
   | None -> violation t "update of absent permission 0x%x" ptr
   | Some v -> t.map <- Imap.add ptr (f v) t.map
@@ -46,5 +64,6 @@ let dom t = Imap.dom t.map
 let cardinal t = Imap.cardinal t.map
 let iter f t = Imap.iter f t.map
 let fold f t acc = Imap.fold f t.map acc
+let bindings t = Imap.bindings t.map
 let for_all f t = Imap.for_all f t.map
 let accesses t = t.accesses

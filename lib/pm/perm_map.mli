@@ -44,6 +44,17 @@ val iter : (int -> 'a -> unit) -> 'a t -> unit
 val fold : (int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
 val for_all : (int -> 'a -> bool) -> 'a t -> bool
 
+val bindings : 'a t -> (int * 'a) list
+(** All (pointer, permission) pairs in increasing pointer order; the
+    map's ghost-state view for auditors and tests. *)
+
+val set_mutation_hook :
+  (name:string -> op:string -> ptr:int -> unit) option -> unit
+(** Process-global observer of map mutations ([op] is ["alloc"],
+    ["consume"] or ["update"]) used by atmo_san's lock-discipline
+    checker; one bool load per mutation when not installed.  Borrows are
+    reads and are not reported. *)
+
 val accesses : 'a t -> int
 (** Number of borrows/updates since creation; lets benches report how
     permission-mediated the code paths are. *)

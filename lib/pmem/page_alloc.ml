@@ -17,6 +17,28 @@ type t = {
 let frame_addr i = i * Phys_mem.page_size
 let frame_of_addr a = a / Phys_mem.page_size
 
+(* Allocator event hook for the sanitizer layer (atmo_san): same
+   zero-overhead discipline as the Phys_mem access hook — one
+   mutable-bool load per site when nothing is installed. *)
+type event =
+  | Created of t
+  | Claim of { alloc : t; addr : int; frames : int; purpose : purpose }
+  | Free_request of { alloc : t; addr : int; what : string }
+  | Release of { alloc : t; addr : int; frames : int }
+
+let hook_armed = ref false
+let hook : (event -> unit) ref = ref (fun _ -> ())
+
+let set_event_hook = function
+  | None ->
+    hook_armed := false;
+    hook := (fun _ -> ())
+  | Some f ->
+    hook := f;
+    hook_armed := true
+
+let mem t = t.mem
+
 let create mem ~reserved_frames =
   let nframes = Phys_mem.page_count mem in
   if reserved_frames < 0 || reserved_frames >= nframes then
@@ -35,6 +57,7 @@ let create mem ~reserved_frames =
   for i = reserved_frames to nframes - 1 do
     Dll.push_back t.free4k i
   done;
+  if !hook_armed then !hook (Created t);
   t
 
 let managed_frames t = t.nframes - t.first
@@ -61,6 +84,8 @@ let order_of = function S4k -> 0 | S2m -> 1 | S1g -> 2
 
 let claim t i size purpose =
   let m = t.meta.(i) in
+  if !hook_armed then
+    !hook (Claim { alloc = t; addr = frame_addr i; frames = frames_per size; purpose });
   m.size <- size;
   m.state <- (match purpose with Kernel -> Allocated | User -> Mapped 1);
   zero_block t i size;
@@ -222,6 +247,8 @@ let rec alloc_1g t ~purpose =
 
 let release t i =
   let m = t.meta.(i) in
+  if !hook_armed then
+    !hook (Release { alloc = t; addr = frame_addr i; frames = frames_per m.size });
   m.state <- Free;
   let list =
     match m.size with S4k -> t.free4k | S2m -> t.free2m | S1g -> t.free1g
@@ -234,6 +261,7 @@ let release t i =
   end
 
 let free_kernel_page t ~addr =
+  if !hook_armed then !hook (Free_request { alloc = t; addr; what = "free_kernel_page" });
   let i, m = head_meta t ~addr "free_kernel_page" in
   match m.state with
   | Allocated -> release t i
@@ -250,6 +278,7 @@ let inc_ref t ~addr =
       (Format.asprintf "Page_alloc.inc_ref: 0x%x is %a" addr pp_state m.state)
 
 let dec_ref t ~addr =
+  if !hook_armed then !hook (Free_request { alloc = t; addr; what = "dec_ref" });
   let i, m = head_meta t ~addr "dec_ref" in
   match m.state with
   | Mapped 1 ->

@@ -22,6 +22,29 @@ val create : Atmo_hw.Phys_mem.t -> reserved_frames:int -> t
     (boot image, per-CPU data: outside the allocator, like the paper's
     trusted boot environment). *)
 
+val mem : t -> Atmo_hw.Phys_mem.t
+(** The physical memory this allocator manages. *)
+
+(** {2 Sanitizer event hook}
+
+    Process-global allocator-lifecycle observer used by atmo_san's shadow
+    permission map; zero-overhead (one bool load per site) when not
+    installed.  [Free_request] fires at the entry of
+    {!free_kernel_page}/{!dec_ref} {e before} the allocator's own state
+    guard, so an external checker can classify a double free even though
+    the allocator will also reject it. *)
+
+type event =
+  | Created of t  (** a fresh allocator came up (all managed frames free) *)
+  | Claim of { alloc : t; addr : int; frames : int; purpose : purpose }
+      (** a block of [frames] 4 KiB frames headed at [addr] left a free list *)
+  | Free_request of { alloc : t; addr : int; what : string }
+      (** a caller asked to release [addr] via entry point [what] *)
+  | Release of { alloc : t; addr : int; frames : int }
+      (** a block actually returned to its free list *)
+
+val set_event_hook : (event -> unit) option -> unit
+
 val managed_frames : t -> int
 val free_count_4k : t -> int
 val free_count_2m : t -> int

@@ -1,0 +1,67 @@
+open Atmo_util
+module Page_alloc = Atmo_pmem.Page_alloc
+module Page_state = Atmo_pmem.Page_state
+module Page_table = Atmo_pt.Page_table
+module Perm_map = Atmo_pm.Perm_map
+module Proc_mgr = Atmo_pm.Proc_mgr
+module Kernel = Atmo_core.Kernel
+
+let leaks k =
+  let before = Report.count () in
+  Memsan.suspend (fun () ->
+      let alloc = k.Kernel.alloc in
+      let pm = k.Kernel.pm in
+      (* Ownership ground truth: the process manager's page closure plus
+         the table pages of every device's IOMMU domain. *)
+      let owned =
+        Imap.fold
+          (fun _ (info : Kernel.device_info) acc ->
+            Iset.union acc (Page_table.page_closure info.Kernel.io_pt))
+          k.Kernel.devices (Proc_mgr.page_closure pm)
+      in
+      let allocated = Page_alloc.allocated_pages alloc in
+      Iset.iter
+        (fun page ->
+          if not (Iset.mem page owned) then
+            Report.record Report.Leak ~site:"audit" ~page
+              ~detail:"allocated frame reachable from no kernel data structure")
+        allocated;
+      Iset.iter
+        (fun page ->
+          if not (Iset.mem page allocated) then
+            Report.record Report.Phantom_page ~site:"audit" ~page
+              ~detail:"kernel structure owns a frame the allocator says is not allocated")
+        owned;
+      (* Every user-mapped block must be reachable from some address
+         space or DMA window; a mapped frame nobody can name can never
+         be unmapped again. *)
+      let reachable =
+        let from_procs =
+          Perm_map.fold
+            (fun _ p acc -> Iset.union acc (Page_table.mapped_frames p.Atmo_pm.Process.pt))
+            pm.Proc_mgr.proc_perms Iset.empty
+        in
+        Imap.fold
+          (fun _ (info : Kernel.device_info) acc ->
+            Iset.union acc (Page_table.mapped_frames info.Kernel.io_pt))
+          k.Kernel.devices from_procs
+      in
+      Iset.iter
+        (fun page ->
+          if not (Iset.mem page reachable) then
+            Report.record Report.Mapped_leak ~site:"audit" ~page
+              ~detail:"mapped frame reachable from no address space or DMA window")
+        (Page_alloc.mapped_pages alloc);
+      (* Endpoints re-home to the parent container on subtree
+         termination; an endpoint charged to a dead container leaks its
+         page and its quota accounting. *)
+      Perm_map.iter
+        (fun ep (e : Atmo_pm.Endpoint.t) ->
+          if not (Perm_map.mem pm.Proc_mgr.cntr_perms ~ptr:e.Atmo_pm.Endpoint.owner_container)
+          then
+            Report.record Report.Leak ~site:"audit" ~page:ep
+              ~detail:
+                (Printf.sprintf "endpoint owned by dead container %d"
+                   e.Atmo_pm.Endpoint.owner_container))
+        pm.Proc_mgr.edpt_perms);
+  Report.count () - before

@@ -1,0 +1,15 @@
+(** Leak-freedom audit.
+
+    The paper proves leak freedom bottom-up from page closures: every
+    allocated frame is owned by exactly one kernel data structure, and
+    termination returns complete closures to the allocator.  The audit
+    checks the same equations on the live state — typically after a
+    container or process teardown: allocated frames vs the process
+    manager's page closure plus IOMMU table pages ([Leak] /
+    [Phantom_page]), mapped frames vs the union of address spaces and
+    DMA windows ([Mapped_leak]), and endpoint owner-container
+    liveness. *)
+
+val leaks : Atmo_core.Kernel.t -> int
+(** File typed reports for every ownership mismatch; returns the number
+    of violations found by this run. *)

@@ -1,0 +1,71 @@
+let is_armed = ref false
+let holder : int option ref = ref None
+let last_site = ref "<never held>"
+let step_depth = ref 0
+let sites : (string, int) Hashtbl.t = Hashtbl.create 8
+let reported : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let arm () =
+  is_armed := true;
+  holder := None;
+  last_site := "<never held>";
+  step_depth := 0;
+  Hashtbl.reset sites;
+  Hashtbl.reset reported
+
+let disarm () = is_armed := false
+let armed () = !is_armed
+let held () = !holder <> None
+
+let acquisitions () =
+  Hashtbl.fold (fun site n acc -> (site, n) :: acc) sites []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let provenance () =
+  let acq =
+    match acquisitions () with
+    | [] -> "no acquisitions yet"
+    | l ->
+      String.concat ", " (List.map (fun (s, n) -> Printf.sprintf "%s x%d" s n) l)
+  in
+  Printf.sprintf "last acquisition via %s; acquisitions: %s" !last_site acq
+
+let acquire ~site ~cpu =
+  if !is_armed then begin
+    (match !holder with
+     | Some other ->
+       Report.record Report.Lock_misuse ~site ~page:(-1)
+         ~detail:
+           (Printf.sprintf "cpu %d acquired the big lock while cpu %d holds it (%s)" cpu
+              other (provenance ()))
+     | None -> ());
+    holder := Some cpu;
+    last_site := site;
+    Hashtbl.replace sites site (1 + Option.value ~default:0 (Hashtbl.find_opt sites site))
+  end
+
+let release ~cpu =
+  if !is_armed then
+    match !holder with
+    | None ->
+      Report.record Report.Lock_misuse ~site:"release" ~page:(-1)
+        ~detail:(Printf.sprintf "cpu %d released the big lock while nobody holds it" cpu)
+    | Some _ -> holder := None
+
+let locked ~site ~cpu f =
+  acquire ~site ~cpu;
+  Fun.protect ~finally:(fun () -> release ~cpu) f
+
+let enter_step () = incr step_depth
+let exit_step () = if !step_depth > 0 then decr step_depth
+
+let on_mutation ~site ~page ~detail =
+  if !is_armed && !step_depth > 0 && !holder = None then begin
+    match Hashtbl.find_opt reported site with
+    | Some n -> Hashtbl.replace reported site (n + 1)  (* dedup per site *)
+    | None ->
+      Hashtbl.replace reported site 1;
+      Report.record Report.Unlocked_mutation ~site ~page
+        ~detail:
+          (if detail = "" then provenance () else detail ^ " (" ^ provenance () ^ ")")
+  end

@@ -1,0 +1,52 @@
+(** Lock-discipline checker for the big kernel lock.
+
+    The paper's kernel runs every system call under one big lock; the
+    verification assumes mutations of kernel state happen only inside
+    it.  Lockcheck shadows that assumption at runtime, lockdep-style:
+    the SMP simulator reports lock acquire/release (with an acquisition
+    site), the kernel's step observer brackets syscall execution, and
+    mutation hooks (permission maps, allocator events, physical stores)
+    report every kernel-state mutation.  A mutation inside a syscall
+    while the lock is not held files an [Unlocked_mutation] report with
+    acquisition-site provenance; protocol breaks (double acquire,
+    release without hold) file [Lock_misuse].
+
+    Per-site deduplication keeps one hot unlocked path from flooding
+    the report store; suppressed repeats are still counted. *)
+
+val arm : unit -> unit
+(** Reset state and start checking. *)
+
+val disarm : unit -> unit
+val armed : unit -> bool
+
+val acquire : site:string -> cpu:int -> unit
+(** The big lock was granted to [cpu]; [site] names the acquisition
+    point (e.g. ["smp.big_lock"]).  Acquiring while held files
+    [Lock_misuse]. *)
+
+val release : cpu:int -> unit
+(** Releasing while not held files [Lock_misuse]. *)
+
+val locked : site:string -> cpu:int -> (unit -> 'a) -> 'a
+(** Run a thunk under the lock (helper for harness code that mutates
+    kernel state outside the SMP loop, e.g. boot and workload setup). *)
+
+val held : unit -> bool
+
+val enter_step : unit -> unit
+(** Step-observer brackets: mutations are only judged between
+    [enter_step] and [exit_step] (kernel code running on behalf of a
+    syscall); harness mutations outside any step are not the kernel's
+    concern. *)
+
+val exit_step : unit -> unit
+
+val on_mutation : site:string -> page:int -> detail:string -> unit
+(** A kernel-state mutation happened at [site].  Files
+    [Unlocked_mutation] if armed, inside a step, and the lock is not
+    held. *)
+
+val acquisitions : unit -> (string * int) list
+(** Acquisition sites seen since {!arm}, with counts — the provenance
+    attached to violations. *)

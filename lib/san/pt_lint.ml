@@ -1,0 +1,127 @@
+open Atmo_util
+module Phys_mem = Atmo_hw.Phys_mem
+module Mmu = Atmo_hw.Mmu
+module Pte_bits = Atmo_hw.Pte_bits
+module Page_alloc = Atmo_pmem.Page_alloc
+module Page_state = Atmo_pmem.Page_state
+module Page_table = Atmo_pt.Page_table
+module Perm_map = Atmo_pm.Perm_map
+module Kernel = Atmo_core.Kernel
+
+(* Bits this kernel ever programs into a present entry: P, R/W, U/S, PS,
+   NX and the frame address.  Anything else set in a present entry is a
+   malformed PTE for the model (A/D/PWT/PCD are never written here). *)
+let allowed_bits =
+  List.fold_left Int64.logor 0L
+    [ 0x1L; 0x2L; 0x4L; 0x80L; Int64.min_int; Pte_bits.addr_mask ]
+
+let entries_per_table = 512
+
+let lint_pt k ~who pt ~tally =
+  let mem = k.Kernel.mem in
+  let registered : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (addr, level) -> Hashtbl.replace registered addr level) (Page_table.tables pt);
+  let site = "pt_lint." ^ who in
+  List.iter
+    (fun (taddr, level) ->
+      (match Page_alloc.state_of k.Kernel.alloc ~addr:taddr with
+       | Some Page_state.Allocated -> ()
+       | st ->
+         Report.record Report.Phantom_page ~site ~page:taddr
+           ~detail:
+             (Format.asprintf "table page (level %d) is %a in the allocator" level
+                (Format.pp_print_option
+                   ~none:(fun ppf () -> Format.pp_print_string ppf "unmanaged")
+                   Page_state.pp_state)
+                st));
+      for index = 0 to entries_per_table - 1 do
+        let e = Phys_mem.read_u64 mem ~addr:(Mmu.entry_addr ~table:taddr ~index) in
+        if Pte_bits.is_present e then begin
+          let page = Pte_bits.addr_of e in
+          if Int64.logand e (Int64.lognot allowed_bits) <> 0L then
+            Report.record Report.Malformed_pte ~site ~page
+              ~detail:
+                (Printf.sprintf "reserved bits set in entry %d of level-%d table 0x%x (0x%Lx)"
+                   index level taddr e);
+          let huge = Pte_bits.is_huge e in
+          if huge && (level = 4 || level = 1) then
+            Report.record Report.Malformed_pte ~site ~page
+              ~detail:(Printf.sprintf "PS bit set at level %d (table 0x%x entry %d)" level taddr index)
+          else if level > 1 && not huge then begin
+            (* points at a next-level table *)
+            match Hashtbl.find_opt registered page with
+            | Some l when l = level - 1 -> ()
+            | Some l ->
+              Report.record Report.Pt_bad_level ~site ~page
+                ~detail:
+                  (Printf.sprintf "level-%d entry points at a level-%d table (expected %d)"
+                     level l (level - 1))
+            | None ->
+              Report.record Report.Pt_bad_level ~site ~page
+                ~detail:
+                  (Printf.sprintf "level-%d entry points at 0x%x, not a registered table page"
+                     level page)
+          end
+          else begin
+            (* leaf: 1 GiB (level 3, huge), 2 MiB (level 2, huge), 4 KiB (level 1) *)
+            let size =
+              match level with 3 -> Page_state.S1g | 2 -> Page_state.S2m | _ -> Page_state.S4k
+            in
+            let bytes = Page_state.bytes_per size in
+            if page land (bytes - 1) <> 0 then
+              Report.record Report.Pt_misaligned_superpage ~site ~page
+                ~detail:
+                  (Format.asprintf "%a leaf frame not %a-aligned (table 0x%x entry %d)"
+                     Page_state.pp_size size Page_state.pp_size size taddr index);
+            (match Page_alloc.state_of k.Kernel.alloc ~addr:page with
+             | Some (Page_state.Mapped _) ->
+               (match Page_alloc.size_of k.Kernel.alloc ~addr:page with
+                | Some s when Page_state.equal_size s size -> ()
+                | s ->
+                  Report.record Report.Pt_bad_leaf_state ~site ~page
+                    ~detail:
+                      (Format.asprintf "%a leaf over a block of size %a" Page_state.pp_size
+                         size
+                         (Format.pp_print_option
+                            ~none:(fun ppf () -> Format.pp_print_string ppf "<none>")
+                            Page_state.pp_size)
+                         s))
+             | st ->
+               Report.record Report.Pt_bad_leaf_state ~site ~page
+                 ~detail:
+                   (Format.asprintf "leaf frame is %a in the allocator, not mapped"
+                      (Format.pp_print_option
+                         ~none:(fun ppf () -> Format.pp_print_string ppf "unmanaged")
+                         Page_state.pp_state)
+                      st));
+            Hashtbl.replace tally page (1 + Option.value ~default:0 (Hashtbl.find_opt tally page))
+          end
+        end
+      done)
+    (Page_table.tables pt)
+
+let lint k =
+  let before = Report.count () in
+  Memsan.suspend (fun () ->
+      (* Every mapping of a frame — CPU page tables and IOMMU tables
+         alike — consumes one reference; more mappings than references
+         means an aliasing bug the refcount cannot see. *)
+      let tally : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      Perm_map.iter
+        (fun proc p ->
+          lint_pt k ~who:(Printf.sprintf "proc%d" proc) p.Atmo_pm.Process.pt ~tally)
+        k.Kernel.pm.Atmo_pm.Proc_mgr.proc_perms;
+      Imap.iter
+        (fun dev (info : Kernel.device_info) ->
+          lint_pt k ~who:(Printf.sprintf "dev%d" dev) info.Kernel.io_pt ~tally)
+        k.Kernel.devices;
+      Hashtbl.iter
+        (fun page mappings ->
+          match Page_alloc.ref_count k.Kernel.alloc ~addr:page with
+          | Some rc when mappings > rc ->
+            Report.record Report.Pt_alias ~site:"pt_lint" ~page
+              ~detail:
+                (Printf.sprintf "frame mapped %d time(s) but reference count is %d" mappings rc)
+          | _ -> ())
+        tally);
+  Report.count () - before

@@ -1,0 +1,16 @@
+(** Page-table lint: well-formedness of the concrete translation trees.
+
+    Walks the real 512-entry table pages of every process address space
+    and every device IOMMU domain — through each table's flat registry,
+    the executable form of the paper's top-level [PointsTo] storage for
+    page-table pages — and checks the structural invariants the paper
+    proves about them: present entries use only architecturally
+    programmed bits, non-leaf entries point at registered tables of the
+    next level down, superpage leaves are size-aligned, leaf frames are
+    in the allocator's [Mapped] state with the matching block size, and
+    no frame is mapped more times than its reference count (aliasing
+    across address spaces and DMA windows). *)
+
+val lint : Atmo_core.Kernel.t -> int
+(** Run the lint over all page tables of [k]; files typed reports and
+    returns the number of violations found by this run. *)

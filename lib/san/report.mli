@@ -1,0 +1,59 @@
+(** Typed sanitizer violation reports.
+
+    Every rule atmo-san checks shadows a theorem of the paper's verified
+    kernel (see DESIGN.md §8 for the mapping).  A report names the rule,
+    the detection site, the faulting page, and — when the flight
+    recorder is tracing — the tail of the event stream leading up to the
+    violation, so a report reads like a miniature kernel crash dump. *)
+
+type rule =
+  | Use_after_free  (** access to a frame after it returned to a free list *)
+  | Double_free  (** free request for a frame that is already free *)
+  | Out_of_reservation  (** access to managed memory never handed out *)
+  | Poison_trample  (** free-page poison damaged while the page was free *)
+  | Claim_of_live  (** allocator handed out a frame that was still live *)
+  | Bad_write_ro  (** store to a frame every mapping of which is read-only *)
+  | Foreign_page  (** access to a user frame of a different container *)
+  | Unlocked_mutation  (** kernel state mutated in a syscall without the big lock *)
+  | Lock_misuse  (** big-lock acquire/release protocol broken *)
+  | Leak  (** allocated frame owned by no kernel data structure *)
+  | Phantom_page  (** kernel claims a frame the allocator says is not allocated *)
+  | Mapped_leak  (** mapped frame reachable from no address space *)
+  | Malformed_pte  (** reserved/invalid bits set in a present entry *)
+  | Pt_bad_level  (** non-leaf entry not pointing at a next-level table *)
+  | Pt_misaligned_superpage  (** huge leaf whose frame is not size-aligned *)
+  | Pt_alias  (** frame mapped more times than its reference count *)
+  | Pt_bad_leaf_state  (** leaf frame not in the allocator's [Mapped] state *)
+
+val rule_name : rule -> string
+
+type t = {
+  rule : rule;
+  site : string;  (** detection site, e.g. ["phys.write"] or ["pt_lint"] *)
+  page : int;  (** faulting 4 KiB frame base; [-1] when not page-specific *)
+  detail : string;
+  trail : Atmo_obs.Event.record list;
+      (** most recent flight-recorder events at detection time (empty
+          when tracing is off) *)
+}
+
+val record : rule -> site:string -> page:int -> detail:string -> unit
+(** File a violation.  Captures the flight-recorder tail if tracing.
+    Reports beyond a fixed cap are counted but not stored. *)
+
+val count : unit -> int
+(** Total violations filed since the last {!clear} (including any
+    beyond the storage cap). *)
+
+val reports : unit -> t list
+(** Stored reports in filing order. *)
+
+val clear : unit -> unit
+
+val trail_length : int ref
+(** How many trailing events to capture per report (default 8). *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_summary : Format.formatter -> unit -> unit
+(** Per-rule counts followed by each stored report. *)

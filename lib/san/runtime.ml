@@ -1,0 +1,135 @@
+open Atmo_util
+module Phys_mem = Atmo_hw.Phys_mem
+module Pte_bits = Atmo_hw.Pte_bits
+module Page_alloc = Atmo_pmem.Page_alloc
+module Page_state = Atmo_pmem.Page_state
+module Page_table = Atmo_pt.Page_table
+module Perm_map = Atmo_pm.Perm_map
+module Proc_mgr = Atmo_pm.Proc_mgr
+module Process = Atmo_pm.Process
+module Kernel = Atmo_core.Kernel
+
+let is_armed = ref false
+let attribution_on = ref false
+let subject : Kernel.t option ref = ref None
+
+(* Attribution snapshots are rebuilt lazily: any allocator event or
+   permission-map mutation marks the mapping picture dirty, and the next
+   step entry rebuilds.  Staleness is safe — unknown frames are skipped. *)
+let attr_dirty = ref true
+
+let dispatch_access mem op addr len =
+  Memsan.on_access mem op addr len;
+  (match op with
+   | Phys_mem.Read -> ()
+   | Phys_mem.Write | Phys_mem.Zero ->
+     Lockcheck.on_mutation ~site:"phys.write" ~page:(Phys_mem.page_base addr) ~detail:"")
+
+let dispatch_event ev =
+  Memsan.on_event ev;
+  attr_dirty := true;
+  match ev with
+  | Page_alloc.Created _ -> ()
+  | Page_alloc.Claim { addr; _ } ->
+    Lockcheck.on_mutation ~site:"pmem.claim" ~page:addr ~detail:""
+  | Page_alloc.Free_request { addr; what; _ } ->
+    Lockcheck.on_mutation ~site:("pmem." ^ what) ~page:addr ~detail:""
+  | Page_alloc.Release { addr; _ } ->
+    Lockcheck.on_mutation ~site:"pmem.release" ~page:addr ~detail:""
+
+let dispatch_perm ~name ~op ~ptr =
+  attr_dirty := true;
+  Lockcheck.on_mutation ~site:(Printf.sprintf "pm.%s.%s" name op) ~page:ptr ~detail:""
+
+let build_attribution (k : Kernel.t) =
+  let tbl : (int, Memsan.attr) Hashtbl.t = Hashtbl.create 256 in
+  let add ~owner ~write frame =
+    match Hashtbl.find_opt tbl frame with
+    | None ->
+      Hashtbl.replace tbl frame
+        { Memsan.owners = Iset.singleton owner; writable = write }
+    | Some a ->
+      Hashtbl.replace tbl frame
+        { Memsan.owners = Iset.add owner a.Memsan.owners;
+          writable = a.Memsan.writable || write }
+  in
+  let add_space ~owner pt =
+    Imap.iter
+      (fun _va (e : Page_table.entry) ->
+        let write = e.Page_table.perm.Pte_bits.write in
+        for j = 0 to Page_state.frames_per e.Page_table.size - 1 do
+          add ~owner ~write (e.Page_table.frame + (j * Phys_mem.page_size))
+        done)
+      (Page_table.address_space pt)
+  in
+  Perm_map.iter
+    (fun _proc (p : Process.t) -> add_space ~owner:p.Process.owner_container p.Process.pt)
+    k.Kernel.pm.Proc_mgr.proc_perms;
+  Imap.iter
+    (fun _dev (info : Kernel.device_info) ->
+      add_space ~owner:info.Kernel.owner_container info.Kernel.io_pt)
+    k.Kernel.devices;
+  tbl
+
+let step_observer k ~thread ~entering =
+  if entering then begin
+    Lockcheck.enter_step ();
+    if !attribution_on then begin
+      (match !subject with
+       | Some s when s == k ->
+         if !attr_dirty then begin
+           attr_dirty := false;
+           Memsan.suspend (fun () -> Memsan.set_attribution (Some (build_attribution k)))
+         end
+       | _ -> ());
+      Memsan.set_context (Kernel.container_of_thread k ~thread)
+    end
+  end
+  else begin
+    Lockcheck.exit_step ();
+    if !attribution_on then Memsan.set_context None
+  end
+
+let arm ?(poison = false) ?(lockcheck = false) ?(attribution = false) () =
+  Report.clear ();
+  Memsan.reset ~poison;
+  if lockcheck then Lockcheck.arm () else Lockcheck.disarm ();
+  attribution_on := attribution;
+  attr_dirty := true;
+  subject := None;
+  Phys_mem.set_access_hook (Some dispatch_access);
+  Page_alloc.set_event_hook (Some dispatch_event);
+  Perm_map.set_mutation_hook (Some dispatch_perm);
+  Kernel.set_step_observer (Some step_observer);
+  is_armed := true
+
+let disarm () =
+  Phys_mem.set_access_hook None;
+  Page_alloc.set_event_hook None;
+  Perm_map.set_mutation_hook None;
+  Kernel.set_step_observer None;
+  Lockcheck.disarm ();
+  Memsan.reset ~poison:false;
+  attribution_on := false;
+  subject := None;
+  is_armed := false
+
+let armed () = !is_armed
+
+let attach k =
+  subject := Some k;
+  attr_dirty := true;
+  Memsan.track k.Kernel.alloc
+
+let full_check k = Pt_lint.lint k + Audit.leaks k
+
+let arm_of_env () =
+  match Sys.getenv_opt "SAN" with
+  | Some ("1" | "on" | "yes") -> arm ()
+  | _ -> ()
+
+let exit_check () =
+  if !is_armed && Report.count () > 0 then begin
+    Format.eprintf "atmo-san: %a@." Report.pp_summary ();
+    exit 1
+  end

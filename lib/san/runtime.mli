@@ -1,0 +1,36 @@
+(** atmo-san orchestration: owns the process-global hooks.
+
+    {!arm} installs the physical-memory access hook, the allocator
+    event hook, the permission-map mutation hook and the kernel step
+    observer, routing them to {!Memsan} and {!Lockcheck}; {!disarm}
+    restores the zero-cost paths everywhere.  Exactly one component
+    installs those hooks, so layering stays acyclic: the substrates
+    know nothing of the sanitizer, and the sanitizer reaches them only
+    through their public registries. *)
+
+val arm : ?poison:bool -> ?lockcheck:bool -> ?attribution:bool -> unit -> unit
+(** Start sanitizing.  Defaults: [poison:false] (free-page poisoning
+    materialises freed frames, perturbing sparsity-sensitive tests),
+    [lockcheck:false] (test harnesses legitimately call [Kernel.step]
+    without the SMP big lock), [attribution:false] (per-step
+    container-ownership snapshots).  [atmo san] enables all three. *)
+
+val disarm : unit -> unit
+val armed : unit -> bool
+
+val attach : Atmo_core.Kernel.t -> unit
+(** Point the sanitizer at a kernel: shadows its allocator (needed when
+    the kernel booted before {!arm}) and becomes the subject of
+    attribution snapshots. *)
+
+val full_check : Atmo_core.Kernel.t -> int
+(** Run the on-demand whole-state checks — {!Pt_lint.lint} and
+    {!Audit.leaks} — returning the number of new violations. *)
+
+val arm_of_env : unit -> unit
+(** Arm (memsan only) when the [SAN] environment variable is [1] — the
+    [SAN=1 dune runtest] mode.  No-op otherwise. *)
+
+val exit_check : unit -> unit
+(** If armed and violations were recorded, print the report summary on
+    stderr and exit with status 1.  For test-runner mains. *)

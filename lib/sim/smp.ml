@@ -116,8 +116,13 @@ let run k ~cost ~cpus ~programs ~iterations =
               Atmo_obs.Metrics.observe "smp/lock_wait" (grant - lock_request);
               Atmo_obs.Metrics.observe ("lat/syscall/" ^ Syscall.name call) kcycles
             end;
-            (* the call really executes against the kernel *)
-            ignore (Kernel.step k ~thread:p.thread call);
+            (* the call really executes against the kernel, under the
+               modelled big lock (reported to the lock-discipline
+               checker when atmo-san is armed) *)
+            if Atmo_san.Lockcheck.armed () then
+              Atmo_san.Lockcheck.locked ~site:"smp.big_lock" ~cpu (fun () ->
+                  ignore (Kernel.step k ~thread:p.thread call))
+            else ignore (Kernel.step k ~thread:p.thread call);
             incr executed;
             let finish = grant + kcycles in
             lock_free := finish;

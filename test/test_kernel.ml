@@ -482,7 +482,8 @@ let test_leak_freedom_full_teardown () =
   checki "all frames recovered" free0 (Atmo_pmem.Page_alloc.free_count_4k k.Kernel.alloc)
 
 let () =
-  Alcotest.run "kernel"
+  Atmo_san.Runtime.arm_of_env ();
+  Alcotest.run ~and_exit:false "kernel"
     [
       ( "boot",
         [
@@ -526,4 +527,5 @@ let () =
           Alcotest.test_case "route dies with endpoint" `Quick
             test_interrupt_route_dies_with_endpoint;
         ] );
-    ]
+    ];
+  Atmo_san.Runtime.exit_check ()

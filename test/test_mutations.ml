@@ -266,6 +266,89 @@ let test_kernel_mutation_device () =
   expect_fires "devices wf" (Invariants.devices_wf k)
 
 (* ------------------------------------------------------------------ *)
+(* Sanitizer mutations: atmo-san must catch each planted bug with a
+   typed report naming the rule and the faulting page.                 *)
+
+module San_runtime = Atmo_san.Runtime
+module San_report = Atmo_san.Report
+module Lockcheck = Atmo_san.Lockcheck
+
+let with_san ?(lockcheck = false) f =
+  San_runtime.arm ~poison:true ~lockcheck ();
+  Fun.protect ~finally:(fun () -> San_runtime.disarm ()) f
+
+let san_find rule =
+  List.find_opt (fun r -> r.San_report.rule = rule) (San_report.reports ())
+
+let test_san_double_free () =
+  with_san (fun () ->
+      let mem = Phys_mem.create ~page_count:256 in
+      let a = Page_alloc.create mem ~reserved_frames:0 in
+      let addr = Option.get (Page_alloc.alloc_4k a ~purpose:Page_alloc.Kernel) in
+      Page_alloc.free_kernel_page a ~addr;
+      checkb "clean before plant" true (San_report.count () = 0);
+      (* the allocator's own guard also fires; the sanitizer must have
+         classified the request before that *)
+      (try Page_alloc.free_kernel_page a ~addr with Invalid_argument _ -> ());
+      match san_find San_report.Double_free with
+      | None -> Alcotest.fail "double free not detected"
+      | Some r -> Alcotest.(check int) "faulting page" addr r.San_report.page)
+
+let test_san_use_after_free () =
+  with_san (fun () ->
+      let mem = Phys_mem.create ~page_count:256 in
+      let a = Page_alloc.create mem ~reserved_frames:0 in
+      let addr = Option.get (Page_alloc.alloc_4k a ~purpose:Page_alloc.Kernel) in
+      Phys_mem.write_u64 mem ~addr 0xdeadL;  (* live: fine *)
+      checkb "live store clean" true (San_report.count () = 0);
+      Page_alloc.free_kernel_page a ~addr;
+      ignore (Phys_mem.read_u64 mem ~addr);  (* dangling load *)
+      match san_find San_report.Use_after_free with
+      | None -> Alcotest.fail "use-after-free not detected"
+      | Some r -> Alcotest.(check int) "faulting page" addr r.San_report.page)
+
+let test_san_unlocked_mutation () =
+  let k, init = world () in
+  with_san ~lockcheck:true (fun () ->
+      San_runtime.attach k;
+      (* a bare Kernel.step: kernel state mutates inside a syscall while
+         the big lock is free *)
+      ignore
+        (Kernel.step k ~thread:init
+           (Syscall.Mmap { va = 0x6660_0000; count = 1; size = Page_state.S4k; perm = Pte.perm_rw }));
+      checkb "unlocked mutation detected" true
+        (san_find San_report.Unlocked_mutation <> None);
+      (* the same call under the lock is clean *)
+      San_report.clear ();
+      Lockcheck.locked ~site:"test.big_lock" ~cpu:0 (fun () ->
+          ignore
+            (Kernel.step k ~thread:init
+               (Syscall.Munmap { va = 0x6660_0000; count = 1; size = Page_state.S4k })));
+      checkb "locked step clean" true (San_report.count () = 0))
+
+let test_san_malformed_pte () =
+  let k, init = world () in
+  with_san (fun () ->
+      San_runtime.attach k;
+      (match Kernel.step k ~thread:init
+               (Syscall.Mmap { va = 0x7770_0000; count = 1; size = Page_state.S4k; perm = Pte.perm_rw })
+       with
+       | Syscall.Rmapped _ -> ()
+       | r -> Alcotest.failf "mmap: %a" Syscall.pp_ret r);
+      Alcotest.(check int) "clean lint before plant" 0 (San_runtime.full_check k);
+      let proc = Option.get (Kernel.proc_of_thread k ~thread:init) in
+      let pt = (Perm_map.borrow k.Kernel.pm.Proc_mgr.proc_perms ~ptr:proc).Process.pt in
+      let slot = leaf_slot pt 0x7770_0000 in
+      let mem = Page_table.mem pt in
+      let e = Phys_mem.read_u64 mem ~addr:slot in
+      (* set a bit the kernel never programs (bit 9, "available") *)
+      Phys_mem.write_u64 mem ~addr:slot (Int64.logor e 0x200L);
+      ignore (Atmo_san.Pt_lint.lint k);
+      match san_find San_report.Malformed_pte with
+      | None -> Alcotest.fail "malformed PTE not detected"
+      | Some r -> Alcotest.(check int) "faulting page" (Pte.addr_of e) r.San_report.page)
+
+(* ------------------------------------------------------------------ *)
 (* Spec mutations: a wrong return value must violate the spec          *)
 
 let test_spec_catches_wrong_ret () =
@@ -339,6 +422,13 @@ let () =
           Alcotest.test_case "type confusion" `Quick test_kernel_mutation_type_confusion;
           Alcotest.test_case "mapped drift" `Quick test_kernel_mutation_mapped_drift;
           Alcotest.test_case "device" `Quick test_kernel_mutation_device;
+        ] );
+      ( "sanitizer",
+        [
+          Alcotest.test_case "double free" `Quick test_san_double_free;
+          Alcotest.test_case "use after free" `Quick test_san_use_after_free;
+          Alcotest.test_case "unlocked mutation" `Quick test_san_unlocked_mutation;
+          Alcotest.test_case "malformed pte" `Quick test_san_malformed_pte;
         ] );
       ( "spec",
         [

@@ -66,6 +66,26 @@ let test_perm_map_linearity () =
      Alcotest.fail "double free not caught"
    with Perm_map.Permission_violation _ -> ())
 
+let test_perm_map_iteration_round_trip () =
+  let m = Perm_map.create ~name:"t" in
+  let pairs = [ (0x3000, "c"); (0x1000, "a"); (0x2000, "b") ] in
+  List.iter (fun (ptr, v) -> Perm_map.alloc m ~ptr v) pairs;
+  let sorted = List.sort compare pairs in
+  (* bindings is the sorted ghost view of the map *)
+  Alcotest.(check (list (pair int string))) "bindings" sorted (Perm_map.bindings m);
+  (* fold over the bindings rebuilds an identical map *)
+  let copy = Perm_map.create ~name:"copy" in
+  Perm_map.fold (fun ptr v () -> Perm_map.alloc copy ~ptr v) m ();
+  Alcotest.(check (list (pair int string))) "round trip" (Perm_map.bindings m)
+    (Perm_map.bindings copy);
+  checki "cardinal" (List.length pairs) (Perm_map.cardinal copy);
+  (* iter visits exactly the bindings, in key order *)
+  let seen = ref [] in
+  Perm_map.iter (fun ptr v -> seen := (ptr, v) :: !seen) m;
+  Alcotest.(check (list (pair int string))) "iter" sorted (List.rev !seen);
+  checkb "dom matches" true
+    (Iset.equal (Perm_map.dom m) (Iset.of_list (List.map fst sorted)))
+
 (* ------------------------------------------------------------------ *)
 (* Containers                                                          *)
 
@@ -328,12 +348,15 @@ let prop_random_lifecycle =
       Pm_invariants.all pm = Ok () && Pm_invariants_rec.all pm = Ok ())
 
 let () =
-  Alcotest.run "pm"
+  Atmo_san.Runtime.arm_of_env ();
+  Alcotest.run ~and_exit:false "pm"
     [
       ( "primitives",
         [
           Alcotest.test_case "static list" `Quick test_static_list;
           Alcotest.test_case "perm map linearity" `Quick test_perm_map_linearity;
+          Alcotest.test_case "perm map iteration round trip" `Quick
+            test_perm_map_iteration_round_trip;
         ] );
       ( "containers",
         [
@@ -365,4 +388,5 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_random_lifecycle ] );
-    ]
+    ];
+  Atmo_san.Runtime.exit_check ()

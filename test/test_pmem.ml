@@ -307,7 +307,8 @@ let prop_leak_free_roundtrip =
       Iset.equal free0 (Page_alloc.free_pages_4k a))
 
 let () =
-  Alcotest.run "pmem"
+  Atmo_san.Runtime.arm_of_env ();
+  Alcotest.run ~and_exit:false "pmem"
     [
       ( "dll",
         [
@@ -333,4 +334,5 @@ let () =
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_dll_random_ops; prop_alloc_random_traffic; prop_leak_free_roundtrip ] );
-    ]
+    ];
+  Atmo_san.Runtime.exit_check ()

@@ -292,7 +292,8 @@ let prop_mixed_sizes_refine =
       && Page_alloc.wf alloc = Ok ())
 
 let () =
-  Alcotest.run "pt"
+  Atmo_san.Runtime.arm_of_env ();
+  Alcotest.run ~and_exit:false "pt"
     [
       ( "mapping",
         [
@@ -320,4 +321,5 @@ let () =
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_random_map_unmap_refines; prop_mixed_sizes_refine ] );
-    ]
+    ];
+  Atmo_san.Runtime.exit_check ()

@@ -289,7 +289,8 @@ let test_smp_lock_wait_accounted () =
   | Error m -> Alcotest.fail m
 
 let () =
-  Alcotest.run "sim"
+  Atmo_san.Runtime.arm_of_env ();
+  Alcotest.run ~and_exit:false "sim"
     [
       ( "cost",
         [
@@ -321,4 +322,5 @@ let () =
           Alcotest.test_case "lock wait accounted" `Quick test_smp_lock_wait_accounted;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ prop_ring_model ]);
-    ]
+    ];
+  Atmo_san.Runtime.exit_check ()
