@@ -1,6 +1,6 @@
 # Convenience targets over dune; `make check` is the pre-commit gate.
 
-.PHONY: all build test test-san bench check trace obs san clean
+.PHONY: all build test test-san bench bench-tlb check trace obs san clean
 
 all: build
 
@@ -18,12 +18,20 @@ test-san:
 bench:
 	dune exec bench/main.exe -- all
 
-# Pre-commit gate: build, tier-1 tests, the headline IPC table, and the
-# sanitizer over the scripted IPC/mmap/superpage/NVMe workload (clean run
-# must report zero violations; each plant must be caught).
+# Software TLB/IOTLB: walk-vs-hit cost, IPC and ixgbe with caching on
+# vs off, and the hot-vs-cold bit-identity replay.
+bench-tlb:
+	dune exec bench/main.exe -- tlb
+
+# Pre-commit gate: build, tier-1 tests (plain and with the sanitizer
+# armed, so the TLB-coherence lint runs over every suite), the headline
+# IPC table, and the sanitizer over the scripted workload (clean run
+# must report zero violations; the stale-TLB plant must be caught).
 check:
-	dune build && dune runtest && dune exec bench/main.exe -- table3 \
-	&& dune exec bin/atmo_cli.exe -- san
+	dune build && dune runtest && SAN=1 dune runtest --force \
+	&& dune exec bench/main.exe -- table3 \
+	&& dune exec bin/atmo_cli.exe -- san \
+	&& dune exec bin/atmo_cli.exe -- san --plant stale-tlb
 
 trace:
 	dune exec bin/atmo_cli.exe -- trace
@@ -31,13 +39,14 @@ trace:
 obs:
 	dune exec bench/main.exe -- obs
 
-# Full sanitizer demonstration: clean workload, then the three planted
+# Full sanitizer demonstration: clean workload, then the four planted
 # bugs, each of which must be detected with a typed report.
 san:
 	dune exec bin/atmo_cli.exe -- san
 	dune exec bin/atmo_cli.exe -- san --plant double-free
 	dune exec bin/atmo_cli.exe -- san --plant unlocked
 	dune exec bin/atmo_cli.exe -- san --plant bad-pte
+	dune exec bin/atmo_cli.exe -- san --plant stale-tlb
 
 clean:
 	dune clean

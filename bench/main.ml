@@ -645,6 +645,205 @@ let san () =
   line "(checking must never move simulated time, and a clean run must stay clean)"
 
 (* ------------------------------------------------------------------ *)
+(* Software TLB: walk-vs-hit cost, end-to-end on/off, bit-identity     *)
+
+let tlb () =
+  section "Software TLB: walk cost vs hit cost, on/off end-to-end, bit-identity";
+  let module Tlb = Atmo_hw.Tlb in
+  let module Mmu = Atmo_hw.Mmu in
+  let module Page_table = Atmo_pt.Page_table in
+  (* -- translation cost: page-table loads per warm resolve ----------- *)
+  let pages = 32 and passes = 20 in
+  let with_pt f =
+    let mem = Atmo_hw.Phys_mem.create ~page_count:4096 in
+    let alloc = Atmo_pmem.Page_alloc.create mem ~reserved_frames:0 in
+    match Page_table.create mem alloc with
+    | Error _ -> 0
+    | Ok pt ->
+      for i = 0 to pages - 1 do
+        match Atmo_pmem.Page_alloc.alloc_4k alloc ~purpose:Atmo_pmem.Page_alloc.User with
+        | Some frame ->
+          ignore
+            (Page_table.map_4k pt ~vaddr:(0x4000_0000 + (i * 4096)) ~frame
+               ~perm:Pte.perm_rw)
+        | None -> ()
+      done;
+      f pt
+  in
+  let loads_of_loop pt =
+    let before = Mmu.walk_steps () in
+    for _pass = 1 to passes do
+      for i = 0 to pages - 1 do
+        ignore (Page_table.resolve pt ~vaddr:(0x4000_0000 + (i * 4096)))
+      done
+    done;
+    Mmu.walk_steps () - before
+  in
+  Tlb.set_enabled false;
+  let loads_off = with_pt loads_of_loop in
+  Tlb.set_enabled true;
+  let loads_on = with_pt loads_of_loop in
+  let n = pages * passes in
+  line "warm resolve loop (%d translations):" n;
+  line "  TLB off: %6d page-table loads  (%.2f per translation)" loads_off
+    (float_of_int loads_off /. float_of_int n);
+  line "  TLB on:  %6d page-table loads  (%.2f per translation)" loads_on
+    (float_of_int loads_on /. float_of_int n);
+  line "  reduction: %.1fx fewer loads  (acceptance floor: 5x)"
+    (float_of_int loads_off /. Float.max 1. (float_of_int loads_on));
+  let s = Tlb.cpu_stats () in
+  line "  cpu tlb counters: %d hits, %d misses, %d evictions, %d invlpgs, %d flushes"
+    s.Tlb.hits s.Tlb.misses s.Tlb.evictions s.Tlb.invlpgs s.Tlb.flushes;
+  (* -- IPC round-trip with the TLB on vs off ------------------------- *)
+  let workload () =
+    match Kernel.boot Kernel.default_boot with
+    | Error _ -> None
+    | Ok (k, init) ->
+      let t2 =
+        match Kernel.step k ~thread:init Syscall.New_thread with
+        | Syscall.Rptr t -> t
+        | _ -> init
+      in
+      (match Kernel.step k ~thread:init (Syscall.New_endpoint { slot = 0 }) with
+       | Syscall.Rptr ep ->
+         Atmo_pm.Perm_map.update k.Kernel.pm.Atmo_pm.Proc_mgr.thrd_perms ~ptr:t2
+           (fun th -> Atmo_pm.Thread.set_slot th 0 (Some ep))
+       | _ -> ());
+      (* a user arena the loop translates every round, as a data-carrying
+         IPC path would *)
+      ignore
+        (Kernel.step k ~thread:init
+           (Syscall.Mmap { va = 0x4000_0000; count = 8; size = Page_state.S4k;
+                           perm = Pte.perm_rw }));
+      let programs =
+        [
+          { Atmo_sim.Smp.thread = t2; think_cycles = 600;
+            call_of = (fun _ -> Syscall.Recv { slot = 0 }) };
+          { Atmo_sim.Smp.thread = init; think_cycles = 800;
+            call_of =
+              (fun i ->
+                for p = 0 to 7 do
+                  ignore
+                    (Kernel.resolve_user k ~thread:init
+                       ~vaddr:(0x4000_0000 + (p * 4096)))
+                done;
+                Syscall.Send { slot = 0; msg = Message.scalars_only [ i ] }) };
+        ]
+      in
+      (match Atmo_sim.Smp.run k ~cost ~cpus:2 ~programs ~iterations:500 with
+       | Ok st -> Some (st.Atmo_sim.Smp.wall_cycles, st.Atmo_sim.Smp.lock_wait_cycles)
+       | Error _ -> None)
+  in
+  let reps = 30 in
+  let time_reps () =
+    let t0 = Unix.gettimeofday () in
+    let cycles = ref None in
+    for _ = 1 to reps do
+      cycles := workload ()
+    done;
+    (Unix.gettimeofday () -. t0, !cycles)
+  in
+  Tlb.set_enabled false;
+  let w0 = Mmu.walk_steps () in
+  let off_s, off_cycles = time_reps () in
+  let off_loads = Mmu.walk_steps () - w0 in
+  Tlb.set_enabled true;
+  let w1 = Mmu.walk_steps () in
+  let on_s, on_cycles = time_reps () in
+  let on_loads = Mmu.walk_steps () - w1 in
+  line "IPC round-trip with per-round user translations (%d runs):" reps;
+  line "  TLB off: %8.2f ms  %9d page-table loads" (off_s *. 1000.) off_loads;
+  line "  TLB on:  %8.2f ms  %9d page-table loads  (%.1fx fewer)" (on_s *. 1000.)
+    on_loads
+    (float_of_int off_loads /. Float.max 1. (float_of_int on_loads));
+  (match (off_cycles, on_cycles) with
+   | Some (wa, la), Some (wb, lb) ->
+     line "  cycle model (wall, lock-wait): off (%d, %d)  on (%d, %d)  identical: %b" wa
+       la wb lb
+       (wa = wb && la = lb)
+   | _ -> line "  cycle model: workload failed");
+  (* -- ixgbe forwarding with the IOTLB on vs off --------------------- *)
+  let forward () =
+    let frames = 2000 in
+    let mem = Atmo_hw.Phys_mem.create ~page_count:1024 in
+    let iommu = Atmo_hw.Iommu.create mem in
+    let clock = Clock.create () in
+    let alloc = Atmo_pmem.Page_alloc.create mem ~reserved_frames:0 in
+    match Atmo_pt.Page_table.create mem alloc with
+    | Error _ -> None
+    | Ok pt ->
+      let page () =
+        match Atmo_pmem.Page_alloc.alloc_4k alloc ~purpose:Atmo_pmem.Page_alloc.User with
+        | Some a -> a
+        | None -> 0
+      in
+      let map_identity addr =
+        ignore (Atmo_pt.Page_table.map_4k pt ~vaddr:addr ~frame:addr ~perm:Pte.perm_rw)
+      in
+      let ring_page = page () in
+      let bufs = Array.init 64 (fun _ -> page ()) in
+      map_identity ring_page;
+      Array.iter map_identity bufs;
+      Atmo_hw.Iommu.attach iommu ~device:0 ~root:(Atmo_pt.Page_table.cr3 pt);
+      let nic = Atmo_drivers.Ixgbe.create mem iommu ~device:0 ~clock ~cost in
+      (match
+         Atmo_drivers.Ixgbe.setup_rx nic ~ring_iova:ring_page
+           ~buffers:(Array.map (fun a -> (a, 2048)) bufs)
+       with
+       | Error _ -> None
+       | Ok () ->
+         let flow = Atmo_net.Packet.flow_of_ints ~src:1 ~dst:2 ~sport:1000 ~dport:53 in
+         let received = ref 0 in
+         let t0 = Unix.gettimeofday () in
+         for _ = 1 to frames do
+           ignore
+             (Atmo_drivers.Ixgbe.wire_deliver nic
+                (Atmo_net.Packet.build flow ~payload:(Bytes.make 22 'x')));
+           received := !received + List.length (Atmo_drivers.Ixgbe.rx_burst nic ~max:32)
+         done;
+         Some (!received, frames, Unix.gettimeofday () -. t0))
+  in
+  Tlb.set_enabled false;
+  let fwd_off = forward () in
+  Tlb.set_enabled true;
+  let fwd_on = forward () in
+  (match (fwd_off, fwd_on) with
+   | Some (r0, f0, t0), Some (r1, f1, t1) ->
+     line "ixgbe forwarding through the IOMMU:";
+     line "  IOTLB off: %d/%d frames in %6.2f ms" r0 f0 (t0 *. 1000.);
+     line "  IOTLB on:  %d/%d frames in %6.2f ms  (delivery identical: %b)" r1 f1
+       (t1 *. 1000.) (r0 = r1)
+   | _ -> line "ixgbe forwarding failed");
+  (* -- bit-identity: randomized replay, hot vs cold ------------------ *)
+  let rng = Random.State.make [| 0x71B |] in
+  let identical =
+    with_pt (fun pt ->
+        let ok = ref true in
+        for _step = 1 to 2000 do
+          let vaddr =
+            0x4000_0000 + (Random.State.int rng (pages * 2) * 4096)
+            + Random.State.int rng 4096
+          in
+          if Random.State.int rng 10 = 0 then
+            ignore (Page_table.unmap pt ~vaddr:(vaddr land lnot 4095));
+          let hot = Page_table.resolve pt ~vaddr in
+          let cold = Page_table.resolve_cold pt ~vaddr in
+          let same =
+            match (hot, cold) with
+            | None, None -> true
+            | Some (a : Mmu.translation), Some b ->
+              a.Mmu.paddr = b.Mmu.paddr && a.Mmu.frame = b.Mmu.frame
+              && a.Mmu.size = b.Mmu.size
+            | _ -> false
+          in
+          if not same then ok := false
+        done;
+        if !ok then 1 else 0)
+  in
+  line "bit-identity (randomized map/unmap replay, hot vs cold): %s"
+    (if identical = 1 then "identical" else "DIVERGED")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 
 let bechamel () =
@@ -744,6 +943,7 @@ let all () =
   fig7 ();
   obs ();
   san ();
+  tlb ();
   bechamel ()
 
 let () =
@@ -761,6 +961,7 @@ let () =
   | "ablation" -> ablation ()
   | "obs" -> obs ()
   | "san" -> san ()
+  | "tlb" -> tlb ()
   | "bechamel" -> bechamel ()
   | "all" -> all ()
   | other ->

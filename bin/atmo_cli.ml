@@ -390,6 +390,20 @@ let plant_bad_pte k ~init =
   Phys_mem.write_u64 mem ~addr:slot (Int64.logor e 0x200L);
   ignore (Atmo_san.Pt_lint.lint k)
 
+let plant_stale_tlb k ~init =
+  ignore
+    (locked_step k ~thread:init
+       (Syscall.Mmap { va = 0x7800_0000; count = 1; size = Atmo_pmem.Page_state.S4k;
+                       perm = Atmo_hw.Pte_bits.perm_rw }));
+  (* warm the TLB with the translation... *)
+  ignore (Kernel.resolve_user k ~thread:init ~vaddr:0x7800_0000);
+  let pt = pt_of_thread k ~thread:init in
+  let slot = leaf_entry_addr pt ~vaddr:0x7800_0000 in
+  (* ...then rip the leaf out from under it with no shootdown — the
+     missing-invlpg bug class the coherence lint exists to catch *)
+  Phys_mem.write_u64 (Page_table.mem pt) ~addr:slot 0L;
+  ignore (Atmo_san.Tlb_lint.lint k)
+
 let san plant iterations =
   setup_logs ();
   Obs_metrics.reset ();
@@ -439,6 +453,7 @@ let san plant iterations =
            | "double-free" -> plant_double_free k; San_report.Double_free
            | "unlocked" -> plant_unlocked k ~init; San_report.Unlocked_mutation
            | "bad-pte" -> plant_bad_pte k ~init; San_report.Malformed_pte
+           | "stale-tlb" -> plant_stale_tlb k ~init; San_report.Tlb_stale
            | other -> Fmt.failwith "san: unknown plant %S" other
          in
          let hits =
@@ -511,13 +526,15 @@ let plant_arg =
     & opt
         (enum
            [ ("none", "none"); ("double-free", "double-free");
-             ("unlocked", "unlocked"); ("bad-pte", "bad-pte") ])
+             ("unlocked", "unlocked"); ("bad-pte", "bad-pte");
+             ("stale-tlb", "stale-tlb") ])
         "none"
     & info [ "plant" ]
         ~doc:
           "Plant a bug after the clean workload and require the sanitizer to catch it: \
-           $(b,double-free), $(b,unlocked) (mutation without the big lock) or \
-           $(b,bad-pte) (reserved bits in a leaf entry).")
+           $(b,double-free), $(b,unlocked) (mutation without the big lock), \
+           $(b,bad-pte) (reserved bits in a leaf entry) or $(b,stale-tlb) \
+           (a PTE torn out without a TLB shootdown).")
 
 let san_iters_arg =
   Arg.(value & opt int 50 & info [ "iterations" ] ~doc:"IPC ping-pong rounds in the SMP phase.")

@@ -740,6 +740,11 @@ let sys_io_unmap t ~thread ~device ~iova =
        else
          match Page_table.unmap info.io_pt ~vaddr:iova with
          | Ok e ->
+           (* The page-table unmap only shoots the CPU-side TLB; the
+              device's IOTLB needs its own invalidation command, and
+              skipping it would leave the device a window onto the
+              freed frame (exactly what the TLB-coherence lint flags). *)
+           Iommu.iotlb_invlpg t.iommu ~device ~iova;
            ignore (Page_alloc.dec_ref t.alloc ~addr:e.Page_table.frame);
            Proc_mgr.uncharge_external t.pm ~container:info.owner_container ~frames:1;
            Syscall.Runit

@@ -1,32 +1,92 @@
 type t = {
   mem : Phys_mem.t;
   contexts : (int, int) Hashtbl.t;  (* device id -> translation root *)
+  iotlbs : (int, Tlb.t) Hashtbl.t;  (* device id -> its IOTLB *)
   mutable faults : int;
 }
 
-let create mem = { mem; contexts = Hashtbl.create 16; faults = 0 }
+let create mem =
+  { mem; contexts = Hashtbl.create 16; iotlbs = Hashtbl.create 16; faults = 0 }
+
+let iotlb_of t ~device ~root =
+  match Hashtbl.find_opt t.iotlbs device with
+  | Some tlb -> tlb
+  | None ->
+    let tlb = Tlb.create t.mem ~asid:root ~kind:`Io in
+    Hashtbl.replace t.iotlbs device tlb;
+    tlb
 
 let attach t ~device ~root =
   if not (Phys_mem.is_page_aligned root) then
     invalid_arg "Iommu.attach: root not page-aligned";
+  (* A re-attach changes the domain under the device; its IOTLB must not
+     carry translations from the old one. *)
+  (match Hashtbl.find_opt t.iotlbs device with
+   | Some tlb -> Tlb.flush tlb
+   | None -> ());
+  Hashtbl.remove t.iotlbs device;
   Hashtbl.replace t.contexts device root
 
-let detach t ~device = Hashtbl.remove t.contexts device
+let detach t ~device =
+  (match Hashtbl.find_opt t.iotlbs device with
+   | Some tlb -> Tlb.flush tlb
+   | None -> ());
+  Hashtbl.remove t.iotlbs device;
+  Hashtbl.remove t.contexts device
+
 let domain_of t ~device = Hashtbl.find_opt t.contexts device
 let devices t = Hashtbl.fold (fun d _ acc -> d :: acc) t.contexts []
 let faults t = t.faults
 
+let iotlb_invlpg t ~device ~iova =
+  match Hashtbl.find_opt t.iotlbs device with
+  | None -> ()
+  | Some tlb -> Tlb.invalidate_page tlb ~vaddr:iova
+
+let iotlb_flush t ~device =
+  match Hashtbl.find_opt t.iotlbs device with
+  | None -> ()
+  | Some tlb -> Tlb.flush tlb
+
+let iter_iotlbs t f = Hashtbl.iter (fun device tlb -> f ~device tlb) t.iotlbs
+
+(* The IOTLB is deliberately NOT reached by CPU-side shootdowns (the
+   [Tlb] registry): real IOMMUs have their own invalidation queue, and a
+   kernel that unmaps a DMA buffer but forgets the IOTLB invalidation has
+   a window where the device still reaches the freed frame.  Modelling
+   that window is the point — [Atmo_san.Tlb_lint] catches it. *)
 let translate t ~device ~iova =
   match Hashtbl.find_opt t.contexts device with
   | None ->
     t.faults <- t.faults + 1;
     None
   | Some root ->
-    (match Mmu.resolve t.mem ~cr3:root ~vaddr:iova with
-     | None ->
-       t.faults <- t.faults + 1;
-       None
-     | Some tr -> Some tr)
+    let walk () =
+      match Mmu.walk t.mem ~cr3:root ~vaddr:iova with
+      | None ->
+        t.faults <- t.faults + 1;
+        None
+      | Some tr -> Some tr
+    in
+    if not (Tlb.enabled ()) then walk ()
+    else
+      let tlb = iotlb_of t ~device ~root in
+      (match Tlb.lookup tlb ~vaddr:iova with
+       | Some (frame, size, perm) ->
+         Some
+           {
+             Mmu.paddr = frame + (iova land (size - 1));
+             frame;
+             size;
+             perm;
+           }
+       | None ->
+         (match walk () with
+          | None -> None
+          | Some tr ->
+            Tlb.insert tlb ~vaddr:iova ~frame:tr.Mmu.frame ~size:tr.Mmu.size
+              ~perm:tr.Mmu.perm;
+            Some tr))
 
 (* DMA bursts may cross frame boundaries; every touched frame must be
    mapped with suitable permissions or the whole burst is rejected. *)

@@ -12,9 +12,11 @@ val create : Phys_mem.t -> t
 
 val attach : t -> device:int -> root:int -> unit
 (** Attach [device] to the translation domain rooted at [root] (the
-    physical address of an L4 table page). *)
+    physical address of an L4 table page).  Any existing IOTLB for the
+    device is flushed and retired. *)
 
 val detach : t -> device:int -> unit
+(** Detach the device and flush its IOTLB. *)
 
 val domain_of : t -> device:int -> int option
 (** Translation root currently attached to [device], if any. *)
@@ -24,7 +26,22 @@ val devices : t -> int list
 
 val translate : t -> device:int -> iova:int -> Mmu.translation option
 (** Resolve an I/O virtual address for [device]; [None] models a DMA
-    fault (unattached device or unmapped iova). *)
+    fault (unattached device or unmapped iova).  When the software TLB
+    is enabled each device has a private IOTLB that caches walks of its
+    domain.  CPU-side shootdowns do {e not} reach it — like real
+    hardware, the kernel must issue {!iotlb_invlpg} when it unmaps a
+    DMA buffer, and forgetting to is a bug [Atmo_san.Tlb_lint]
+    detects. *)
+
+val iotlb_invlpg : t -> device:int -> iova:int -> unit
+(** Invalidate the IOTLB entry (if any) for one I/O virtual page — the
+    invalidation-queue command the kernel queues after an IOMMU unmap. *)
+
+val iotlb_flush : t -> device:int -> unit
+(** Drop every cached translation of the device's IOTLB. *)
+
+val iter_iotlbs : t -> (device:int -> Tlb.t -> unit) -> unit
+(** Iterate live IOTLBs (coherence lint uses this). *)
 
 val dma_write : t -> device:int -> iova:int -> bytes -> bool
 (** Device-initiated write through the IOMMU; fails (returning [false])

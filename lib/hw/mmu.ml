@@ -5,8 +5,13 @@ type translation = {
   perm : Pte_bits.perm;
 }
 
-let steps = ref 0
-let walk_steps () = !steps
+(* Walk memory references feed a registry counter (handle cached once;
+   [Metrics.reset] zeroes it in place) instead of the old module-local
+   ref, so [atmo trace] surfaces it and per-instance consumers can diff
+   it around a region of interest. *)
+let walk_loads = Atmo_obs.Metrics.counter "mmu/walk_loads"
+
+let walk_steps () = Atmo_obs.Metrics.Counter.value walk_loads
 
 let canonical va =
   let top = va asr 47 in
@@ -27,7 +32,7 @@ let entry_addr ~table ~index =
   table + (index * 8)
 
 let load mem ~table ~index =
-  incr steps;
+  Atmo_obs.Metrics.Counter.incr walk_loads;
   if Atmo_obs.Sink.tracing () then
     Atmo_obs.Sink.emit (Atmo_obs.Event.Pte_touch { table; index });
   Phys_mem.read_u64 mem ~addr:(entry_addr ~table ~index)
@@ -90,7 +95,27 @@ let walk mem ~cr3 ~vaddr =
               }
 
 let resolve mem ~cr3 ~vaddr =
-  let r = walk mem ~cr3 ~vaddr in
+  let r =
+    if not (Tlb.enabled ()) then walk mem ~cr3 ~vaddr
+    else begin
+      let tlb = Tlb.space mem ~cr3 in
+      match Tlb.lookup tlb ~vaddr with
+      | Some (frame, size, perm) ->
+        if Atmo_obs.Sink.tracing () then
+          Atmo_obs.Sink.emit (Atmo_obs.Event.Tlb_hit { vaddr });
+        (* same reconstruction as the walk's leaf cases, so a hit is
+           bit-identical to the walk it replaces *)
+        Some { paddr = frame + (vaddr land (size - 1)); frame; size; perm }
+      | None ->
+        if Atmo_obs.Sink.tracing () then
+          Atmo_obs.Sink.emit (Atmo_obs.Event.Tlb_miss { vaddr });
+        let r = walk mem ~cr3 ~vaddr in
+        (match r with
+         | Some tr -> Tlb.insert tlb ~vaddr ~frame:tr.frame ~size:tr.size ~perm:tr.perm
+         | None -> ());
+        r
+    end
+  in
   if Atmo_obs.Sink.tracing () then
     Atmo_obs.Sink.emit (Atmo_obs.Event.Mmu_walk { vaddr; ok = r <> None });
   r

@@ -31,8 +31,17 @@ val entry_addr : table:int -> index:int -> int
 (** Physical address of entry [index] in the table page at [table]. *)
 
 val resolve : Phys_mem.t -> cr3:int -> vaddr:int -> translation option
-(** Walk the page table rooted at [cr3] for [vaddr].  [None] models a page
-    fault (non-present entry at any level or non-canonical address). *)
+(** Translate [vaddr] through the page table rooted at [cr3].  [None]
+    models a page fault (non-present entry at any level or non-canonical
+    address).  When the software {!Tlb} is enabled (the default) a warm
+    translation is served from the cache and successful walks refill it;
+    results are bit-identical to {!walk} as long as every table mutation
+    issues its shootdown (checked by [Atmo_san.Tlb_lint]). *)
+
+val walk : Phys_mem.t -> cr3:int -> vaddr:int -> translation option
+(** The raw 4-level walk, always reading the tables — the cold oracle
+    for {!resolve}.  Checkers and lints use this so a stale TLB entry
+    can never hide a corrupted table from them. *)
 
 val read_u64 : Phys_mem.t -> cr3:int -> vaddr:int -> int64 option
 (** Virtual load through the walk; [None] on fault. *)
@@ -42,5 +51,6 @@ val write_u64 : Phys_mem.t -> cr3:int -> vaddr:int -> int64 -> bool
     mapping. *)
 
 val walk_steps : unit -> int
-(** Total page-table-walk memory references performed since start; used by
-    the cycle model and tests. *)
+(** Total page-table-walk memory references performed since start.
+    @deprecated Shim over the ["mmu/walk_loads"] counter in
+    {!Atmo_obs.Metrics}; read that registry entry instead. *)

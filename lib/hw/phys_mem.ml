@@ -90,8 +90,9 @@ let write_u8 t ~addr v =
    (untouched frames read as zero) and keeps the simulation sparse even
    when superpages are zeroed. *)
 let zero_page t ~addr =
-  check_bounds t addr 1 "zero_page";
-  if !hook_armed then !hook t Zero (page_base addr) page_size;
+  check_bounds t addr page_size "zero_page";
+  if addr land (page_size - 1) <> 0 then invalid_arg "Phys_mem.zero_page: unaligned";
+  if !hook_armed then !hook t Zero addr page_size;
   Hashtbl.remove t.frames (page_index addr)
 
 let blit_to t ~addr src =

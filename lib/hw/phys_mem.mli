@@ -82,7 +82,9 @@ val read_u8 : t -> addr:int -> int
 val write_u8 : t -> addr:int -> int -> unit
 
 val zero_page : t -> addr:int -> unit
-(** Zero the whole 4 KiB frame containing [addr]. *)
+(** Zero the 4 KiB frame at [addr].  [addr] must be page-aligned and the
+    whole page must lie in bounds; raises [Invalid_argument] otherwise,
+    mirroring {!read_u64}'s contract. *)
 
 val blit_to : t -> addr:int -> bytes -> unit
 (** Copy [bytes] into memory at [addr]; must fit within bounds (may cross

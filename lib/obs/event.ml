@@ -17,6 +17,9 @@ type t =
   | Drv_doorbell of { device : int; queue : int }
   | Drv_completion of { device : int; count : int }
   | Lock_acquire of { cpu : int; wait_cycles : int }
+  | Tlb_hit of { vaddr : int }
+  | Tlb_miss of { vaddr : int }
+  | Tlb_flush of { asid : int; entries : int }
 
 type record = { ts : int; cpu : int; ev : t }
 
@@ -51,6 +54,9 @@ let kind = function
   | Drv_doorbell _ -> "drv_doorbell"
   | Drv_completion _ -> "drv_completion"
   | Lock_acquire _ -> "lock_acquire"
+  | Tlb_hit _ -> "tlb_hit"
+  | Tlb_miss _ -> "tlb_miss"
+  | Tlb_flush _ -> "tlb_flush"
 
 (* ------------------------------------------------------------------ *)
 (* Binary encoding                                                     *)
@@ -106,6 +112,9 @@ let fields = function
   | Drv_doorbell { device; queue } -> (12, 0, device, queue, 0)
   | Drv_completion { device; count } -> (13, 0, device, count, 0)
   | Lock_acquire { cpu; wait_cycles } -> (14, 0, cpu, wait_cycles, 0)
+  | Tlb_hit { vaddr } -> (15, 0, vaddr, 0, 0)
+  | Tlb_miss { vaddr } -> (16, 0, vaddr, 0, 0)
+  | Tlb_flush { asid; entries } -> (17, 0, asid, entries, 0)
 
 let encode ~ts ~cpu ev =
   let tag, aux, a, b, c = fields ev in
@@ -146,6 +155,9 @@ let decode buf =
       | 12 -> Some (Drv_doorbell { device = a; queue = b })
       | 13 -> Some (Drv_completion { device = a; count = b })
       | 14 -> Some (Lock_acquire { cpu = a; wait_cycles = b })
+      | 15 -> Some (Tlb_hit { vaddr = a })
+      | 16 -> Some (Tlb_miss { vaddr = a })
+      | 17 -> Some (Tlb_flush { asid = a; entries = b })
       | _ -> None
     in
     Option.map (fun ev -> { ts; cpu; ev }) ev
@@ -183,6 +195,10 @@ let pp ppf = function
     Format.fprintf ppf "drv_completion device=%d count=%d" device count
   | Lock_acquire { cpu; wait_cycles } ->
     Format.fprintf ppf "lock_acquire   cpu=%d wait=%d" cpu wait_cycles
+  | Tlb_hit { vaddr } -> Format.fprintf ppf "tlb_hit        vaddr=0x%x" vaddr
+  | Tlb_miss { vaddr } -> Format.fprintf ppf "tlb_miss       vaddr=0x%x" vaddr
+  | Tlb_flush { asid; entries } ->
+    Format.fprintf ppf "tlb_flush      asid=0x%x entries=%d" asid entries
 
 let pp_record ppf r =
   Format.fprintf ppf "[cpu%d @%10d] %a" r.cpu r.ts pp r.ev

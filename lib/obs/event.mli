@@ -33,6 +33,12 @@ type t =
   | Drv_completion of { device : int; count : int }
   | Lock_acquire of { cpu : int; wait_cycles : int }
       (** Big kernel lock granted after [wait_cycles] queued cycles. *)
+  | Tlb_hit of { vaddr : int }
+      (** A translation was served from the software TLB. *)
+  | Tlb_miss of { vaddr : int }
+      (** The TLB missed and a full walk refilled it. *)
+  | Tlb_flush of { asid : int; entries : int }
+      (** An address space's cache was flushed ([entries] dropped). *)
 
 type record = { ts : int; cpu : int; ev : t }
 (** A decoded flight-recorder slot: cycle timestamp, recording CPU, event. *)

@@ -125,9 +125,13 @@ let sorted_bindings tbl =
 let all_counters () = sorted_bindings counters
 let all_histograms () = sorted_bindings histograms
 
+(* Zero values in place rather than dropping registrations: hot paths
+   (the MMU, the TLB) hold counter handles obtained once at module
+   initialisation, and those must keep feeding the registry across
+   resets. *)
 let reset () =
-  Hashtbl.reset counters;
-  Hashtbl.reset histograms
+  Hashtbl.iter (fun _ c -> Counter.reset c) counters;
+  Hashtbl.iter (fun _ h -> Histogram.reset h) histograms
 
 let pp_table ppf () =
   let hs = List.filter (fun (_, h) -> Histogram.count h > 0) (all_histograms ()) in

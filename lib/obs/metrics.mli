@@ -56,7 +56,9 @@ val observe : string -> int -> unit
 val all_counters : unit -> (string * Counter.t) list
 val all_histograms : unit -> (string * Histogram.t) list
 val reset : unit -> unit
-(** Drop every registered metric (tests and fresh CLI runs). *)
+(** Zero every registered metric in place (tests and fresh CLI runs).
+    Registrations persist, so handles cached by instrumentation sites
+    keep feeding the registry. *)
 
 val pp_table : Format.formatter -> unit -> unit
 (** Histogram table (count / mean / p50 / p90 / p99 / max) followed by

@@ -103,6 +103,11 @@ let claim t i size purpose =
    super-head. *)
 let absorb t ~head ~sub ~free_list ~count =
   let stride = frames_per sub in
+  (* Every constituent is free, so no live translation should target the
+     range — shooting it anyway keeps the TLB protocol airtight against
+     a use-after-free mapping that the sanitizer would also flag. *)
+  Atmo_hw.Tlb.shoot_frames t.mem ~lo:(frame_addr head)
+    ~hi:(frame_addr (head + (count * stride)));
   for k = 0 to count - 1 do
     Dll.remove free_list (head + (k * stride))
   done;
@@ -195,6 +200,7 @@ let try_merge_1g t =
 let split t ~head ~super ~sub ~sub_list =
   let stride = frames_per sub in
   let span = frames_per super in
+  Atmo_hw.Tlb.shoot_frames t.mem ~lo:(frame_addr head) ~hi:(frame_addr (head + span));
   t.meta.(head).size <- sub;
   Dll.push_back sub_list head;
   let k = ref stride in

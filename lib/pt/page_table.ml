@@ -1,6 +1,7 @@
 open Atmo_util
 module Phys_mem = Atmo_hw.Phys_mem
 module Mmu = Atmo_hw.Mmu
+module Tlb = Atmo_hw.Tlb
 module Pte = Atmo_hw.Pte_bits
 module Page_state = Atmo_pmem.Page_state
 module Page_alloc = Atmo_pmem.Page_alloc
@@ -64,6 +65,10 @@ let create mem alloc =
   match Page_alloc.alloc_4k alloc ~purpose:Page_alloc.Kernel with
   | None -> Error Oom
   | Some root ->
+    (* The root frame may be a recycled cr3 of an address space that was
+       dropped without [destroy]; make sure no cached translations tagged
+       with this ASID survive into the new space. *)
+    Tlb.flush_asid mem ~cr3:root;
     let table_levels = Hashtbl.create 64 in
     Hashtbl.replace table_levels root 4;
     Ok
@@ -122,6 +127,9 @@ let map_4k t ~vaddr ~frame ~perm =
   if Pte.is_present e then Error Already_mapped
   else begin
     write_entry t ~table:l1 ~index (Pte.make ~addr:frame ~perm ~huge:false) ~leaf:true;
+    (* Defensive invlpg: the slot was non-present, but a negative result
+       must never linger if caching policy ever changes. *)
+    Tlb.invlpg t.mem ~cr3:t.cr3 ~vaddr;
     t.ghost4k <- Imap.add vaddr { frame; size = Page_state.S4k; perm } t.ghost4k;
     Ok ()
   end
@@ -133,6 +141,7 @@ let map_2m t ~vaddr ~frame ~perm =
   let index = Mmu.l2_index vaddr in
   let* () = leaf_slot_free t ~table:l2 ~index in
   write_entry t ~table:l2 ~index (Pte.make ~addr:frame ~perm ~huge:true) ~leaf:true;
+  Tlb.shoot_range t.mem ~cr3:t.cr3 ~vaddr ~bytes:Phys_mem.page_size_2m;
   t.ghost2m <- Imap.add vaddr { frame; size = Page_state.S2m; perm } t.ghost2m;
   Ok ()
 
@@ -142,6 +151,7 @@ let map_1g t ~vaddr ~frame ~perm =
   let index = Mmu.l3_index vaddr in
   let* () = leaf_slot_free t ~table:l3 ~index in
   write_entry t ~table:l3 ~index (Pte.make ~addr:frame ~perm ~huge:true) ~leaf:true;
+  Tlb.shoot_range t.mem ~cr3:t.cr3 ~vaddr ~bytes:Phys_mem.page_size_1g;
   t.ghost1g <- Imap.add vaddr { frame; size = Page_state.S1g; perm } t.ghost1g;
   Ok ()
 
@@ -190,6 +200,9 @@ let find_leaf t ~vaddr =
 let unmap t ~vaddr =
   let* table, index, entry = find_leaf t ~vaddr in
   write_entry t ~table ~index Pte.not_present ~leaf:true;
+  (* The shootdown point: every page the dying mapping covered must leave
+     the TLB before the caller can reuse the frame. *)
+  Tlb.shoot_range t.mem ~cr3:t.cr3 ~vaddr ~bytes:(Page_state.bytes_per entry.size);
   (match entry.size with
    | Page_state.S4k -> t.ghost4k <- Imap.remove vaddr t.ghost4k
    | Page_state.S2m -> t.ghost2m <- Imap.remove vaddr t.ghost2m
@@ -200,6 +213,9 @@ let update_perm t ~vaddr ~perm =
   let* table, index, entry = find_leaf t ~vaddr in
   let huge = entry.size <> Page_state.S4k in
   write_entry t ~table ~index (Pte.make ~addr:entry.frame ~perm ~huge) ~leaf:true;
+  (* Permission changes are as dangerous as unmaps: a stale writable
+     entry would outlive an mprotect to read-only. *)
+  Tlb.shoot_range t.mem ~cr3:t.cr3 ~vaddr ~bytes:(Page_state.bytes_per entry.size);
   let entry' = { entry with perm } in
   (match entry.size with
    | Page_state.S4k -> t.ghost4k <- Imap.add vaddr entry' t.ghost4k
@@ -208,6 +224,7 @@ let update_perm t ~vaddr ~perm =
   Ok ()
 
 let resolve t ~vaddr = Mmu.resolve t.mem ~cr3:t.cr3 ~vaddr
+let resolve_cold t ~vaddr = Mmu.walk t.mem ~cr3:t.cr3 ~vaddr
 
 let mapping_4k t = t.ghost4k
 let mapping_2m t = t.ghost2m
@@ -224,6 +241,9 @@ let page_closure t =
   Hashtbl.fold (fun addr _ acc -> Iset.add addr acc) t.table_levels Iset.empty
 
 let destroy t =
+  (* Address-space teardown: drop the whole ASID from the TLB registry
+     before the table pages go back to the allocator. *)
+  Tlb.flush_asid t.mem ~cr3:t.cr3;
   let still_mapped = mapped_frames t in
   Hashtbl.iter (fun addr _ -> Page_alloc.free_kernel_page t.alloc ~addr) t.table_levels;
   Hashtbl.reset t.table_levels;

@@ -49,7 +49,8 @@ val table_level : t -> addr:int -> int option
 val map_4k : t -> vaddr:int -> frame:int -> perm:Atmo_hw.Pte_bits.perm -> (unit, error) result
 (** Install a 4 KiB mapping, allocating intermediate table pages on
     demand.  The frame's allocator state is the caller's concern (the
-    kernel's mmap path allocates/refcounts around this call). *)
+    kernel's mmap path allocates/refcounts around this call).  Issues an
+    [invlpg]-style {!Atmo_hw.Tlb} invalidation for the covered page. *)
 
 val map_2m : t -> vaddr:int -> frame:int -> perm:Atmo_hw.Pte_bits.perm -> (unit, error) result
 val map_1g : t -> vaddr:int -> frame:int -> perm:Atmo_hw.Pte_bits.perm -> (unit, error) result
@@ -57,18 +58,28 @@ val map_1g : t -> vaddr:int -> frame:int -> perm:Atmo_hw.Pte_bits.perm -> (unit,
 val unmap : t -> vaddr:int -> (entry, error) result
 (** Remove the mapping whose range contains [vaddr] (given its exact
     virtual base), returning what was mapped.  Intermediate tables are
-    not reclaimed until {!destroy}, as in the paper's kernel. *)
+    not reclaimed until {!destroy}, as in the paper's kernel.  Shoots the
+    covered virtual range out of the {!Atmo_hw.Tlb} (precise [invlpg]s
+    for small ranges, full ASID flush for superpages). *)
 
 val update_perm : t -> vaddr:int -> perm:Atmo_hw.Pte_bits.perm -> (unit, error) result
-(** Change the permission bits of an existing leaf mapping in place. *)
+(** Change the permission bits of an existing leaf mapping in place.
+    Shoots the covered range like {!unmap} — a cached writable
+    translation must not outlive an mprotect. *)
 
 val resolve : t -> vaddr:int -> Atmo_hw.Mmu.translation option
-(** What the MMU sees — walks the concrete tables. *)
+(** What the MMU sees — walks the concrete tables, served from the
+    software {!Atmo_hw.Tlb} when warm. *)
+
+val resolve_cold : t -> vaddr:int -> Atmo_hw.Mmu.translation option
+(** {!Atmo_hw.Mmu.walk} through this table: always reads the concrete
+    tables, never the TLB.  The oracle checkers compare against. *)
 
 val destroy : t -> Atmo_util.Iset.t
 (** Tear the table down, returning every table page to the allocator.
     Returns the set of frames that were still mapped (for the caller to
-    unreference); the ghost maps become empty. *)
+    unreference); the ghost maps become empty.  Flushes and retires the
+    address space's TLB (its ASID disappears with its cr3). *)
 
 (** {2 Abstract (ghost) state} *)
 

@@ -61,7 +61,9 @@ let mmu_probe pt ~vaddrs =
   List.fold_left
     (fun acc va ->
       let* () = acc in
-      match (Page_table.resolve pt ~vaddr:va, lookup va) with
+      (* Probe cold: the checker must see the real tables, not a cached
+         translation that a planted bug failed to shoot down. *)
+      match (Page_table.resolve_cold pt ~vaddr:va, lookup va) with
       | None, None -> Ok ()
       | Some _, None -> err "probe: MMU resolves 0x%x but abstract map faults" va
       | None, Some _ -> err "probe: abstract map covers 0x%x but MMU faults" va

@@ -16,6 +16,7 @@ type rule =
   | Pt_misaligned_superpage
   | Pt_alias
   | Pt_bad_leaf_state
+  | Tlb_stale
 
 let rule_name = function
   | Use_after_free -> "use-after-free"
@@ -35,6 +36,7 @@ let rule_name = function
   | Pt_misaligned_superpage -> "pt-misaligned-superpage"
   | Pt_alias -> "pt-alias"
   | Pt_bad_leaf_state -> "pt-bad-leaf-state"
+  | Tlb_stale -> "tlb-stale"
 
 type t = {
   rule : rule;

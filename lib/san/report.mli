@@ -24,6 +24,7 @@ type rule =
   | Pt_misaligned_superpage  (** huge leaf whose frame is not size-aligned *)
   | Pt_alias  (** frame mapped more times than its reference count *)
   | Pt_bad_leaf_state  (** leaf frame not in the allocator's [Mapped] state *)
+  | Tlb_stale  (** cached TLB/IOTLB translation disagrees with a cold walk *)
 
 val rule_name : rule -> string
 

@@ -24,8 +24,9 @@ val attach : Atmo_core.Kernel.t -> unit
     attribution snapshots. *)
 
 val full_check : Atmo_core.Kernel.t -> int
-(** Run the on-demand whole-state checks — {!Pt_lint.lint} and
-    {!Audit.leaks} — returning the number of new violations. *)
+(** Run the on-demand whole-state checks — {!Pt_lint.lint},
+    {!Audit.leaks} and {!Tlb_lint.lint} — returning the number of new
+    violations. *)
 
 val arm_of_env : unit -> unit
 (** Arm (memsan only) when the [SAN] environment variable is [1] — the

@@ -1,0 +1,46 @@
+module Phys_mem = Atmo_hw.Phys_mem
+module Mmu = Atmo_hw.Mmu
+module Tlb = Atmo_hw.Tlb
+module Iommu = Atmo_hw.Iommu
+module Pte_bits = Atmo_hw.Pte_bits
+module Kernel = Atmo_core.Kernel
+
+(* Coherence: every live cached translation must agree with a fresh cold
+   walk of the tables it was filled from.  A disagreement means some
+   table mutation skipped its shootdown — the executable shadow of the
+   isolation proof, which only holds for what the MMU *currently* sees. *)
+let check_space ~site tlb =
+  let mem = Tlb.mem tlb in
+  let cr3 = Tlb.asid tlb in
+  List.iter
+    (fun (vbase, frame, size, perm) ->
+      match Mmu.walk mem ~cr3 ~vaddr:vbase with
+      | None ->
+        Report.record Report.Tlb_stale ~site ~page:frame
+          ~detail:
+            (Printf.sprintf
+               "cached 0x%x -> 0x%x (%d bytes) but the tables no longer map it"
+               vbase frame size)
+      | Some tr ->
+        if
+          tr.Mmu.frame <> frame || tr.Mmu.size <> size
+          || not (Pte_bits.equal_perm tr.Mmu.perm perm)
+        then
+          Report.record Report.Tlb_stale ~site ~page:frame
+            ~detail:
+              (Format.asprintf
+                 "cached 0x%x -> 0x%x/%d:%a but a cold walk gives 0x%x/%d:%a"
+                 vbase frame size Pte_bits.pp_perm perm tr.Mmu.frame tr.Mmu.size
+                 Pte_bits.pp_perm tr.Mmu.perm))
+    (Tlb.entries tlb)
+
+let lint k =
+  let before = Report.count () in
+  Memsan.suspend (fun () ->
+      let uid = Phys_mem.uid k.Kernel.mem in
+      Tlb.iter_spaces (fun tlb ->
+          if Phys_mem.uid (Tlb.mem tlb) = uid then
+            check_space ~site:(Printf.sprintf "tlb_lint.asid0x%x" (Tlb.asid tlb)) tlb);
+      Iommu.iter_iotlbs k.Kernel.iommu (fun ~device tlb ->
+          check_space ~site:(Printf.sprintf "tlb_lint.dev%d" device) tlb));
+  Report.count () - before

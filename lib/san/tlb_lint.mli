@@ -1,0 +1,18 @@
+(** TLB-coherence lint.
+
+    Compares every live entry of every software TLB belonging to the
+    kernel's physical memory — CPU address spaces and per-device
+    IOTLBs alike — against a fresh cold walk ({!Atmo_hw.Mmu.walk}) of
+    the page tables.  An entry whose frame, size or permissions
+    disagree, or whose page the tables no longer map, files a
+    [Tlb_stale] report: some table mutation skipped its shootdown.
+
+    This is the executable shadow of the paper's isolation theorem:
+    the proof speaks about what the MMU currently sees, so any cached
+    view the kernel failed to invalidate is a hole in the theorem's
+    premise.  The check walks the tables cold on purpose — probing
+    through the TLB under test would let a stale entry vouch for
+    itself. *)
+
+val lint : Atmo_core.Kernel.t -> int
+(** Run the check; returns the number of new reports filed. *)

@@ -23,9 +23,15 @@ let test_mem_untouched_zero () =
 let test_mem_zero_page () =
   let m = Phys_mem.create ~page_count:16 in
   Phys_mem.write_u64 m ~addr:4096 42L;
-  Phys_mem.zero_page m ~addr:4100;
+  Phys_mem.zero_page m ~addr:4096;
   check Alcotest.int64 "zeroed" 0L (Phys_mem.read_u64 m ~addr:4096);
-  check Alcotest.int "zeroing drops the frame" 0 (Phys_mem.touched_frames m)
+  check Alcotest.int "zeroing drops the frame" 0 (Phys_mem.touched_frames m);
+  Alcotest.check_raises "unaligned zero_page rejected"
+    (Invalid_argument "Phys_mem.zero_page: unaligned")
+    (fun () -> Phys_mem.zero_page m ~addr:4100);
+  Alcotest.check_raises "partial last page rejected"
+    (Invalid_argument "Phys_mem.zero_page: address 0x10000 out of bounds")
+    (fun () -> Phys_mem.zero_page m ~addr:(16 * 4096))
 
 let test_mem_bounds () =
   let m = Phys_mem.create ~page_count:2 in

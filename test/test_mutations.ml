@@ -348,6 +348,29 @@ let test_san_malformed_pte () =
       | None -> Alcotest.fail "malformed PTE not detected"
       | Some r -> Alcotest.(check int) "faulting page" (Pte.addr_of e) r.San_report.page)
 
+let test_san_stale_tlb () =
+  let k, init = world () in
+  with_san (fun () ->
+      San_runtime.attach k;
+      (match Kernel.step k ~thread:init
+               (Syscall.Mmap { va = 0x7780_0000; count = 1; size = Page_state.S4k; perm = Pte.perm_rw })
+       with
+       | Syscall.Rmapped _ -> ()
+       | r -> Alcotest.failf "mmap: %a" Syscall.pp_ret r);
+      (* warm the TLB, then check a well-behaved kernel is coherent *)
+      checkb "translation resolves" true
+        (Kernel.resolve_user k ~thread:init ~vaddr:0x7780_0000 <> None);
+      Alcotest.(check int) "clean lint before plant" 0 (San_runtime.full_check k);
+      (* missing-shootdown bug: clear the leaf PTE behind the TLB's back *)
+      let proc = Option.get (Kernel.proc_of_thread k ~thread:init) in
+      let pt = (Perm_map.borrow k.Kernel.pm.Proc_mgr.proc_perms ~ptr:proc).Process.pt in
+      let slot = leaf_slot pt 0x7780_0000 in
+      Phys_mem.write_u64 (Page_table.mem pt) ~addr:slot Pte.not_present;
+      checkb "lint fires" true (Atmo_san.Tlb_lint.lint k > 0);
+      match san_find San_report.Tlb_stale with
+      | None -> Alcotest.fail "stale TLB entry not detected"
+      | Some _ -> ())
+
 (* ------------------------------------------------------------------ *)
 (* Spec mutations: a wrong return value must violate the spec          *)
 
@@ -429,6 +452,7 @@ let () =
           Alcotest.test_case "use after free" `Quick test_san_use_after_free;
           Alcotest.test_case "unlocked mutation" `Quick test_san_unlocked_mutation;
           Alcotest.test_case "malformed pte" `Quick test_san_malformed_pte;
+          Alcotest.test_case "stale tlb" `Quick test_san_stale_tlb;
         ] );
       ( "spec",
         [
