@@ -1,6 +1,6 @@
 # Convenience targets over dune; `make check` is the pre-commit gate.
 
-.PHONY: all build test test-san bench bench-tlb check trace obs san clean
+.PHONY: all build test test-san bench bench-tlb bench-ipc check trace obs san clean
 
 all: build
 
@@ -23,15 +23,24 @@ bench:
 bench-tlb:
 	dune exec bench/main.exe -- tlb
 
+# IPC ping-pong with the rendezvous fastpath on vs off: latency
+# distribution, permission-map operations and allocation per
+# rendezvous.  Writes BENCH_ipc.json.
+bench-ipc:
+	dune exec bench/main.exe -- ipc
+
 # Pre-commit gate: build, tier-1 tests (plain and with the sanitizer
-# armed, so the TLB-coherence lint runs over every suite), the headline
-# IPC table, and the sanitizer over the scripted workload (clean run
-# must report zero violations; the stale-TLB plant must be caught).
+# armed, so the TLB-coherence and scheduler lints run over every
+# suite), the fastpath on/off oracle, the headline IPC table, and the
+# sanitizer over the scripted workload (clean run must report zero
+# violations; the stale-TLB and fastpath-skip plants must be caught).
 check:
 	dune build && dune runtest && SAN=1 dune runtest --force \
+	&& dune exec test/test_fastpath.exe \
 	&& dune exec bench/main.exe -- table3 \
 	&& dune exec bin/atmo_cli.exe -- san \
-	&& dune exec bin/atmo_cli.exe -- san --plant stale-tlb
+	&& dune exec bin/atmo_cli.exe -- san --plant stale-tlb \
+	&& dune exec bin/atmo_cli.exe -- san --plant fastpath-skip
 
 trace:
 	dune exec bin/atmo_cli.exe -- trace
@@ -39,7 +48,7 @@ trace:
 obs:
 	dune exec bench/main.exe -- obs
 
-# Full sanitizer demonstration: clean workload, then the four planted
+# Full sanitizer demonstration: clean workload, then the five planted
 # bugs, each of which must be detected with a typed report.
 san:
 	dune exec bin/atmo_cli.exe -- san
@@ -47,6 +56,7 @@ san:
 	dune exec bin/atmo_cli.exe -- san --plant unlocked
 	dune exec bin/atmo_cli.exe -- san --plant bad-pte
 	dune exec bin/atmo_cli.exe -- san --plant stale-tlb
+	dune exec bin/atmo_cli.exe -- san --plant fastpath-skip
 
 clean:
 	dune clean

@@ -844,6 +844,153 @@ let tlb () =
     (if identical = 1 then "identical" else "DIVERGED")
 
 (* ------------------------------------------------------------------ *)
+(* IPC fastpath: ping-pong with the fastpath on vs off                 *)
+
+(* One round = the receiver parks in Recv, the sender rendezvous-sends
+   and the CPU switches to the receiver.  The park is identical work in
+   both configurations; the rendezvous send is the operation the
+   fastpath rebuilds, so the bench reports it separately: total map
+   operations (permission-map borrows/updates, each one host-level
+   Imap traffic), the same past the 2-operation capability decode both
+   paths share (thread borrow + endpoint borrow), allocation, and the
+   per-round latency distribution.  The oracle test proves the two
+   configurations leave bit-identical kernels, so every delta here is
+   pure mechanism cost.  Emits BENCH_ipc.json for machines. *)
+let ipc () =
+  section "IPC ping-pong: fastpath on vs off (host time; map ops; allocation)";
+  let rounds = 20000 in
+  let decode_ops = 2 (* thread borrow + endpoint borrow, both paths *) in
+  let borrow_total () =
+    List.fold_left
+      (fun acc (name, c) ->
+        if String.length name >= 11 && String.sub name 0 11 = "pm/borrows/" then
+          acc + Atmo_obs.Metrics.Counter.value c
+        else acc)
+      0
+      (Atmo_obs.Metrics.all_counters ())
+  in
+  let counter name = Atmo_obs.Metrics.Counter.value (Atmo_obs.Metrics.counter name) in
+  let run ~fastpath =
+    Kernel.set_fastpath fastpath;
+    match Kernel.boot Kernel.default_boot with
+    | Error _ -> None
+    | Ok (k, init) ->
+      let t2 =
+        match Kernel.step k ~thread:init Syscall.New_thread with
+        | Syscall.Rptr t -> t
+        | _ -> init
+      in
+      (match Kernel.step k ~thread:init (Syscall.New_endpoint { slot = 0 }) with
+       | Syscall.Rptr ep ->
+         Atmo_pm.Perm_map.update k.Kernel.pm.Atmo_pm.Proc_mgr.thrd_perms ~ptr:t2
+           (fun th -> Atmo_pm.Thread.set_slot th 0 (Some ep));
+         Atmo_pm.Perm_map.update k.Kernel.pm.Atmo_pm.Proc_mgr.edpt_perms ~ptr:ep
+           (fun e -> { e with Atmo_pm.Endpoint.refcount = e.Atmo_pm.Endpoint.refcount + 1 })
+       | _ -> ());
+      let hist =
+        Atmo_obs.Metrics.Histogram.make
+          (if fastpath then "bench/ipc_round_fast_ns" else "bench/ipc_round_slow_ns")
+      in
+      let fast0 = counter "ipc/fastpath" and slow0 = counter "ipc/slowpath" in
+      (* pass 1: latency only, nothing but the two syscalls in the
+         timed region *)
+      let t0 = Unix.gettimeofday () in
+      for i = 0 to rounds - 1 do
+        let p0 = Unix.gettimeofday () in
+        ignore (Kernel.step k ~thread:t2 (Syscall.Recv { slot = 0 }));
+        ignore
+          (Kernel.step k ~thread:init
+             (Syscall.Send { slot = 0; msg = Message.scalars_only [ i ] }));
+        Atmo_obs.Metrics.Histogram.observe hist
+          (int_of_float ((Unix.gettimeofday () -. p0) *. 1e9))
+      done;
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      let fast_hits = counter "ipc/fastpath" - fast0 in
+      let slow_hits = counter "ipc/slowpath" - slow0 in
+      (* pass 2: map-operation and allocation accounting *)
+      let round_borrows0 = borrow_total () in
+      let send_borrows = ref 0 and send_alloc = ref 0. in
+      for i = 0 to rounds - 1 do
+        ignore (Kernel.step k ~thread:t2 (Syscall.Recv { slot = 0 }));
+        let b0 = borrow_total () in
+        let a0 = Gc.minor_words () in
+        ignore
+          (Kernel.step k ~thread:init
+             (Syscall.Send { slot = 0; msg = Message.scalars_only [ i ] }));
+        send_alloc := !send_alloc +. (Gc.minor_words () -. a0);
+        send_borrows := !send_borrows + (borrow_total () - b0)
+      done;
+      Some
+        ( hist,
+          wall_ms,
+          fast_hits,
+          slow_hits,
+          borrow_total () - round_borrows0,
+          !send_borrows,
+          !send_alloc )
+  in
+  let off = run ~fastpath:false in
+  let on = run ~fastpath:true in
+  Kernel.set_fastpath true;
+  match (on, off) with
+  | Some (h1, w1, f1, s1, rb1, sb1, sa1), Some (h0, w0, f0, s0, rb0, sb0, sa0) ->
+    let module H = Atmo_obs.Metrics.Histogram in
+    let per r = float_of_int r /. float_of_int rounds in
+    let show label h w f s rb sb sa =
+      line "  %-13s %8.2f ms  p50 %5d ns  p90 %5d ns  p99 %6d ns" label w (H.p50 h)
+        (H.p90 h) (H.p99 h);
+      line "  %-13s fastpath %d  slowpath %d  map ops/round %.1f" "" f s (per rb);
+      line "  %-13s rendezvous send: map ops %.1f  minor words %.1f" "" (per sb)
+        (sa /. float_of_int rounds)
+    in
+    line "%d ping-pong rounds per configuration (round = park Recv + rendezvous Send):"
+      rounds;
+    show "fastpath off:" h0 w0 f0 s0 rb0 sb0 sa0;
+    show "fastpath on: " h1 w1 f1 s1 rb1 sb1 sa1;
+    let m0 = per sb0 -. float_of_int decode_ops in
+    let m1 = per sb1 -. float_of_int decode_ops in
+    let ratio_m = m0 /. Float.max 1e-9 m1 in
+    let ratio_s = per sb0 /. Float.max 1e-9 (per sb1) in
+    let ratio_a = sa0 /. Float.max 1. sa1 in
+    line "  rendezvous machinery past the %d-op capability decode: %.1f vs %.1f map ops"
+      decode_ops m0 m1;
+    line "  -> %.2fx fewer map operations in the rendezvous machinery (floor: 2x)"
+      ratio_m;
+    line "  -> %.2fx fewer map operations, %.2fx fewer minor words per rendezvous send"
+      ratio_s ratio_a;
+    let json =
+      Printf.sprintf
+        {|{
+  "bench": "ipc_pingpong",
+  "rounds": %d,
+  "decode_map_ops": %d,
+  "fastpath_off": { "wall_ms": %.3f, "p50_ns": %d, "p90_ns": %d, "p99_ns": %d,
+                    "fastpath_hits": %d, "slowpath_hits": %d,
+                    "round_map_ops": %.2f, "send_map_ops": %.2f,
+                    "send_minor_words": %.1f },
+  "fastpath_on":  { "wall_ms": %.3f, "p50_ns": %d, "p90_ns": %d, "p99_ns": %d,
+                    "fastpath_hits": %d, "slowpath_hits": %d,
+                    "round_map_ops": %.2f, "send_map_ops": %.2f,
+                    "send_minor_words": %.1f },
+  "rendezvous_machinery_map_op_reduction": %.3f,
+  "send_map_op_reduction": %.3f,
+  "send_alloc_reduction": %.3f
+}
+|}
+        rounds decode_ops w0 (H.p50 h0) (H.p90 h0) (H.p99 h0) f0 s0 (per rb0)
+        (per sb0)
+        (sa0 /. float_of_int rounds)
+        w1 (H.p50 h1) (H.p90 h1) (H.p99 h1) f1 s1 (per rb1) (per sb1)
+        (sa1 /. float_of_int rounds)
+        ratio_m ratio_s ratio_a
+    in
+    let oc = open_out "BENCH_ipc.json" in
+    output_string oc json;
+    close_out oc;
+    line "  wrote BENCH_ipc.json"
+  | _ -> line "ipc workload failed to boot"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 
 let bechamel () =
@@ -944,6 +1091,7 @@ let all () =
   obs ();
   san ();
   tlb ();
+  ipc ();
   bechamel ()
 
 let () =
@@ -962,6 +1110,7 @@ let () =
   | "obs" -> obs ()
   | "san" -> san ()
   | "tlb" -> tlb ()
+  | "ipc" -> ipc ()
   | "bechamel" -> bechamel ()
   | "all" -> all ()
   | other ->

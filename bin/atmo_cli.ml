@@ -357,7 +357,7 @@ let run_san_workload k ~init ~iterations =
     ignore (Atmo_drivers.Nvme.submit_write nvme ~lba ~data:block)
   done;
   ignore (Atmo_drivers.Nvme.wait_all nvme);
-  stats
+  (stats, t2)
 
 let plant_double_free k =
   match Atmo_pmem.Page_alloc.alloc_4k k.Kernel.alloc ~purpose:Atmo_pmem.Page_alloc.Kernel with
@@ -404,6 +404,41 @@ let plant_stale_tlb k ~init =
   Phys_mem.write_u64 (Page_table.mem pt) ~addr:slot 0L;
   ignore (Atmo_san.Tlb_lint.lint k)
 
+let plant_fastpath_skip k ~init ~t2 =
+  let pm = k.Kernel.pm in
+  (* park the workload's receiver on the shared endpoint (draining any
+     leftover messages first) so a sender finds a rendezvous partner *)
+  let rec park n =
+    if n = 0 then Fmt.failwith "san: could not park the receiver"
+    else
+      match locked_step k ~thread:t2 (Syscall.Recv { slot = 0 }) with
+      | Syscall.Rblocked -> ()
+      | Syscall.Rmsg _ -> park (n - 1)
+      | r -> Fmt.failwith "san: park recv -> %a" Syscall.pp_ret r
+  in
+  park 8;
+  (* put the sender alone on the CPU: with t2 parked, init is the only
+     schedulable thread left *)
+  if pm.Atmo_pm.Proc_mgr.current = None then
+    ignore (Atmo_pm.Proc_mgr.dequeue_next pm);
+  if
+    pm.Atmo_pm.Proc_mgr.current <> Some init
+    || not (Atmo_pm.Sched_queue.is_empty pm.Atmo_pm.Proc_mgr.run_queue)
+  then Fmt.failwith "san: fastpath guard could not be established";
+  (* one rendezvous through the fastpath with the requeue skipped: the
+     preempted sender ends up Runnable but queued nowhere *)
+  Kernel.set_fastpath_skip_plant true;
+  Fun.protect
+    ~finally:(fun () -> Kernel.set_fastpath_skip_plant false)
+    (fun () ->
+      match
+        locked_step k ~thread:init
+          (Syscall.Send { slot = 0; msg = Atmo_pm.Message.scalars_only [ 0xdead ] })
+      with
+      | Syscall.Runit -> ()
+      | r -> Fmt.failwith "san: plant send -> %a" Syscall.pp_ret r);
+  ignore (Atmo_san.Sched_lint.lint k)
+
 let san plant iterations =
   setup_logs ();
   Obs_metrics.reset ();
@@ -423,7 +458,7 @@ let san plant iterations =
     finish 1
   | Ok (k, init) ->
     San_runtime.attach k;
-    let stats = run_san_workload k ~init ~iterations in
+    let stats, t2 = run_san_workload k ~init ~iterations in
     let structural = San_runtime.full_check k in
     let clean_count = San_report.count () in
     Format.printf
@@ -454,6 +489,8 @@ let san plant iterations =
            | "unlocked" -> plant_unlocked k ~init; San_report.Unlocked_mutation
            | "bad-pte" -> plant_bad_pte k ~init; San_report.Malformed_pte
            | "stale-tlb" -> plant_stale_tlb k ~init; San_report.Tlb_stale
+           | "fastpath-skip" ->
+             plant_fastpath_skip k ~init ~t2; San_report.Sched_incoherent
            | other -> Fmt.failwith "san: unknown plant %S" other
          in
          let hits =
@@ -527,14 +564,15 @@ let plant_arg =
         (enum
            [ ("none", "none"); ("double-free", "double-free");
              ("unlocked", "unlocked"); ("bad-pte", "bad-pte");
-             ("stale-tlb", "stale-tlb") ])
+             ("stale-tlb", "stale-tlb"); ("fastpath-skip", "fastpath-skip") ])
         "none"
     & info [ "plant" ]
         ~doc:
           "Plant a bug after the clean workload and require the sanitizer to catch it: \
            $(b,double-free), $(b,unlocked) (mutation without the big lock), \
-           $(b,bad-pte) (reserved bits in a leaf entry) or $(b,stale-tlb) \
-           (a PTE torn out without a TLB shootdown).")
+           $(b,bad-pte) (reserved bits in a leaf entry), $(b,stale-tlb) \
+           (a PTE torn out without a TLB shootdown) or $(b,fastpath-skip) \
+           (the IPC fastpath forgets to requeue the preempted sender).")
 
 let san_iters_arg =
   Arg.(value & opt int 50 & info [ "iterations" ] ~doc:"IPC ping-pong rounds in the SMP phase.")

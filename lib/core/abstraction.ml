@@ -60,7 +60,7 @@ let abstract (k : Kernel.t) : A.t =
     threads = of_perm_map abstract_thread pm.Proc_mgr.thrd_perms;
     endpoints = of_perm_map abstract_endpoint pm.Proc_mgr.edpt_perms;
     root = pm.Proc_mgr.root_container;
-    run_queue = pm.Proc_mgr.run_queue;
+    run_queue = Proc_mgr.run_queue_list pm;
     current = pm.Proc_mgr.current;
     free_4k = Page_alloc.free_pages_4k k.Kernel.alloc;
     free_2m = Page_alloc.free_pages_2m k.Kernel.alloc;

@@ -183,6 +183,23 @@ let devices_wf (k : Kernel.t) =
       else err "container 0x%x external charge %d but devices account for %d" c got want)
     k.Kernel.pm.Proc_mgr.cntr_perms (Ok ())
 
+(* The cached per-endpoint interrupt backlog must equal the ground
+   truth recomputed from the device table (absent key = 0). *)
+let irq_backlog_wf (k : Kernel.t) =
+  let truth =
+    Imap.fold
+      (fun _ (d : Kernel.device_info) acc ->
+        match d.Kernel.irq_endpoint with
+        | Some ep when d.Kernel.irq_pending > 0 ->
+          Imap.add ep
+            (d.Kernel.irq_pending + Option.value ~default:0 (Imap.find_opt ep acc))
+            acc
+        | Some _ | None -> acc)
+      k.Kernel.devices Imap.empty
+  in
+  if Imap.equal Int.equal truth k.Kernel.irq_backlog then Ok ()
+  else err "irq backlog cache diverged from the device table"
+
 let obligations =
   [
     ("kernel/allocator_wf", allocator_wf);
@@ -192,6 +209,7 @@ let obligations =
     ("kernel/leak_freedom", leak_freedom);
     ("kernel/mapped_consistent", mapped_consistent);
     ("kernel/devices_wf", devices_wf);
+    ("kernel/irq_backlog_wf", irq_backlog_wf);
   ]
 
 let total_wf k =

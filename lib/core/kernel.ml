@@ -6,6 +6,7 @@ module Page_state = Atmo_pmem.Page_state
 module Page_alloc = Atmo_pmem.Page_alloc
 module Page_table = Atmo_pt.Page_table
 module Proc_mgr = Atmo_pm.Proc_mgr
+module Sched_queue = Atmo_pm.Sched_queue
 module Perm_map = Atmo_pm.Perm_map
 module Container = Atmo_pm.Container
 module Process = Atmo_pm.Process
@@ -32,6 +33,9 @@ type t = {
   pm : Proc_mgr.t;
   iommu : Iommu.t;
   mutable devices : device_info Imap.t;
+  mutable irq_backlog : int Imap.t;
+      (* endpoint -> total pending interrupts across all devices routed
+         to it; lets recv skip the device-table walk when nothing pends *)
 }
 
 type boot_params = {
@@ -55,7 +59,10 @@ let boot params =
   let mem = Phys_mem.create ~page_count:params.frames in
   let alloc = Page_alloc.create mem ~reserved_frames:params.reserved_frames in
   let* pm = Proc_mgr.create mem alloc ~root_quota:params.root_quota ~cpus:params.cpus in
-  let t = { mem; alloc; pm; iommu = Iommu.create mem; devices = Imap.empty } in
+  let t =
+    { mem; alloc; pm; iommu = Iommu.create mem; devices = Imap.empty;
+      irq_backlog = Imap.empty }
+  in
   let* init_proc =
     Proc_mgr.new_process pm ~container:pm.Proc_mgr.root_container ~parent:None
   in
@@ -67,6 +74,18 @@ let boot params =
    itself is defined with the interrupt machinery below. *)
 let sweep_irqs_ref : (t -> unit) ref = ref (fun _ -> ())
 let sweep_irqs_hook t = !sweep_irqs_ref t
+
+(* ------------------------------------------------------------------ *)
+(* Per-endpoint interrupt backlog                                      *)
+
+let irq_backlog_of t ~ep = Option.value ~default:0 (Imap.find_opt ep t.irq_backlog)
+
+let irq_backlog_add t ~ep n =
+  if n <> 0 then begin
+    let v = irq_backlog_of t ~ep + n in
+    t.irq_backlog <-
+      (if v <= 0 then Imap.remove ep t.irq_backlog else Imap.add ep v t.irq_backlog)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Common validation                                                   *)
@@ -304,6 +323,75 @@ let sys_close_endpoint t ~thread ~slot =
 (* ------------------------------------------------------------------ *)
 (* IPC                                                                 *)
 
+(* A rendezvous (a parked partner exists on the endpoint) is a direct
+   switch: the woken partner joins the run-queue tail and, when the
+   caller holds the CPU, the caller is preempted and the next runnable
+   thread — the partner, whenever the queue was empty — takes over.
+
+   The transition is implemented twice.  The generic path delivers via
+   [deliver] and goes through the scheduler (enqueue / preempt /
+   dequeue: nine permission-map operations per send).  The fastpath
+   recognises the common case up front — fastpath enabled, scalars-only
+   message, caller on the CPU, empty run queue — and performs the whole
+   rendezvous in one fused pass: [deliver]'s grant machinery is skipped
+   (the guard proves it vacuous) and each thread record is written
+   exactly once (message and scheduling state together), leaving three
+   map operations past the capability decode where the generic path
+   spends seven.  Both paths MUST leave the kernel bit-identical; the
+   randomized oracle in [test_fastpath] and the sanitizer's
+   scheduler-coherence lint enforce this. *)
+
+let fastpath_on = ref true
+let set_fastpath b = fastpath_on := b
+let fastpath_enabled () = !fastpath_on
+
+(* atmo-san plant: drop the preempted caller on the floor instead of
+   requeueing it, so a Runnable thread is queued nowhere — the
+   sched-incoherent lint must notice. *)
+let fastpath_skip_plant = ref false
+let set_fastpath_skip_plant b = fastpath_skip_plant := b
+
+let ipc_fastpath_ctr = Atmo_obs.Metrics.counter "ipc/fastpath"
+let ipc_slowpath_ctr = Atmo_obs.Metrics.counter "ipc/slowpath"
+
+(* May the fused fastpath take this rendezvous?  Scalars only (so the
+   grant machinery is provably vacuous), well-formed (so [deliver]
+   could not have failed), caller on the CPU with an empty run queue
+   (so the direct switch is exactly what the scheduler would pick). *)
+let fastpath_ok t ~caller ~(msg : Message.t) =
+  !fastpath_on
+  && msg.Message.page = None
+  && msg.Message.endpoint = None
+  && Message.wf msg
+  && t.pm.Proc_mgr.current = Some caller
+  && Sched_queue.is_empty t.pm.Proc_mgr.run_queue
+
+(* The generic rendezvous switch: the woken partner goes through the
+   scheduler like any other wakeup. *)
+let rendezvous_slow t ~partner ~caller =
+  let pm = t.pm in
+  Proc_mgr.enqueue_runnable pm ~thread:partner;
+  if pm.Proc_mgr.current = Some caller then begin
+    Proc_mgr.preempt_current pm;
+    ignore (Proc_mgr.dequeue_next pm)
+  end;
+  Atmo_obs.Metrics.Counter.incr ipc_slowpath_ctr
+
+(* The fused fastpath tail: write both thread records once, hand the
+   CPU to the partner and requeue the caller.  [partner_up]/[caller_up]
+   carry the message-buffer effect of the specific rendezvous so the
+   record copy happens exactly once per thread. *)
+let rendezvous_fast t ~ep ~sender ~receiver ~caller ~partner ~partner_up ~caller_up =
+  let pm = t.pm in
+  Perm_map.update pm.Proc_mgr.thrd_perms ~ptr:partner (fun th ->
+      { (partner_up th) with Thread.state = Thread.Running });
+  Perm_map.update pm.Proc_mgr.thrd_perms ~ptr:caller (fun th ->
+      { (caller_up th) with Thread.state = Thread.Runnable });
+  pm.Proc_mgr.current <- Some partner;
+  if not !fastpath_skip_plant then Sched_queue.push_back pm.Proc_mgr.run_queue caller;
+  Atmo_obs.Metrics.Counter.incr ipc_fastpath_ctr;
+  if Obs.tracing () then Obs.emit (Event.Ep_fastpath { ep; sender; receiver })
+
 (* Map an already-[Mapped] 4 KiB frame into [proc]'s address space at
    [va], charging the owning container for the frame share and any new
    table pages.  Atomic: failure leaves no trace. *)
@@ -383,19 +471,18 @@ let deliver t ~sender ~receiver ~(msg : Message.t) =
     Ok ()
   end
 
-(* Take the calling thread off the CPU / run queue so it can block. *)
-let detach_from_scheduler t ~thread state =
+(* Take the calling thread off the CPU / run queue so it can block.
+   [up] is the full record update (blocked state plus whatever message
+   buffer the park leaves behind), applied in one map operation. *)
+let detach_from_scheduler t ~thread up =
   if t.pm.Proc_mgr.current = Some thread then begin
     t.pm.Proc_mgr.current <- None;
-    Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:thread (fun th ->
-        { th with Thread.state });
+    Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:thread up;
     ignore (Proc_mgr.dequeue_next t.pm)
   end
   else begin
-    t.pm.Proc_mgr.run_queue <-
-      List.filter (fun x -> x <> thread) t.pm.Proc_mgr.run_queue;
-    Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:thread (fun th ->
-        { th with Thread.state })
+    Sched_queue.remove_if_queued t.pm.Proc_mgr.run_queue thread;
+    Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:thread up
   end
 
 let send_impl t ~thread ~slot ~msg ~blocking =
@@ -406,8 +493,23 @@ let send_impl t ~thread ~slot ~msg ~blocking =
      | None -> err Errno.Einval
      | Some ep ->
        let e = Perm_map.borrow t.pm.Proc_mgr.edpt_perms ~ptr:ep in
-       (match Static_list.to_list e.Endpoint.recv_queue with
-        | receiver :: _ ->
+       (match Static_list.peek_front e.Endpoint.recv_queue with
+        | Some receiver when fastpath_ok t ~caller:thread ~msg ->
+          (* fused fastpath: [deliver] is vacuous for a well-formed
+             scalars-only message, and each thread record is written
+             exactly once *)
+          Perm_map.update t.pm.Proc_mgr.edpt_perms ~ptr:ep (fun e ->
+              match Static_list.pop_front e.Endpoint.recv_queue with
+              | Some (_, q) -> { e with Endpoint.recv_queue = q }
+              | None -> assert false);
+          rendezvous_fast t ~ep ~sender:thread ~receiver ~caller:thread
+            ~partner:receiver
+            ~partner_up:(fun rth -> { rth with Thread.msg_buf = Some msg })
+            ~caller_up:Fun.id;
+          if Obs.tracing () then
+            Obs.emit (Event.Ep_send { ep; sender = thread; receiver });
+          Syscall.Runit
+        | Some receiver ->
           (match deliver t ~sender:thread ~receiver ~msg with
            | Error er -> err er
            | Ok () ->
@@ -417,11 +519,11 @@ let send_impl t ~thread ~slot ~msg ~blocking =
                  | None -> assert false);
              Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:receiver (fun rth ->
                  { rth with Thread.msg_buf = Some msg });
-             Proc_mgr.enqueue_runnable t.pm ~thread:receiver;
+             rendezvous_slow t ~partner:receiver ~caller:thread;
              if Obs.tracing () then
                Obs.emit (Event.Ep_send { ep; sender = thread; receiver });
              Syscall.Runit)
-        | [] ->
+        | None ->
           if not blocking then err Errno.Ewouldblock
           else if not (Message.wf msg) then err Errno.Einval
           else if Static_list.is_full e.Endpoint.send_queue then err Errno.Efull
@@ -452,9 +554,9 @@ let send_impl t ~thread ~slot ~msg ~blocking =
                   match Static_list.push e.Endpoint.send_queue thread with
                   | Ok q -> { e with Endpoint.send_queue = q }
                   | Error `Full -> assert false);
-              Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:thread (fun th ->
-                  { th with Thread.msg_buf = Some msg });
-              detach_from_scheduler t ~thread (Thread.Blocked_send ep);
+              detach_from_scheduler t ~thread (fun th ->
+                  { th with Thread.msg_buf = Some msg;
+                            state = Thread.Blocked_send ep });
               if Obs.tracing () then
                 Obs.emit (Event.Ep_block { ep; thread; dir = Event.Dir_send });
               Syscall.Rblocked
@@ -469,45 +571,66 @@ let recv_impl t ~thread ~slot ~blocking =
      | None -> err Errno.Einval
      | Some ep ->
        let e = Perm_map.borrow t.pm.Proc_mgr.edpt_perms ~ptr:ep in
-       (match Static_list.to_list e.Endpoint.send_queue with
-        | sender :: _ ->
+       (match Static_list.peek_front e.Endpoint.send_queue with
+        | Some sender ->
           let sth = Perm_map.borrow t.pm.Proc_mgr.thrd_perms ~ptr:sender in
           let msg =
             match sth.Thread.msg_buf with Some m -> m | None -> assert false
           in
-          (match deliver t ~sender ~receiver:thread ~msg with
-           | Error er -> err er
-           | Ok () ->
-             Perm_map.update t.pm.Proc_mgr.edpt_perms ~ptr:ep (fun e ->
-                 match Static_list.pop_front e.Endpoint.send_queue with
-                 | Some (_, q) -> { e with Endpoint.send_queue = q }
-                 | None -> assert false);
-             Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:sender (fun sth ->
-                 { sth with Thread.msg_buf = None });
-             Proc_mgr.enqueue_runnable t.pm ~thread:sender;
-             Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:thread (fun th ->
-                 { th with Thread.msg_buf = Some msg });
-             if Obs.tracing () then
-               Obs.emit (Event.Ep_recv { ep; receiver = thread; sender });
-             Syscall.Rmsg msg)
-        | [] ->
+          if fastpath_ok t ~caller:thread ~msg then begin
+            (* fused fastpath, receive side: wake the parked sender and
+               direct-switch to it in one pass *)
+            Perm_map.update t.pm.Proc_mgr.edpt_perms ~ptr:ep (fun e ->
+                match Static_list.pop_front e.Endpoint.send_queue with
+                | Some (_, q) -> { e with Endpoint.send_queue = q }
+                | None -> assert false);
+            rendezvous_fast t ~ep ~sender ~receiver:thread ~caller:thread
+              ~partner:sender
+              ~partner_up:(fun sth -> { sth with Thread.msg_buf = None })
+              ~caller_up:(fun th -> { th with Thread.msg_buf = Some msg });
+            if Obs.tracing () then
+              Obs.emit (Event.Ep_recv { ep; receiver = thread; sender });
+            Syscall.Rmsg msg
+          end
+          else
+            (match deliver t ~sender ~receiver:thread ~msg with
+             | Error er -> err er
+             | Ok () ->
+               Perm_map.update t.pm.Proc_mgr.edpt_perms ~ptr:ep (fun e ->
+                   match Static_list.pop_front e.Endpoint.send_queue with
+                   | Some (_, q) -> { e with Endpoint.send_queue = q }
+                   | None -> assert false);
+               Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:sender (fun sth ->
+                   { sth with Thread.msg_buf = None });
+               Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:thread (fun th ->
+                   { th with Thread.msg_buf = Some msg });
+               rendezvous_slow t ~partner:sender ~caller:thread;
+               if Obs.tracing () then
+                 Obs.emit (Event.Ep_recv { ep; receiver = thread; sender });
+               Syscall.Rmsg msg)
+        | None ->
           (* a pending interrupt routed to this endpoint is delivered
-             before the receiver would block (lowest device id first) *)
+             before the receiver would block (lowest device id first);
+             the backlog cache makes the no-interrupt case one lookup
+             instead of a fold over every device *)
           let pending_irq =
-            Imap.fold
-              (fun device (d : device_info) acc ->
-                match acc with
-                | Some _ -> acc
-                | None ->
-                  if d.irq_endpoint = Some ep && d.irq_pending > 0 then Some device
-                  else None)
-              t.devices None
+            if irq_backlog_of t ~ep = 0 then None
+            else
+              Imap.fold
+                (fun device (d : device_info) acc ->
+                  match acc with
+                  | Some _ -> acc
+                  | None ->
+                    if d.irq_endpoint = Some ep && d.irq_pending > 0 then Some device
+                    else None)
+                t.devices None
           in
           (match pending_irq with
            | Some device ->
              let info = Imap.find device t.devices in
              t.devices <-
                Imap.add device { info with irq_pending = info.irq_pending - 1 } t.devices;
+             irq_backlog_add t ~ep (-1);
              let msg = Message.scalars_only [ device ] in
              Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:thread (fun th ->
                  { th with Thread.msg_buf = Some msg });
@@ -520,9 +643,9 @@ let recv_impl t ~thread ~slot ~blocking =
                    match Static_list.push e.Endpoint.recv_queue thread with
                    | Ok q -> { e with Endpoint.recv_queue = q }
                    | Error `Full -> assert false);
-               Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:thread (fun th ->
-                   { th with Thread.msg_buf = None });
-               detach_from_scheduler t ~thread (Thread.Blocked_recv ep);
+               detach_from_scheduler t ~thread (fun th ->
+                   { th with Thread.msg_buf = None;
+                             state = Thread.Blocked_recv ep });
                if Obs.tracing () then
                  Obs.emit (Event.Ep_block { ep; thread; dir = Event.Dir_recv });
                Syscall.Rblocked
@@ -544,9 +667,9 @@ let sys_recv_reject t ~thread ~slot =
      | None -> err Errno.Einval
      | Some ep ->
        let e = Perm_map.borrow t.pm.Proc_mgr.edpt_perms ~ptr:ep in
-       (match Static_list.to_list e.Endpoint.send_queue with
-        | [] -> err Errno.Ewouldblock
-        | sender :: _ ->
+       (match Static_list.peek_front e.Endpoint.send_queue with
+        | None -> err Errno.Ewouldblock
+        | Some sender ->
           Perm_map.update t.pm.Proc_mgr.edpt_perms ~ptr:ep (fun e ->
               match Static_list.pop_front e.Endpoint.send_queue with
               | Some (_, q) -> { e with Endpoint.send_queue = q }
@@ -578,6 +701,9 @@ let sys_yield t ~thread =
    the DMA window, free the IOMMU page table, return the quota charge to
    the owning container if it still exists. *)
 let teardown_device t ~device (info : device_info) =
+  (match info.irq_endpoint with
+   | Some ep when info.irq_pending > 0 -> irq_backlog_add t ~ep (-info.irq_pending)
+   | Some _ | None -> ());
   Iommu.detach t.iommu ~device;
   let io_space = Page_table.address_space info.io_pt in
   Imap.iter
@@ -761,6 +887,7 @@ let sweep_irqs t =
       (fun (d : device_info) ->
         match d.irq_endpoint with
         | Some ep when not (Perm_map.mem t.pm.Proc_mgr.edpt_perms ~ptr:ep) ->
+          t.irq_backlog <- Imap.remove ep t.irq_backlog;
           { d with irq_endpoint = None; irq_pending = 0 }
         | Some _ | None -> d)
       t.devices
@@ -791,8 +918,8 @@ let irq_fire t ~device =
      | None -> Syscall.Runit
      | Some ep ->
        let e = Perm_map.borrow t.pm.Proc_mgr.edpt_perms ~ptr:ep in
-       (match Static_list.to_list e.Endpoint.recv_queue with
-        | receiver :: _ ->
+       (match Static_list.peek_front e.Endpoint.recv_queue with
+        | Some receiver ->
           Perm_map.update t.pm.Proc_mgr.edpt_perms ~ptr:ep (fun e ->
               match Static_list.pop_front e.Endpoint.recv_queue with
               | Some (_, q) -> { e with Endpoint.recv_queue = q }
@@ -801,9 +928,10 @@ let irq_fire t ~device =
               { rth with Thread.msg_buf = Some (Message.scalars_only [ device ]) });
           Proc_mgr.enqueue_runnable t.pm ~thread:receiver;
           Syscall.Runit
-        | [] ->
+        | None ->
           t.devices <-
             Imap.add device { info with irq_pending = info.irq_pending + 1 } t.devices;
+          irq_backlog_add t ~ep 1;
           Syscall.Runit))
 
 let () = sweep_irqs_ref := sweep_irqs

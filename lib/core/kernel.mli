@@ -30,6 +30,10 @@ type t = {
   pm : Atmo_pm.Proc_mgr.t;
   iommu : Atmo_hw.Iommu.t;
   mutable devices : device_info Atmo_util.Imap.t;
+  mutable irq_backlog : int Atmo_util.Imap.t;
+      (** cached endpoint -> pending-interrupt total across all routed
+          devices; [recv] consults it instead of folding over every
+          device ([Σ irq_pending] per routed endpoint, absent = 0) *)
 }
 
 type boot_params = {
@@ -105,6 +109,27 @@ val irq_fire : t -> device:int -> Atmo_spec.Syscall.ret
     one-scalar message to a receiver waiting on the routed endpoint, or
     counted pending (picked up by the next receive); spurious interrupts
     (unassigned or unrouted device) are dropped. *)
+
+(** {2 IPC fastpath} *)
+
+val set_fastpath : bool -> unit
+(** Enable/disable the direct-switch IPC fastpath (process-global; on by
+    default).  With the fastpath off every rendezvous goes through the
+    generic scheduler machinery; the resulting kernel state is
+    bit-identical either way — the oracle test in [test_fastpath]
+    replays random workloads under both settings and compares. *)
+
+val fastpath_enabled : unit -> bool
+
+val set_fastpath_skip_plant : bool -> unit
+(** Sanitizer plant ([atmo san --plant fastpath-skip]): make the
+    fastpath forget to requeue the preempted caller, leaving a Runnable
+    thread queued nowhere.  Only the scheduler-coherence lint should
+    ever see this on. *)
+
+val irq_backlog_of : t -> ep:int -> int
+(** Pending interrupts routed to [ep] (the cached total; invariants
+    recompute it from the device table). *)
 
 (** {2 Helpers for harnesses and applications} *)
 

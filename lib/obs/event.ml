@@ -20,6 +20,7 @@ type t =
   | Tlb_hit of { vaddr : int }
   | Tlb_miss of { vaddr : int }
   | Tlb_flush of { asid : int; entries : int }
+  | Ep_fastpath of { ep : int; sender : int; receiver : int }
 
 type record = { ts : int; cpu : int; ev : t }
 
@@ -57,6 +58,7 @@ let kind = function
   | Tlb_hit _ -> "tlb_hit"
   | Tlb_miss _ -> "tlb_miss"
   | Tlb_flush _ -> "tlb_flush"
+  | Ep_fastpath _ -> "ep_fastpath"
 
 (* ------------------------------------------------------------------ *)
 (* Binary encoding                                                     *)
@@ -115,6 +117,7 @@ let fields = function
   | Tlb_hit { vaddr } -> (15, 0, vaddr, 0, 0)
   | Tlb_miss { vaddr } -> (16, 0, vaddr, 0, 0)
   | Tlb_flush { asid; entries } -> (17, 0, asid, entries, 0)
+  | Ep_fastpath { ep; sender; receiver } -> (18, 0, ep, sender, receiver)
 
 let encode ~ts ~cpu ev =
   let tag, aux, a, b, c = fields ev in
@@ -158,6 +161,7 @@ let decode buf =
       | 15 -> Some (Tlb_hit { vaddr = a })
       | 16 -> Some (Tlb_miss { vaddr = a })
       | 17 -> Some (Tlb_flush { asid = a; entries = b })
+      | 18 -> Some (Ep_fastpath { ep = a; sender = b; receiver = c })
       | _ -> None
     in
     Option.map (fun ev -> { ts; cpu; ev }) ev
@@ -199,6 +203,8 @@ let pp ppf = function
   | Tlb_miss { vaddr } -> Format.fprintf ppf "tlb_miss       vaddr=0x%x" vaddr
   | Tlb_flush { asid; entries } ->
     Format.fprintf ppf "tlb_flush      asid=0x%x entries=%d" asid entries
+  | Ep_fastpath { ep; sender; receiver } ->
+    Format.fprintf ppf "ep_fastpath    ep=0x%x sender=0x%x receiver=0x%x" ep sender receiver
 
 let pp_record ppf r =
   Format.fprintf ppf "[cpu%d @%10d] %a" r.cpu r.ts pp r.ev

@@ -39,6 +39,10 @@ type t =
       (** The TLB missed and a full walk refilled it. *)
   | Tlb_flush of { asid : int; entries : int }
       (** An address space's cache was flushed ([entries] dropped). *)
+  | Ep_fastpath of { ep : int; sender : int; receiver : int }
+      (** A rendezvous took the IPC fastpath: the message was delivered
+          and the CPU switched directly to the partner, bypassing the
+          generic scheduler machinery. *)
 
 type record = { ts : int; cpu : int; ev : t }
 (** A decoded flight-recorder slot: cycle timestamp, recording CPU, event. *)

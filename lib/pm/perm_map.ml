@@ -5,10 +5,14 @@ exception Permission_violation of string
 type 'a t = {
   name : string;
   mutable map : 'a Imap.t;
-  mutable accesses : int;
+  borrows : Atmo_obs.Metrics.Counter.t;
+      (* borrows/updates, under [pm/borrows/<name>] in the obs registry
+         so benches and the CLI see them next to every other metric *)
 }
 
-let create ~name = { name; map = Imap.empty; accesses = 0 }
+let create ~name =
+  { name; map = Imap.empty; borrows = Atmo_obs.Metrics.counter ("pm/borrows/" ^ name) }
+
 let name t = t.name
 
 (* Mutation hook for the sanitizer's lock-discipline checker: one bool
@@ -43,17 +47,17 @@ let consume t ~ptr =
     v
 
 let borrow t ~ptr =
-  t.accesses <- t.accesses + 1;
+  Atmo_obs.Metrics.Counter.incr t.borrows;
   match Imap.find_opt ptr t.map with
   | None -> violation t "borrow of absent permission 0x%x" ptr
   | Some v -> v
 
 let borrow_opt t ~ptr =
-  t.accesses <- t.accesses + 1;
+  Atmo_obs.Metrics.Counter.incr t.borrows;
   Imap.find_opt ptr t.map
 
 let update t ~ptr f =
-  t.accesses <- t.accesses + 1;
+  Atmo_obs.Metrics.Counter.incr t.borrows;
   if !hook_armed then !hook ~name:t.name ~op:"update" ~ptr;
   match Imap.find_opt ptr t.map with
   | None -> violation t "update of absent permission 0x%x" ptr
@@ -66,4 +70,4 @@ let iter f t = Imap.iter f t.map
 let fold f t acc = Imap.fold f t.map acc
 let bindings t = Imap.bindings t.map
 let for_all f t = Imap.for_all f t.map
-let accesses t = t.accesses
+let accesses t = Atmo_obs.Metrics.Counter.value t.borrows

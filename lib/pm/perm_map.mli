@@ -56,5 +56,7 @@ val set_mutation_hook :
     reads and are not reported. *)
 
 val accesses : 'a t -> int
-(** Number of borrows/updates since creation; lets benches report how
-    permission-mediated the code paths are. *)
+(** Deprecated shim: the borrow/update count now lives in the obs
+    metrics registry as the counter [pm/borrows/<name>] (zeroed by
+    [Atmo_obs.Metrics.reset] like every other metric); this reads the
+    same counter.  Prefer the registry. *)

@@ -167,6 +167,14 @@ let count_in_list x l = List.length (List.filter (fun y -> y = x) l)
 
 let scheduler_wf (pm : Proc_mgr.t) =
   let* () =
+    (* the deque itself must be structurally sound before its contents
+       mean anything (forward/backward traversals agree, no cycles) *)
+    match Sched_queue.wf pm.Proc_mgr.run_queue with
+    | Ok () -> Ok ()
+    | Error msg -> err "run queue deque not wf: %s" msg
+  in
+  let queue = Proc_mgr.run_queue_list pm in
+  let* () =
     (* the run queue contains only live, runnable threads, each once *)
     List.fold_left
       (fun acc th ->
@@ -176,16 +184,16 @@ let scheduler_wf (pm : Proc_mgr.t) =
         | Some thread ->
           if thread.Thread.state <> Thread.Runnable then
             err "run queue contains non-runnable thread 0x%x" th
-          else if count_in_list th pm.Proc_mgr.run_queue <> 1 then
+          else if count_in_list th queue <> 1 then
             err "thread 0x%x queued more than once" th
           else Ok ())
-      (Ok ()) pm.Proc_mgr.run_queue
+      (Ok ()) queue
   in
   fold_ok
     (fun ptr (th : Thread.t) ->
       match th.Thread.state with
       | Thread.Runnable ->
-        if List.mem ptr pm.Proc_mgr.run_queue then Ok ()
+        if Sched_queue.mem pm.Proc_mgr.run_queue ptr then Ok ()
         else err "runnable thread 0x%x missing from run queue" ptr
       | Thread.Running ->
         if pm.Proc_mgr.current = Some ptr then Ok ()

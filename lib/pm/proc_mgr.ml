@@ -12,7 +12,7 @@ type t = {
   thrd_perms : Thread.t Perm_map.t;
   edpt_perms : Endpoint.t Perm_map.t;
   external_used : (int, int) Hashtbl.t;
-  mutable run_queue : int list;
+  run_queue : Sched_queue.t;
   mutable current : int option;
 }
 
@@ -39,7 +39,7 @@ let create mem alloc ~root_quota ~cpus =
           thrd_perms = Perm_map.create ~name:"thrd_perms";
           edpt_perms = Perm_map.create ~name:"edpt_perms";
           external_used = Hashtbl.create 8;
-          run_queue = [];
+          run_queue = Sched_queue.create mem;
           current = None;
         }
 
@@ -195,7 +195,7 @@ let new_process t ~container ~parent =
 let enqueue_runnable t ~thread =
   Perm_map.update t.thrd_perms ~ptr:thread (fun th ->
       { th with Thread.state = Thread.Runnable });
-  t.run_queue <- t.run_queue @ [ thread ]
+  Sched_queue.push_back t.run_queue thread
 
 let new_thread t ~proc =
   match Perm_map.borrow_opt t.proc_perms ~ptr:proc with
@@ -210,7 +210,7 @@ let new_thread t ~proc =
           match Static_list.push p.Process.threads page with
           | Error `Full -> assert false
           | Ok threads -> { p with Process.threads = threads });
-      t.run_queue <- t.run_queue @ [ page ];
+      Sched_queue.push_back t.run_queue page;
       Ok page
 
 (* ------------------------------------------------------------------ *)
@@ -277,12 +277,11 @@ let close_endpoint_slot t ~thread ~slot =
 (* Scheduler                                                           *)
 
 let dequeue_next t =
-  match t.run_queue with
-  | [] ->
+  match Sched_queue.pop_front t.run_queue with
+  | None ->
     t.current <- None;
     None
-  | th :: rest ->
-    t.run_queue <- rest;
+  | Some th ->
     Perm_map.update t.thrd_perms ~ptr:th (fun thread ->
         { thread with Thread.state = Thread.Running });
     t.current <- Some th;
@@ -295,11 +294,13 @@ let preempt_current t =
     t.current <- None;
     enqueue_runnable t ~thread:th
 
+let run_queue_list t = Sched_queue.to_list t.run_queue
+
 (* ------------------------------------------------------------------ *)
 (* Termination                                                         *)
 
 let remove_from_run_queue t ~thread =
-  t.run_queue <- List.filter (fun x -> x <> thread) t.run_queue;
+  Sched_queue.remove_if_queued t.run_queue thread;
   if t.current = Some thread then t.current <- None
 
 let remove_from_endpoint_queues t ~thread ~endpoint =

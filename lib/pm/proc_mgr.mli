@@ -23,7 +23,8 @@ type t = {
   edpt_perms : Endpoint.t Perm_map.t;
   external_used : (int, int) Hashtbl.t;
       (** container -> frames charged by kernel-level subsystems *)
-  mutable run_queue : int list;  (** runnable threads, FIFO order *)
+  run_queue : Sched_queue.t;
+      (** runnable threads, FIFO order; intrusive O(1) deque *)
   mutable current : int option;  (** thread on the (modelled) CPU *)
 }
 
@@ -103,6 +104,10 @@ val dequeue_next : t -> int option
 
 val preempt_current : t -> unit
 (** Move the running thread (if any) to the back of the run queue. *)
+
+val run_queue_list : t -> int list
+(** The run queue as a front-to-back list — the abstraction function
+    for specs, invariants and tests (allocates; not for hot paths). *)
 
 (** {2 Views} *)
 

@@ -29,6 +29,8 @@ let pop_front t =
   | [] -> None
   | x :: rest -> Some (x, { t with items = rest })
 
+let peek_front t = match t.items with [] -> None | x :: _ -> Some x
+
 let mem t ~eq x = List.exists (eq x) t.items
 let to_list t = t.items
 let iter f t = List.iter f t.items

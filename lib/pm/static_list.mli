@@ -20,6 +20,11 @@ val remove : 'a t -> eq:('a -> 'a -> bool) -> 'a -> ('a t, [ `Absent ]) result
 (** Remove the first element equal to the argument. *)
 
 val pop_front : 'a t -> ('a * 'a t) option
+
+val peek_front : 'a t -> 'a option
+(** Head without removal, in O(1) and without materialising the whole
+    list — the IPC paths peek wait queues on every call. *)
+
 val mem : 'a t -> eq:('a -> 'a -> bool) -> 'a -> bool
 val to_list : 'a t -> 'a list
 val iter : ('a -> unit) -> 'a t -> unit

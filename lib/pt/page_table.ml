@@ -46,6 +46,10 @@ type t = {
   mutable ghost4k : entry Imap.t;
   mutable ghost2m : entry Imap.t;
   mutable ghost1g : entry Imap.t;
+  (* The unified view of the three ghost maps, maintained incrementally
+     so [address_space] is O(1).  Sound because the per-size maps are
+     disjoint by virtual base (a base can carry at most one mapping). *)
+  mutable space : entry Imap.t;
   mutable step_hook : (leaf:bool -> unit) option;
 }
 
@@ -80,6 +84,7 @@ let create mem alloc =
         ghost4k = Imap.empty;
         ghost2m = Imap.empty;
         ghost1g = Imap.empty;
+        space = Imap.empty;
         step_hook = None;
       }
 
@@ -130,7 +135,9 @@ let map_4k t ~vaddr ~frame ~perm =
     (* Defensive invlpg: the slot was non-present, but a negative result
        must never linger if caching policy ever changes. *)
     Tlb.invlpg t.mem ~cr3:t.cr3 ~vaddr;
-    t.ghost4k <- Imap.add vaddr { frame; size = Page_state.S4k; perm } t.ghost4k;
+    let e = { frame; size = Page_state.S4k; perm } in
+    t.ghost4k <- Imap.add vaddr e t.ghost4k;
+    t.space <- Imap.add vaddr e t.space;
     Ok ()
   end
 
@@ -142,7 +149,9 @@ let map_2m t ~vaddr ~frame ~perm =
   let* () = leaf_slot_free t ~table:l2 ~index in
   write_entry t ~table:l2 ~index (Pte.make ~addr:frame ~perm ~huge:true) ~leaf:true;
   Tlb.shoot_range t.mem ~cr3:t.cr3 ~vaddr ~bytes:Phys_mem.page_size_2m;
-  t.ghost2m <- Imap.add vaddr { frame; size = Page_state.S2m; perm } t.ghost2m;
+  let e = { frame; size = Page_state.S2m; perm } in
+  t.ghost2m <- Imap.add vaddr e t.ghost2m;
+  t.space <- Imap.add vaddr e t.space;
   Ok ()
 
 let map_1g t ~vaddr ~frame ~perm =
@@ -152,7 +161,9 @@ let map_1g t ~vaddr ~frame ~perm =
   let* () = leaf_slot_free t ~table:l3 ~index in
   write_entry t ~table:l3 ~index (Pte.make ~addr:frame ~perm ~huge:true) ~leaf:true;
   Tlb.shoot_range t.mem ~cr3:t.cr3 ~vaddr ~bytes:Phys_mem.page_size_1g;
-  t.ghost1g <- Imap.add vaddr { frame; size = Page_state.S1g; perm } t.ghost1g;
+  let e = { frame; size = Page_state.S1g; perm } in
+  t.ghost1g <- Imap.add vaddr e t.ghost1g;
+  t.space <- Imap.add vaddr e t.space;
   Ok ()
 
 (* Locate the leaf slot of an existing mapping whose virtual base is
@@ -207,6 +218,7 @@ let unmap t ~vaddr =
    | Page_state.S4k -> t.ghost4k <- Imap.remove vaddr t.ghost4k
    | Page_state.S2m -> t.ghost2m <- Imap.remove vaddr t.ghost2m
    | Page_state.S1g -> t.ghost1g <- Imap.remove vaddr t.ghost1g);
+  t.space <- Imap.remove vaddr t.space;
   Ok entry
 
 let update_perm t ~vaddr ~perm =
@@ -221,6 +233,7 @@ let update_perm t ~vaddr ~perm =
    | Page_state.S4k -> t.ghost4k <- Imap.add vaddr entry' t.ghost4k
    | Page_state.S2m -> t.ghost2m <- Imap.add vaddr entry' t.ghost2m
    | Page_state.S1g -> t.ghost1g <- Imap.add vaddr entry' t.ghost1g);
+  t.space <- Imap.add vaddr entry' t.space;
   Ok ()
 
 let resolve t ~vaddr = Mmu.resolve t.mem ~cr3:t.cr3 ~vaddr
@@ -230,7 +243,11 @@ let mapping_4k t = t.ghost4k
 let mapping_2m t = t.ghost2m
 let mapping_1g t = t.ghost1g
 
-let address_space t =
+let address_space t = t.space
+
+(* The recomputed union the incremental cache must always equal; kept
+   for the refinement check ([Pt_refine.ghost_wf]) and tests. *)
+let address_space_recomputed t =
   Imap.union (fun _ a _ -> Some a) t.ghost4k
     (Imap.union (fun _ a _ -> Some a) t.ghost2m t.ghost1g)
 
@@ -250,6 +267,7 @@ let destroy t =
   t.ghost4k <- Imap.empty;
   t.ghost2m <- Imap.empty;
   t.ghost1g <- Imap.empty;
+  t.space <- Imap.empty;
   still_mapped
 
 (* Which intermediate-table positions does a mapping of [size] at [va]

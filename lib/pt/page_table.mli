@@ -90,8 +90,17 @@ val mapping_2m : t -> entry Atmo_util.Imap.t
 val mapping_1g : t -> entry Atmo_util.Imap.t
 
 val address_space : t -> entry Atmo_util.Imap.t
-(** Union of the three ghost maps — the process's abstract address
-    space as used by the kernel specification. *)
+(** The process's abstract address space as used by the kernel
+    specification: the union of the three ghost maps, maintained
+    incrementally on map/unmap/update_perm so this accessor is O(1).
+    It sits on the IPC grant-validation path, [sys_mmap]'s overlap
+    check, and the invariant suites, all of which used to pay a
+    per-call union. *)
+
+val address_space_recomputed : t -> entry Atmo_util.Imap.t
+(** The union of the three per-size ghost maps recomputed from scratch;
+    [address_space] must always equal this (checked by
+    [Pt_refine.ghost_wf]). *)
 
 val mapped_frames : t -> Atmo_util.Iset.t
 (** Physical base addresses of all mapped blocks. *)

@@ -160,6 +160,16 @@ let ghost_wf pt =
   let* () = check_map "mapping_4k" (Page_table.mapping_4k pt) Page_state.S4k in
   let* () = check_map "mapping_2m" (Page_table.mapping_2m pt) Page_state.S2m in
   let* () = check_map "mapping_1g" (Page_table.mapping_1g pt) Page_state.S1g in
+  (* The incrementally-maintained unified view must equal the union of
+     the per-size ghost maps it caches. *)
+  let* () =
+    if
+      Imap.equal Page_table.equal_entry
+        (Page_table.address_space pt)
+        (Page_table.address_space_recomputed pt)
+    then Ok ()
+    else err "ghost_wf: unified address-space cache diverged from the ghost maps"
+  in
   (* Pairwise disjointness of virtual ranges across all sizes: sort by
      base and check adjacent ranges do not overlap. *)
   let ranges =

@@ -17,6 +17,7 @@ type rule =
   | Pt_alias
   | Pt_bad_leaf_state
   | Tlb_stale
+  | Sched_incoherent
 
 let rule_name = function
   | Use_after_free -> "use-after-free"
@@ -37,6 +38,7 @@ let rule_name = function
   | Pt_alias -> "pt-alias"
   | Pt_bad_leaf_state -> "pt-bad-leaf-state"
   | Tlb_stale -> "tlb-stale"
+  | Sched_incoherent -> "sched-incoherent"
 
 type t = {
   rule : rule;

@@ -25,6 +25,10 @@ type rule =
   | Pt_alias  (** frame mapped more times than its reference count *)
   | Pt_bad_leaf_state  (** leaf frame not in the allocator's [Mapped] state *)
   | Tlb_stale  (** cached TLB/IOTLB translation disagrees with a cold walk *)
+  | Sched_incoherent
+      (** scheduler state broken: a Runnable thread queued nowhere, a
+          queued thread not Runnable/alive, or current/Running disagree
+          (the IPC fastpath's obligations) *)
 
 val rule_name : rule -> string
 

@@ -1,0 +1,69 @@
+module Proc_mgr = Atmo_pm.Proc_mgr
+module Sched_queue = Atmo_pm.Sched_queue
+module Perm_map = Atmo_pm.Perm_map
+module Thread = Atmo_pm.Thread
+module Kernel = Atmo_core.Kernel
+
+(* Scheduler coherence: the run queue, the current thread and every
+   thread's scheduling state must tell one consistent story.  The IPC
+   fastpath writes this state directly instead of going through the
+   generic enqueue/preempt/dequeue machinery, so a fastpath bug shows up
+   exactly here — most tellingly as a Runnable thread queued nowhere
+   (the [--plant fastpath-skip] scenario). *)
+
+let site = "sched_lint"
+
+let check (k : Kernel.t) =
+  let pm = k.Kernel.pm in
+  let q = pm.Proc_mgr.run_queue in
+  (match Sched_queue.wf q with
+   | Ok () -> ()
+   | Error msg ->
+     Report.record Report.Sched_incoherent ~site ~page:(-1)
+       ~detail:("run-queue deque not well-formed: " ^ msg));
+  Sched_queue.iter q (fun th ->
+      match Perm_map.borrow_opt pm.Proc_mgr.thrd_perms ~ptr:th with
+      | None ->
+        Report.record Report.Sched_incoherent ~site ~page:th
+          ~detail:"queued thread is not alive"
+      | Some t ->
+        if not (Thread.equal_sched_state t.Thread.state Thread.Runnable) then
+          Report.record Report.Sched_incoherent ~site ~page:th
+            ~detail:"queued thread is not Runnable");
+  (match pm.Proc_mgr.current with
+   | None -> ()
+   | Some cur ->
+     (match Perm_map.borrow_opt pm.Proc_mgr.thrd_perms ~ptr:cur with
+      | None ->
+        Report.record Report.Sched_incoherent ~site ~page:cur
+          ~detail:"current thread is not alive"
+      | Some t ->
+        if not (Thread.equal_sched_state t.Thread.state Thread.Running) then
+          Report.record Report.Sched_incoherent ~site ~page:cur
+            ~detail:"current thread is not Running");
+     if Sched_queue.mem q cur then
+       Report.record Report.Sched_incoherent ~site ~page:cur
+         ~detail:"current thread still sits in the run queue");
+  Perm_map.iter
+    (fun ptr (t : Thread.t) ->
+      match t.Thread.state with
+      | Thread.Runnable ->
+        if not (Sched_queue.mem q ptr) then
+          Report.record Report.Sched_incoherent ~site ~page:ptr
+            ~detail:
+              "Runnable thread is queued nowhere (a fastpath that forgets to \
+               requeue the preempted caller strands it here)"
+      | Thread.Running ->
+        if pm.Proc_mgr.current <> Some ptr then
+          Report.record Report.Sched_incoherent ~site ~page:ptr
+            ~detail:"Running thread is not the current thread"
+      | Thread.Blocked_send _ | Thread.Blocked_recv _ ->
+        if Sched_queue.mem q ptr then
+          Report.record Report.Sched_incoherent ~site ~page:ptr
+            ~detail:"blocked thread still sits in the run queue")
+    pm.Proc_mgr.thrd_perms
+
+let lint k =
+  let before = Report.count () in
+  Memsan.suspend (fun () -> check k);
+  Report.count () - before

@@ -1,0 +1,14 @@
+(** Scheduler-coherence lint.
+
+    Cross-checks the run queue, [current] and every thread's scheduling
+    state: queued threads are alive and Runnable, Runnable threads are
+    queued somewhere, the current thread is Running and not queued, and
+    the underlying intrusive deque is structurally well-formed.  These
+    are exactly the obligations the IPC fastpath discharges by hand when
+    it bypasses the generic scheduler machinery, so this lint is the
+    sanitizer's oracle for fastpath bugs ([atmo san --plant
+    fastpath-skip] strands a Runnable thread outside the queue and must
+    be caught here as [Sched_incoherent]). *)
+
+val lint : Atmo_core.Kernel.t -> int
+(** Run all checks; returns the number of violations filed. *)

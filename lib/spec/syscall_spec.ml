@@ -58,6 +58,19 @@ let sched_after_detach (pre : A.t) ~caller ~requeue_caller =
     let q = List.filter (fun x -> x <> caller) pre.A.run_queue in
     ((if requeue_caller then pre.A.run_queue else q), pre.A.current, None)
 
+(* A rendezvous woke [partner]: it joins the run-queue tail and, when
+   the caller held the CPU, the caller is preempted behind it and the
+   head of the resulting queue takes the CPU — the partner whenever the
+   queue was empty, which is the direct switch the IPC fastpath
+   specialises.  Returns the expected (run_queue, current) and the
+   thread that took the CPU. *)
+let sched_after_rendezvous (pre : A.t) ~caller ~partner =
+  if pre.A.current = Some caller then
+    match pre.A.run_queue @ [ partner; caller ] with
+    | next :: rest -> (rest, Some next, Some next)
+    | [] -> assert false
+  else (pre.A.run_queue @ [ partner ], pre.A.current, None)
+
 (* ------------------------------------------------------------------ *)
 (* Clause machinery                                                    *)
 
@@ -509,6 +522,14 @@ let spec_send ~(pre : A.t) ~(post : A.t) ~thread ~slot ~(msg : Message.t)
                   | None -> Iset.singleton ep)
                | None -> Iset.singleton ep
              in
+             let q, cur, running =
+               sched_after_rendezvous pre ~caller:thread ~partner:receiver
+             in
+             let touched_threads =
+               Iset.of_list
+                 (thread :: receiver
+                  :: (match running with Some w -> [ w ] | None -> []))
+             in
              c "send/receiver_dequeued"
                (match Imap.find_opt ep post.A.endpoints with
                 | Some e' ->
@@ -519,19 +540,33 @@ let spec_send ~(pre : A.t) ~(post : A.t) ~thread ~slot ~(msg : Message.t)
              @& c "send/receiver_woken"
                   (match Imap.find_opt receiver post.A.threads with
                    | Some r ->
-                     Thread.equal_sched_state r.A.at_state Thread.Runnable
+                     Thread.equal_sched_state r.A.at_state
+                       (if cur = Some receiver then Thread.Running else Thread.Runnable)
                      && (match r.A.at_msg with Some m -> eq_msg m msg | None -> false)
                    | None -> false)
-             @& c "send/receiver_enqueued" (post.A.run_queue = pre.A.run_queue @ [ receiver ])
-             @& c "send/sender_unchanged"
+             @& c "send/sched_evolution" (post.A.run_queue = q && post.A.current = cur)
+             @& c "send/next_running"
+                  (match running with
+                   | None -> true
+                   | Some w when w = receiver -> true
+                   | Some w ->
+                     (match Imap.find_opt w post.A.threads with
+                      | Some wt -> Thread.equal_sched_state wt.A.at_state Thread.Running
+                      | None -> false))
+             @& c "send/sender_evolution"
                   (match Imap.find_opt thread post.A.threads with
-                   | Some s -> A.equal_athread s pre_th
+                   | Some s ->
+                     A.equal_athread s
+                       { pre_th with
+                         A.at_state =
+                           (if pre.A.current = Some thread then Thread.Runnable
+                            else pre_th.A.at_state);
+                       }
                    | None -> false)
              @& grant_clauses ~pre ~post ~sender:thread ~receiver ~msg
              @& c "send/threads_frame"
-                  (A.threads_unchanged_except pre post (Iset.of_list [ thread; receiver ]))
+                  (A.threads_unchanged_except pre post touched_threads)
              @& c "send/endpoints_frame" (A.endpoints_unchanged_except pre post touched_edpts)
-             @& c "send/current_unchanged" (pre.A.current = post.A.current)
              @& c "send/devices_unchanged" (A.devices_unchanged_except pre post Iset.empty))
         | Syscall.Rblocked ->
           let q, cur, woken = sched_after_detach pre ~caller:thread ~requeue_caller:false in
@@ -620,6 +655,14 @@ let spec_recv ~(pre : A.t) ~(post : A.t) ~thread ~slot (ret : Syscall.ret) : ck 
                   | None -> Iset.singleton ep)
                | None -> Iset.singleton ep
              in
+             let q, cur, running =
+               sched_after_rendezvous pre ~caller:thread ~partner:sender
+             in
+             let touched_threads =
+               Iset.of_list
+                 (thread :: sender
+                  :: (match running with Some w -> [ w ] | None -> []))
+             in
              c "recv/msg_is_senders"
                (match s_pre.A.at_msg with Some m -> eq_msg m msg | None -> false)
              @& c "recv/sender_dequeued"
@@ -632,21 +675,31 @@ let spec_recv ~(pre : A.t) ~(post : A.t) ~thread ~slot (ret : Syscall.ret) : ck 
              @& c "recv/sender_woken"
                   (match Imap.find_opt sender post.A.threads with
                    | Some s ->
-                     Thread.equal_sched_state s.A.at_state Thread.Runnable
+                     Thread.equal_sched_state s.A.at_state
+                       (if cur = Some sender then Thread.Running else Thread.Runnable)
                      && s.A.at_msg = None
                    | None -> false)
-             @& c "recv/sender_enqueued" (post.A.run_queue = pre.A.run_queue @ [ sender ])
+             @& c "recv/sched_evolution" (post.A.run_queue = q && post.A.current = cur)
+             @& c "recv/next_running"
+                  (match running with
+                   | None -> true
+                   | Some w when w = sender -> true
+                   | Some w ->
+                     (match Imap.find_opt w post.A.threads with
+                      | Some wt -> Thread.equal_sched_state wt.A.at_state Thread.Running
+                      | None -> false))
              @& c "recv/caller_carries_msg"
                   (match Imap.find_opt thread post.A.threads with
                    | Some r ->
-                     Thread.equal_sched_state r.A.at_state pre_th.A.at_state
+                     Thread.equal_sched_state r.A.at_state
+                       (if pre.A.current = Some thread then Thread.Runnable
+                        else pre_th.A.at_state)
                      && (match r.A.at_msg with Some m -> eq_msg m msg | None -> false)
                    | None -> false)
              @& grant_clauses ~pre ~post ~sender ~receiver:thread ~msg
              @& c "recv/threads_frame"
-                  (A.threads_unchanged_except pre post (Iset.of_list [ thread; sender ]))
+                  (A.threads_unchanged_except pre post touched_threads)
              @& c "recv/endpoints_frame" (A.endpoints_unchanged_except pre post touched_edpts)
-             @& c "recv/current_unchanged" (pre.A.current = post.A.current)
              @& c "recv/devices_unchanged" (A.devices_unchanged_except pre post Iset.empty))
         | Syscall.Rblocked ->
           let q, cur, woken = sched_after_detach pre ~caller:thread ~requeue_caller:false in

@@ -143,7 +143,7 @@ let test_lifecycle_syscalls () =
   let p = ptr "process" (step k ~thread:init Syscall.New_process) in
   ignore p;
   let t2 = ptr "thread" (step k ~thread:init Syscall.New_thread) in
-  checkb "t2 queued" true (List.mem t2 k.Kernel.pm.Proc_mgr.run_queue);
+  checkb "t2 queued" true (List.mem t2 (Proc_mgr.run_queue_list k.Kernel.pm));
   let ep = ptr "endpoint" (step k ~thread:init (Syscall.New_endpoint { slot = 0 })) in
   ignore ep;
   expect_wf k;
@@ -173,9 +173,13 @@ let test_ipc_rendezvous () =
   (match step k ~thread:t2 (Syscall.Recv { slot = 1 }) with
    | Syscall.Rmsg m -> Alcotest.(check (list int)) "payload" [ 1; 2; 3 ] m.Message.scalars
    | r -> Alcotest.failf "recv: %a" Syscall.pp_ret r);
-  (* sender woke up *)
+  (* sender woke up and took the CPU (direct switch), the receiver was
+     preempted to the run queue *)
   (match Perm_map.borrow k.Kernel.pm.Proc_mgr.thrd_perms ~ptr:init with
-   | th -> checkb "sender runnable" true (th.Thread.state = Thread.Runnable));
+   | th -> checkb "sender running" true (th.Thread.state = Thread.Running));
+  checkb "sender current" true (k.Kernel.pm.Proc_mgr.current = Some init);
+  checkb "receiver requeued" true
+    (Proc_mgr.run_queue_list k.Kernel.pm = [ t2 ]);
   expect_wf k
 
 let test_ipc_page_grant () =

@@ -207,7 +207,7 @@ let test_pm_mutation_thread_owner () =
 
 let test_pm_mutation_runqueue () =
   mutate_and_expect "scheduler"
-    (fun k -> k.Kernel.pm.Proc_mgr.run_queue <- 0xbad000 :: k.Kernel.pm.Proc_mgr.run_queue)
+    (fun k -> Atmo_pm.Sched_queue.push_front k.Kernel.pm.Proc_mgr.run_queue 0xbad000)
     Pm_invariants.scheduler_wf
 
 let test_pm_mutation_refcount () =
@@ -371,6 +371,54 @@ let test_san_stale_tlb () =
       | None -> Alcotest.fail "stale TLB entry not detected"
       | Some _ -> ())
 
+let test_san_fastpath_skip () =
+  (* boot a plain two-thread kernel and park the second thread in Recv:
+     current sender, parked receiver, empty run queue — the exact
+     fastpath precondition.  Then plant the fastpath bug that forgets to
+     requeue the preempted sender: both the structural invariant and the
+     scheduler lint must catch the stranded Runnable thread. *)
+  let k, init =
+    match Kernel.boot Kernel.default_boot with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "boot: %a" Atmo_util.Errno.pp e
+  in
+  let t2 =
+    match Kernel.step k ~thread:init Syscall.New_thread with
+    | Syscall.Rptr t -> t
+    | r -> Alcotest.failf "new_thread: %a" Syscall.pp_ret r
+  in
+  (match Kernel.step k ~thread:init (Syscall.New_endpoint { slot = 0 }) with
+   | Syscall.Rptr _ -> ()
+   | r -> Alcotest.failf "new_endpoint: %a" Syscall.pp_ret r);
+  let ep =
+    Option.get (Thread.slot (Perm_map.borrow k.Kernel.pm.Proc_mgr.thrd_perms ~ptr:init) 0)
+  in
+  Perm_map.update k.Kernel.pm.Proc_mgr.thrd_perms ~ptr:t2 (fun th ->
+      Thread.set_slot th 0 (Some ep));
+  Perm_map.update k.Kernel.pm.Proc_mgr.edpt_perms ~ptr:ep (fun e ->
+      { e with Endpoint.refcount = e.Endpoint.refcount + 1 });
+  (match Kernel.step k ~thread:t2 (Syscall.Recv { slot = 0 }) with
+   | Syscall.Rblocked -> ()
+   | r -> Alcotest.failf "recv should block: %a" Syscall.pp_ret r);
+  with_san (fun () ->
+      San_runtime.attach k;
+      checkb "clean lint before plant" true (Atmo_san.Sched_lint.lint k = 0);
+      Kernel.set_fastpath_skip_plant true;
+      Fun.protect
+        ~finally:(fun () -> Kernel.set_fastpath_skip_plant false)
+        (fun () ->
+          match
+            Kernel.step k ~thread:init
+              (Syscall.Send { slot = 0; msg = Atmo_pm.Message.scalars_only [ 1 ] })
+          with
+          | Syscall.Runit -> ()
+          | r -> Alcotest.failf "send: %a" Syscall.pp_ret r);
+      expect_fires "scheduler_wf" (Pm_invariants.all k.Kernel.pm);
+      checkb "lint fires" true (Atmo_san.Sched_lint.lint k > 0);
+      match san_find San_report.Sched_incoherent with
+      | None -> Alcotest.fail "fastpath skip not detected"
+      | Some _ -> ())
+
 (* ------------------------------------------------------------------ *)
 (* Spec mutations: a wrong return value must violate the spec          *)
 
@@ -453,6 +501,7 @@ let () =
           Alcotest.test_case "unlocked mutation" `Quick test_san_unlocked_mutation;
           Alcotest.test_case "malformed pte" `Quick test_san_malformed_pte;
           Alcotest.test_case "stale tlb" `Quick test_san_stale_tlb;
+          Alcotest.test_case "fastpath skip" `Quick test_san_fastpath_skip;
         ] );
       ( "spec",
         [

@@ -154,7 +154,7 @@ let test_process_and_thread () =
   let c = Perm_map.borrow pm.Proc_mgr.cntr_perms ~ptr:root in
   (* 1 (container) + 1 (proc) + 1 (pt root) + 1 (thread) *)
   checki "used" 4 c.Container.used;
-  checkb "thread runnable" true (pm.Proc_mgr.run_queue = [ th ]);
+  checkb "thread runnable" true (Proc_mgr.run_queue_list pm = [ th ]);
   expect_wf pm
 
 let test_process_tree () =

@@ -64,7 +64,7 @@ let test_scripted_ipc_trace () =
       (init, Syscall.New_endpoint { slot = 0 });
       (init, Syscall.New_thread);
     ];
-  let t2 = List.hd k.Kernel.pm.Atmo_pm.Proc_mgr.run_queue in
+  let t2 = List.hd (Atmo_pm.Proc_mgr.run_queue_list k.Kernel.pm) in
   (* t2 has no endpoint yet, so its recv must fail cleanly *)
   run_ok k [ (t2, Syscall.Recv { slot = 0 }) ];
   (* init blocks sending; t2 cannot receive without a descriptor *)
