@@ -1,6 +1,7 @@
 # Convenience targets over dune; `make check` is the pre-commit gate.
 
-.PHONY: all build test test-san bench bench-tlb bench-ipc check trace obs san clean
+.PHONY: all build test test-san bench bench-tlb bench-ipc bench-span bench-all \
+	check trace obs profile top san clean
 
 all: build
 
@@ -29,18 +30,43 @@ bench-tlb:
 bench-ipc:
 	dune exec bench/main.exe -- ipc
 
+# Span layer over the kv-store demo workload: tracing overhead in host
+# time, cycle-model bit-identity, merged latency quantiles.  Writes
+# BENCH_span.json.
+bench-span:
+	dune exec bench/main.exe -- span
+
+# Every benchmark that writes a BENCH_*.json artifact, then the merge:
+# `bench report` folds them into BENCH_summary.json, reports deltas
+# >= 5% against the previous summary, and enforces the hard floors
+# (cycle identity, TLB load reduction, fastpath map-op reduction).
+bench-all:
+	dune exec bench/main.exe -- obs
+	dune exec bench/main.exe -- san
+	dune exec bench/main.exe -- tlb
+	dune exec bench/main.exe -- ipc
+	dune exec bench/main.exe -- span
+	dune exec bench/main.exe -- report
+
 # Pre-commit gate: build, tier-1 tests (plain and with the sanitizer
-# armed, so the TLB-coherence and scheduler lints run over every
-# suite), the fastpath on/off oracle, the headline IPC table, and the
-# sanitizer over the scripted workload (clean run must report zero
-# violations; the stale-TLB and fastpath-skip plants must be caught).
+# armed, so the TLB-coherence, scheduler and span-balance lints run
+# over every suite), the fastpath on/off oracle, the headline IPC
+# table, the sanitizer over the scripted workload (clean run must
+# report zero violations; the stale-TLB, fastpath-skip and span-leak
+# plants must be caught), the profiler's request-path reconstruction
+# over the kv-store demo, and the span bench + regression report
+# (bit-identity and performance floors over the BENCH_*.json set).
 check:
 	dune build && dune runtest && SAN=1 dune runtest --force \
 	&& dune exec test/test_fastpath.exe \
 	&& dune exec bench/main.exe -- table3 \
 	&& dune exec bin/atmo_cli.exe -- san \
 	&& dune exec bin/atmo_cli.exe -- san --plant stale-tlb \
-	&& dune exec bin/atmo_cli.exe -- san --plant fastpath-skip
+	&& dune exec bin/atmo_cli.exe -- san --plant fastpath-skip \
+	&& dune exec bin/atmo_cli.exe -- san --plant span-leak \
+	&& dune exec bin/atmo_cli.exe -- profile --requests 8 \
+	&& dune exec bench/main.exe -- span \
+	&& dune exec bench/main.exe -- report
 
 trace:
 	dune exec bin/atmo_cli.exe -- trace
@@ -48,7 +74,15 @@ trace:
 obs:
 	dune exec bench/main.exe -- obs
 
-# Full sanitizer demonstration: clean workload, then the five planted
+# Post-mortem profiler and cycle-accounting tables over the kv-store
+# demo workload.
+profile:
+	dune exec bin/atmo_cli.exe -- profile
+
+top:
+	dune exec bin/atmo_cli.exe -- top
+
+# Full sanitizer demonstration: clean workload, then the six planted
 # bugs, each of which must be detected with a typed report.
 san:
 	dune exec bin/atmo_cli.exe -- san
@@ -57,6 +91,7 @@ san:
 	dune exec bin/atmo_cli.exe -- san --plant bad-pte
 	dune exec bin/atmo_cli.exe -- san --plant stale-tlb
 	dune exec bin/atmo_cli.exe -- san --plant fastpath-skip
+	dune exec bin/atmo_cli.exe -- san --plant span-leak
 
 clean:
 	dune clean

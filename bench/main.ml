@@ -23,6 +23,15 @@ let cost = Cost.default
 let line fmt = Format.printf (fmt ^^ "@.")
 let section title = line "@.== %s ==@." title
 
+(* Machine-readable result files: every bench with an acceptance floor
+   writes BENCH_<name>.json; [report] merges them into
+   BENCH_summary.json and enforces the floors. *)
+module J = Atmo_util.Minijson
+
+let write_bench_json file obj =
+  J.to_file file (J.Obj obj);
+  line "  wrote %s" file
+
 (* ------------------------------------------------------------------ *)
 (* Table 1: proof effort across systems                                *)
 
@@ -572,13 +581,28 @@ let obs () =
     (Atmo_obs.Flight.total_dropped recorder);
   line "host-time overhead when enabled: %.1f%%"
     (100. *. (on_s -. off_s) /. Float.max 1e-9 off_s);
-  (match (off_cycles, on_cycles) with
-   | Some (w0, l0), Some (w1, l1) ->
-     line "cycle model (wall, lock-wait): off (%d, %d)  on (%d, %d)  identical: %b" w0 l0
-       w1 l1
-       (w0 = w1 && l0 = l1)
-   | _ -> line "cycle model: workload failed");
-  line "(tracing must never move simulated time: 'identical: true' is the contract)"
+  let identical =
+    match (off_cycles, on_cycles) with
+    | Some (w0, l0), Some (w1, l1) ->
+      line "cycle model (wall, lock-wait): off (%d, %d)  on (%d, %d)  identical: %b" w0 l0
+        w1 l1
+        (w0 = w1 && l0 = l1);
+      w0 = w1 && l0 = l1
+    | _ ->
+      line "cycle model: workload failed";
+      false
+  in
+  line "(tracing must never move simulated time: 'identical: true' is the contract)";
+  write_bench_json "BENCH_obs.json"
+    [
+      ("bench", J.Str "obs_overhead");
+      ("runs", J.Num (float_of_int reps));
+      ("disabled_ms", J.Num (off_s *. 1000.));
+      ("flight_ms", J.Num (on_s *. 1000.));
+      ("overhead_pct", J.Num (100. *. (on_s -. off_s) /. Float.max 1e-9 off_s));
+      ("events_dropped", J.Num (float_of_int (Atmo_obs.Flight.total_dropped recorder)));
+      ("cycle_identity", J.Bool identical);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Sanitizer overhead: atmo-san armed vs off                           *)
@@ -636,13 +660,29 @@ let san () =
     (on_s *. 1000.) reps checked violations;
   line "host-time overhead when armed: %.1f%%"
     (100. *. (on_s -. off_s) /. Float.max 1e-9 off_s);
-  (match (off_cycles, on_cycles) with
-   | Some (w0, l0), Some (w1, l1) ->
-     line "cycle model (wall, lock-wait): off (%d, %d)  on (%d, %d)  identical: %b" w0 l0
-       w1 l1
-       (w0 = w1 && l0 = l1)
-   | _ -> line "cycle model: workload failed");
-  line "(checking must never move simulated time, and a clean run must stay clean)"
+  let identical =
+    match (off_cycles, on_cycles) with
+    | Some (w0, l0), Some (w1, l1) ->
+      line "cycle model (wall, lock-wait): off (%d, %d)  on (%d, %d)  identical: %b" w0 l0
+        w1 l1
+        (w0 = w1 && l0 = l1);
+      w0 = w1 && l0 = l1
+    | _ ->
+      line "cycle model: workload failed";
+      false
+  in
+  line "(checking must never move simulated time, and a clean run must stay clean)";
+  write_bench_json "BENCH_san.json"
+    [
+      ("bench", J.Str "san_overhead");
+      ("runs", J.Num (float_of_int reps));
+      ("disarmed_ms", J.Num (off_s *. 1000.));
+      ("armed_ms", J.Num (on_s *. 1000.));
+      ("overhead_pct", J.Num (100. *. (on_s -. off_s) /. Float.max 1e-9 off_s));
+      ("accesses_checked", J.Num (float_of_int checked));
+      ("violations", J.Num (float_of_int violations));
+      ("cycle_identity", J.Bool identical);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Software TLB: walk-vs-hit cost, end-to-end on/off, bit-identity     *)
@@ -756,12 +796,17 @@ let tlb () =
   line "  TLB on:  %8.2f ms  %9d page-table loads  (%.1fx fewer)" (on_s *. 1000.)
     on_loads
     (float_of_int off_loads /. Float.max 1. (float_of_int on_loads));
-  (match (off_cycles, on_cycles) with
-   | Some (wa, la), Some (wb, lb) ->
-     line "  cycle model (wall, lock-wait): off (%d, %d)  on (%d, %d)  identical: %b" wa
-       la wb lb
-       (wa = wb && la = lb)
-   | _ -> line "  cycle model: workload failed");
+  let ipc_identical =
+    match (off_cycles, on_cycles) with
+    | Some (wa, la), Some (wb, lb) ->
+      line "  cycle model (wall, lock-wait): off (%d, %d)  on (%d, %d)  identical: %b" wa
+        la wb lb
+        (wa = wb && la = lb);
+      wa = wb && la = lb
+    | _ ->
+      line "  cycle model: workload failed";
+      false
+  in
   (* -- ixgbe forwarding with the IOTLB on vs off --------------------- *)
   let forward () =
     let frames = 2000 in
@@ -807,13 +852,18 @@ let tlb () =
   let fwd_off = forward () in
   Tlb.set_enabled true;
   let fwd_on = forward () in
-  (match (fwd_off, fwd_on) with
-   | Some (r0, f0, t0), Some (r1, f1, t1) ->
-     line "ixgbe forwarding through the IOMMU:";
-     line "  IOTLB off: %d/%d frames in %6.2f ms" r0 f0 (t0 *. 1000.);
-     line "  IOTLB on:  %d/%d frames in %6.2f ms  (delivery identical: %b)" r1 f1
-       (t1 *. 1000.) (r0 = r1)
-   | _ -> line "ixgbe forwarding failed");
+  let fwd_identical =
+    match (fwd_off, fwd_on) with
+    | Some (r0, f0, t0), Some (r1, f1, t1) ->
+      line "ixgbe forwarding through the IOMMU:";
+      line "  IOTLB off: %d/%d frames in %6.2f ms" r0 f0 (t0 *. 1000.);
+      line "  IOTLB on:  %d/%d frames in %6.2f ms  (delivery identical: %b)" r1 f1
+        (t1 *. 1000.) (r0 = r1);
+      r0 = r1
+    | _ ->
+      line "ixgbe forwarding failed";
+      false
+  in
   (* -- bit-identity: randomized replay, hot vs cold ------------------ *)
   let rng = Random.State.make [| 0x71B |] in
   let identical =
@@ -841,7 +891,18 @@ let tlb () =
         if !ok then 1 else 0)
   in
   line "bit-identity (randomized map/unmap replay, hot vs cold): %s"
-    (if identical = 1 then "identical" else "DIVERGED")
+    (if identical = 1 then "identical" else "DIVERGED");
+  write_bench_json "BENCH_tlb.json"
+    [
+      ("bench", J.Str "tlb");
+      ("warm_loads_off", J.Num (float_of_int loads_off));
+      ("warm_loads_on", J.Num (float_of_int loads_on));
+      ( "load_reduction",
+        J.Num (float_of_int loads_off /. Float.max 1. (float_of_int loads_on)) );
+      ("ipc_cycle_identity", J.Bool ipc_identical);
+      ("ixgbe_delivery_identity", J.Bool fwd_identical);
+      ("replay_identity", J.Bool (identical = 1));
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* IPC fastpath: ping-pong with the fastpath on vs off                 *)
@@ -991,6 +1052,187 @@ let ipc () =
   | _ -> line "ipc workload failed to boot"
 
 (* ------------------------------------------------------------------ *)
+(* Span layer: the kv-store demo traced vs untraced                    *)
+
+(* The request-path tracing of the span layer rides the same contract
+   as the raw tracepoints: with the sink disabled every span site is a
+   flag load, so the kv workload's virtual clock and per-request
+   latencies must be bit-identical with tracing on.  The latency
+   distribution is aggregated from per-shard histograms through
+   [Histogram.merge] — the same mechanism [report] uses. *)
+let span () =
+  section "Span layer: kv-store demo traced vs untraced (host time; model cycles)";
+  let module Kv = Atmo_workloads.Kv_demo in
+  let requests = 200 in
+  let reps = 10 in
+  let time_reps () =
+    let t0 = Unix.gettimeofday () in
+    let last = ref None in
+    for _ = 1 to reps do
+      last := Some (Kv.run ~requests ())
+    done;
+    (Unix.gettimeofday () -. t0, Option.get !last)
+  in
+  Atmo_obs.Sink.install Atmo_obs.Sink.Disabled;
+  Atmo_obs.Span.reset ();
+  let off_s, off = time_reps () in
+  Atmo_obs.Metrics.reset ();
+  Atmo_obs.Span.reset ();
+  let recorder =
+    Atmo_obs.Flight.create ~cpus:2 ~slots:8192 ~slot_size:Atmo_obs.Event.slot_bytes
+  in
+  Atmo_obs.Sink.install (Atmo_obs.Sink.Flight recorder);
+  let on_s, on = time_reps () in
+  let records = Atmo_obs.Sink.records () in
+  Atmo_obs.Sink.install Atmo_obs.Sink.Disabled;
+  Atmo_obs.Sink.set_clock (fun () -> 0);
+  Atmo_obs.Span.reset ();
+  let count p = List.length (List.filter p records) in
+  let spans =
+    count (fun (r : Atmo_obs.Event.record) ->
+        match r.Atmo_obs.Event.ev with Atmo_obs.Event.Span_begin _ -> true | _ -> false)
+  in
+  let edges =
+    count (fun (r : Atmo_obs.Event.record) ->
+        match r.Atmo_obs.Event.ev with Atmo_obs.Event.Causal _ -> true | _ -> false)
+  in
+  let identical =
+    off.Kv.end_cycles = on.Kv.end_cycles && off.Kv.latencies = on.Kv.latencies
+  in
+  (* per-shard latency histograms, merged for the aggregate quantiles *)
+  let module H = Atmo_obs.Metrics.Histogram in
+  let shard0 = H.make "bench/kv_lat_shard0" and shard1 = H.make "bench/kv_lat_shard1" in
+  List.iteri
+    (fun i l -> H.observe (if i land 1 = 0 then shard0 else shard1) l)
+    on.Kv.latencies;
+  let agg = H.make "bench/kv_lat" in
+  H.merge ~into:agg shard0;
+  H.merge ~into:agg shard1;
+  line "%d GET requests per run, %d runs per configuration:" requests reps;
+  line "  disabled sink: %8.2f ms" (off_s *. 1000.);
+  line "  flight sink:   %8.2f ms  (%d spans, %d causal edges live; %d dropped)"
+    (on_s *. 1000.) spans edges
+    (Atmo_obs.Flight.total_dropped recorder);
+  line "  host-time overhead when traced: %.1f%%"
+    (100. *. (on_s -. off_s) /. Float.max 1e-9 off_s);
+  line "  request latency (model cycles, merged shards): p50 %d  p99 %d  (n=%d)"
+    (H.p50 agg) (H.p99 agg) (H.count agg);
+  line "  cycle model: end %d vs %d, latencies identical: %b  -> identical: %b"
+    off.Kv.end_cycles on.Kv.end_cycles
+    (off.Kv.latencies = on.Kv.latencies)
+    identical;
+  line "(span instrumentation must never move simulated time)";
+  write_bench_json "BENCH_span.json"
+    [
+      ("bench", J.Str "span_overhead");
+      ("requests", J.Num (float_of_int requests));
+      ("runs", J.Num (float_of_int reps));
+      ("disabled_ms", J.Num (off_s *. 1000.));
+      ("flight_ms", J.Num (on_s *. 1000.));
+      ("overhead_pct", J.Num (100. *. (on_s -. off_s) /. Float.max 1e-9 off_s));
+      ("spans_live", J.Num (float_of_int spans));
+      ("causal_edges_live", J.Num (float_of_int edges));
+      ("end_cycles", J.Num (float_of_int on.Kv.end_cycles));
+      ("lat_p50_cycles", J.Num (float_of_int (H.p50 agg)));
+      ("lat_p99_cycles", J.Num (float_of_int (H.p99 agg)));
+      ("cycle_identity", J.Bool identical);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* report: merge BENCH_*.json, enforce floors, diff the last summary   *)
+
+let report () =
+  section "Bench report: merge BENCH_*.json, enforce floors, diff the last summary";
+  let files =
+    [ "BENCH_obs.json"; "BENCH_san.json"; "BENCH_tlb.json"; "BENCH_ipc.json";
+      "BENCH_span.json" ]
+  in
+  let loaded =
+    List.filter_map
+      (fun f ->
+        if Sys.file_exists f then (
+          match J.of_file f with
+          | Ok v -> Some (f, v)
+          | Error m ->
+            line "  %s: unreadable (%s); skipped" f m;
+            None)
+        else begin
+          line "  %s: missing (run its bench to regenerate); skipped" f;
+          None
+        end)
+      files
+  in
+  let key_of f = String.sub f 6 (String.length f - 11) (* BENCH_<key>.json *) in
+  let prev =
+    if Sys.file_exists "BENCH_summary.json" then
+      match J.of_file "BENCH_summary.json" with Ok v -> Some v | Error _ -> None
+    else None
+  in
+  let summary = J.Obj (List.map (fun (f, v) -> (key_of f, v)) loaded) in
+  (* advisory deltas: every numeric leaf against the previous summary *)
+  let rec leaves prefix v acc =
+    match v with
+    | J.Obj kvs ->
+      List.fold_left (fun acc (k, x) -> leaves (prefix ^ "." ^ k) x acc) acc kvs
+    | J.Num n -> (prefix, n) :: acc
+    | _ -> acc
+  in
+  (match prev with
+   | None -> line "  no previous BENCH_summary.json; skipping deltas"
+   | Some p ->
+     let old_leaves = leaves "" p [] in
+     let shown = ref 0 in
+     List.iter
+       (fun (k, n) ->
+         match List.assoc_opt k old_leaves with
+         | Some o when Float.abs o > 1e-9 ->
+           let d = 100. *. (n -. o) /. Float.abs o in
+           if Float.abs d >= 5. then begin
+             incr shown;
+             line "  delta %-50s %12.3f -> %12.3f  (%+.1f%%)" k o n d
+           end
+         | _ -> ())
+       (List.rev (leaves "" summary []));
+     if !shown = 0 then line "  no numeric field moved by 5%% or more"
+     else line "  (%d field(s) moved >= 5%%; host-time deltas are advisory)" !shown);
+  J.to_file "BENCH_summary.json" summary;
+  line "  wrote BENCH_summary.json (%d bench file(s) merged)" (List.length loaded);
+  (* hard floors: a regression here fails the gate; a bench whose file
+     is missing was already reported skipped above *)
+  let failures = ref 0 in
+  let floor_num name p ~min_v =
+    match J.to_float (J.path p summary) with
+    | None -> line "  floor %-42s SKIP (field absent)" name
+    | Some v ->
+      if v >= min_v then line "  floor %-42s ok    (%.3f >= %.3f)" name v min_v
+      else begin
+        incr failures;
+        line "  floor %-42s FAIL  (%.3f < %.3f)" name v min_v
+      end
+  in
+  let floor_true name p =
+    match J.to_bool (J.path p summary) with
+    | None -> line "  floor %-42s SKIP (field absent)" name
+    | Some true -> line "  floor %-42s ok" name
+    | Some false ->
+      incr failures;
+      line "  floor %-42s FAIL" name
+  in
+  floor_true "obs cycle identity" [ "obs"; "cycle_identity" ];
+  floor_true "san cycle identity" [ "san"; "cycle_identity" ];
+  floor_true "span cycle identity" [ "span"; "cycle_identity" ];
+  floor_true "tlb replay identity" [ "tlb"; "replay_identity" ];
+  floor_num "tlb load reduction >= 5x" [ "tlb"; "load_reduction" ] ~min_v:5.0;
+  floor_num "ipc map-op reduction >= 2x"
+    [ "ipc"; "rendezvous_machinery_map_op_reduction" ]
+    ~min_v:2.0;
+  if !failures > 0 then begin
+    line "  %d floor(s) FAILED" !failures;
+    exit 1
+  end
+  else line "  all floors hold"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 
 let bechamel () =
@@ -1092,6 +1334,7 @@ let all () =
   san ();
   tlb ();
   ipc ();
+  span ();
   bechamel ()
 
 let () =
@@ -1111,6 +1354,8 @@ let () =
   | "san" -> san ()
   | "tlb" -> tlb ()
   | "ipc" -> ipc ()
+  | "span" -> span ()
+  | "report" -> report ()
   | "bechamel" -> bechamel ()
   | "all" -> all ()
   | other ->

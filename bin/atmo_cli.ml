@@ -5,7 +5,10 @@
      fuzz     randomized refinement checking of the kernel
      ni       noninterference harness (unwinding conditions)
      boot     boot a kernel and print its abstract state
-     trace    flight-record a scripted workload and dump events + latency
+     trace    flight-record a workload; dump events, export Chrome traces
+     profile  post-mortem profiler over the kv-store demo workload
+     top      per-container / per-process cycle accounting tables
+     metrics  metrics registry snapshot / Prometheus text exposition
      san      run the scripted workload under the atmo-san sanitizer *)
 
 open Cmdliner
@@ -18,6 +21,10 @@ module Obs_event = Atmo_obs.Event
 module Obs_flight = Atmo_obs.Flight
 module Obs_metrics = Atmo_obs.Metrics
 module Obs_sink = Atmo_obs.Sink
+module Obs_span = Atmo_obs.Span
+module Obs_profile = Atmo_obs.Profile
+module Obs_export = Atmo_obs.Export
+module Kv_demo = Atmo_workloads.Kv_demo
 
 let setup_logs () =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -107,6 +114,176 @@ let boot_cmd () =
        1)
 
 (* ------------------------------------------------------------------ *)
+(* Shared observability plumbing: run the kv-store demo workload under
+   a flight recorder, hand back the decoded stream, and restore the
+   Disabled sink.  The metrics registry is left populated — top and the
+   exporters read it after the run. *)
+
+let write_text_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc s)
+
+let run_kv_traced ~requests ~slots =
+  Obs_metrics.reset ();
+  Obs_span.reset ();
+  let recorder = Obs_flight.create ~cpus:2 ~slots ~slot_size:Obs_event.slot_bytes in
+  Obs_sink.install (Obs_sink.Flight recorder);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs_sink.install Obs_sink.Disabled;
+      Obs_sink.set_clock (fun () -> 0);
+      Obs_sink.set_cpu 0;
+      Obs_span.reset ())
+    (fun () ->
+      let result = Kv_demo.run ~requests () in
+      (result, Obs_sink.records (), Obs_sink.dropped ()))
+
+(* Counters of one family, [prefix] stripped, sorted by descending
+   value then name. *)
+let counter_family prefix =
+  let plen = String.length prefix in
+  Obs_metrics.all_counters ()
+  |> List.filter_map (fun (name, c) ->
+         if String.length name > plen && String.sub name 0 plen = prefix then begin
+           let v = Obs_metrics.Counter.value c in
+           if v > 0 then Some (String.sub name plen (String.length name - plen), v)
+           else None
+         end
+         else None)
+  |> List.sort (fun (na, a) (nb, b) -> compare (b, na) (a, nb))
+
+let total_cycles () = Obs_metrics.Counter.value (Obs_metrics.counter "cycles/total")
+let sum_family prefix = List.fold_left (fun a (_, v) -> a + v) 0 (counter_family prefix)
+
+(* ------------------------------------------------------------------ *)
+(* profile: post-mortem profiler over the kv-store demo workload       *)
+
+let profile requests folded_out =
+  setup_logs ();
+  let result, records, dropped = run_kv_traced ~requests ~slots:16384 in
+  let p = Obs_profile.build records in
+  Format.printf
+    "kv workload: %d requests (%d hits), end clock %d cycles;@.\
+    \ %d spans decoded (%d truncated by wraparound, %d events dropped), %d causal edges@."
+    result.Kv_demo.requests result.Kv_demo.hits result.Kv_demo.end_cycles
+    (Obs_profile.span_count p) (Obs_profile.truncated p) dropped
+    (List.length (Obs_profile.edges p));
+  (* the acceptance query: every Request root must reach an IPC
+     rendezvous and both driver halves across CPUs through parent
+     links and causal edges *)
+  let req_code = Obs_span.code Obs_span.Request in
+  let request_roots =
+    List.filter
+      (fun id ->
+        match Obs_profile.find p id with
+        | Some s -> s.Obs_profile.kind = req_code
+        | None -> false)
+      (Obs_profile.roots p)
+  in
+  let complete = ref 0 in
+  List.iter
+    (fun id ->
+      let reach = Obs_profile.reachable p ~from:id in
+      let span_of sid = Obs_profile.find p sid in
+      let kinds = List.filter_map (fun sid -> Option.map (fun s -> s.Obs_profile.kind) (span_of sid)) reach in
+      let cpus =
+        List.sort_uniq compare
+          (List.filter_map (fun sid -> Option.map (fun s -> s.Obs_profile.cpu) (span_of sid)) reach)
+      in
+      let has k = List.mem (Obs_span.code k) kinds in
+      if
+        has Obs_span.Ipc_rendezvous && has Obs_span.Drv_submit
+        && has Obs_span.Drv_complete
+        && List.length cpus > 1
+      then incr complete)
+    request_roots;
+  Format.printf
+    "request paths: %d/%d Request roots reach an IPC rendezvous and a driver@.\
+    \ submit/completion across CPUs@."
+    !complete (List.length request_roots);
+  let total = total_cycles () in
+  let containers = counter_family "cycles/container/" in
+  let csum = List.fold_left (fun a (_, v) -> a + v) 0 containers in
+  Format.printf "@.-- per-container cycles (sum %d vs cycles/total %d) --@." csum total;
+  List.iter
+    (fun (nm, v) ->
+      Format.printf "  container %-8s %10d  %5.1f%%@." nm v
+        (100. *. float_of_int v /. float_of_int (max 1 total)))
+    containers;
+  Format.printf "@.-- self/total cycles by span kind --@.%a" Obs_profile.pp_kind_table p;
+  let folded = Obs_profile.collapsed p in
+  Format.printf "@.-- collapsed stacks (folded; flamegraph.pl / speedscope input) --@.";
+  List.iter (fun (path, self) -> Format.printf "%s %d@." path self) folded;
+  (match folded_out with
+   | None -> ()
+   | Some f ->
+     write_text_file f
+       (String.concat "" (List.map (fun (pth, s) -> Printf.sprintf "%s %d\n" pth s) folded));
+     Format.printf "wrote %s@." f);
+  if !complete = List.length request_roots && request_roots <> [] && csum = total then begin
+    Format.printf
+      "@.profile ok: every request path reconstructs; container cycles sum to cycles/total.@.";
+    0
+  end
+  else begin
+    Format.printf "@.profile FAILED: %d/%d paths complete, container sum %d vs cycles/total %d@."
+      !complete (List.length request_roots) csum total;
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* top: per-container / per-process / per-kind cycle accounting        *)
+
+let top requests =
+  setup_logs ();
+  let result, _records, _dropped = run_kv_traced ~requests ~slots:8192 in
+  let total = total_cycles () in
+  Format.printf "kv workload: %d requests, end clock %d cycles; cycles/total %d@."
+    result.Kv_demo.requests result.Kv_demo.end_cycles total;
+  let table title prefix =
+    match counter_family prefix with
+    | [] -> ()
+    | rows ->
+      Format.printf "@.%-24s %12s  %6s@." title "CYCLES" "%TOTAL";
+      List.iter
+        (fun (nm, v) ->
+          Format.printf "%-24s %12d  %5.1f%%@." nm v
+            (100. *. float_of_int v /. float_of_int (max 1 total)))
+        rows
+  in
+  table "CONTAINER" "cycles/container/";
+  table "PROCESS" "cycles/process/";
+  table "THREAD" "cycles/thread/";
+  table "SPAN KIND" "cycles/kind/";
+  let csum = sum_family "cycles/container/" in
+  if csum = total then begin
+    Format.printf "@.accounting closed: container cycles sum to cycles/total (%d).@." total;
+    0
+  end
+  else begin
+    Format.printf "@.accounting LEAK: container sum %d <> cycles/total %d@." csum total;
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* metrics: registry snapshot / Prometheus text exposition             *)
+
+let metrics_main export requests out =
+  setup_logs ();
+  let _result, _records, _dropped = run_kv_traced ~requests ~slots:8192 in
+  let text =
+    match export with
+    | "prom" -> Obs_export.prometheus ()
+    | _ -> Obs_metrics.dump ()
+  in
+  (match out with
+   | None -> print_string text
+   | Some f ->
+     write_text_file f text;
+     Format.printf "wrote %s (%d bytes)@." f (String.length text));
+  0
+
+(* ------------------------------------------------------------------ *)
 (* trace: flight-record a scripted IPC + mmap + driver workload        *)
 
 (* The workload is deterministic: boot, an SMP send/recv ping-pong over
@@ -194,13 +371,14 @@ let run_trace_workload k ~init ~iterations =
   ignore (Atmo_drivers.Nvme.wait_all nvme);
   (stats, !vnow, Atmo_hw.Clock.now dclock)
 
-let trace sink_kind iterations max_events slots =
+let trace sink_kind workload iterations max_events slots export out =
   setup_logs ();
   if slots <= 0 || slots land (slots - 1) <> 0 then begin
     Format.eprintf "trace: --slots must be a positive power of two (got %d)@." slots;
     exit 2
   end;
   Obs_metrics.reset ();
+  Obs_span.reset ();
   let recorder =
     Obs_flight.create ~cpus:2 ~slots ~slot_size:Obs_event.slot_bytes
   in
@@ -208,23 +386,47 @@ let trace sink_kind iterations max_events slots =
    | "disabled" -> Obs_sink.install Obs_sink.Disabled
    | "flight" -> Obs_sink.install (Obs_sink.Flight recorder)
    | other -> Fmt.failwith "trace: unknown sink %S (flight|disabled)" other);
-  match Kernel.boot Kernel.default_boot with
+  let finish code =
+    Obs_sink.install Obs_sink.Disabled;
+    Obs_sink.set_clock (fun () -> 0);
+    Obs_sink.set_cpu 0;
+    Obs_span.reset ();
+    code
+  in
+  let ran =
+    match workload with
+    | "kv" ->
+      let r = Kv_demo.run ~requests:iterations () in
+      Format.printf
+        "kv workload: %d requests (%d hits) over two IPC rendezvous + NVMe,@.\
+        \ end clock %d cycles@."
+        r.Kv_demo.requests r.Kv_demo.hits r.Kv_demo.end_cycles;
+      Ok ()
+    | _ -> (
+      match Kernel.boot Kernel.default_boot with
+      | Error e -> Error e
+      | Ok (k, init) ->
+        let stats, mem_cycles, drv_cycles = run_trace_workload k ~init ~iterations in
+        Format.printf "workload: %d syscalls under the big lock (2 CPUs), wall %d cycles,@."
+          stats.Atmo_sim.Smp.syscalls_executed stats.Atmo_sim.Smp.wall_cycles;
+        Format.printf "          lock wait %d cycles; memory phase to %d; driver clock %d@."
+          stats.Atmo_sim.Smp.lock_wait_cycles mem_cycles drv_cycles;
+        Ok ())
+  in
+  match ran with
   | Error e ->
     Format.eprintf "boot: %a@." Atmo_util.Errno.pp e;
-    1
-  | Ok (k, init) ->
-    let stats, mem_cycles, drv_cycles = run_trace_workload k ~init ~iterations in
-    Format.printf "workload: %d syscalls under the big lock (2 CPUs), wall %d cycles,@."
-      stats.Atmo_sim.Smp.syscalls_executed stats.Atmo_sim.Smp.wall_cycles;
-    Format.printf "          lock wait %d cycles; memory phase to %d; driver clock %d@."
-      stats.Atmo_sim.Smp.lock_wait_cycles mem_cycles drv_cycles;
+    finish 1
+  | Ok () ->
     let records = Obs_sink.records () in
     (match sink_kind with
      | "disabled" ->
        Format.printf
          "sink disabled: 0 events recorded; the cycle totals above are the@.\
          \ bit-identical baseline any instrumented run must reproduce.@.";
-       0
+       if export <> None then
+         Format.printf "(nothing to export with the disabled sink)@.";
+       finish 0
      | _ ->
        Format.printf "@.-- flight recorder: %d live events (%d dropped, oldest-first) --@."
          (List.length records) (Obs_sink.dropped ());
@@ -252,8 +454,15 @@ let trace sink_kind iterations max_events slots =
        |> List.iter (fun (kind, n) -> Format.printf "%-16s %6d@." kind n);
        Format.printf "@.-- metrics (latencies in model cycles) --@.%a"
          Obs_metrics.pp_table ();
-       Obs_sink.install Obs_sink.Disabled;
-       0)
+       (match export with
+        | Some "chrome" ->
+          let json = Obs_export.chrome_trace records in
+          write_text_file out json;
+          Format.printf "@.wrote %s (%d bytes; load in chrome://tracing or Perfetto)@." out
+            (String.length json)
+        | Some other -> Fmt.failwith "trace: unknown export %S (chrome)" other
+        | None -> ());
+       finish 0)
 
 (* ------------------------------------------------------------------ *)
 (* san: the trace workload under the full sanitizer, plus plants       *)
@@ -439,9 +648,38 @@ let plant_fastpath_skip k ~init ~t2 =
       | r -> Fmt.failwith "san: plant send -> %a" Syscall.pp_ret r);
   ignore (Atmo_san.Sched_lint.lint k)
 
+let plant_span_leak k ~init ~t2 =
+  (* park the receiver so init's send rendezvouses, then force the
+     slowpath and make it drop the rendezvous span's end: the open-span
+     stack is left unbalanced at quiescence *)
+  let rec park n =
+    if n = 0 then Fmt.failwith "san: could not park the receiver"
+    else
+      match locked_step k ~thread:t2 (Syscall.Recv { slot = 0 }) with
+      | Syscall.Rblocked -> ()
+      | Syscall.Rmsg _ -> park (n - 1)
+      | r -> Fmt.failwith "san: park recv -> %a" Syscall.pp_ret r
+  in
+  park 8;
+  Kernel.set_fastpath false;
+  Kernel.set_span_leak_plant true;
+  Fun.protect
+    ~finally:(fun () ->
+      Kernel.set_span_leak_plant false;
+      Kernel.set_fastpath true)
+    (fun () ->
+      match
+        locked_step k ~thread:init
+          (Syscall.Send { slot = 0; msg = Atmo_pm.Message.scalars_only [ 0xbeef ] })
+      with
+      | Syscall.Runit -> ()
+      | r -> Fmt.failwith "san: plant send -> %a" Syscall.pp_ret r);
+  ignore (Atmo_san.Span_lint.lint k)
+
 let san plant iterations =
   setup_logs ();
   Obs_metrics.reset ();
+  Obs_span.reset ();
   (* trace into a flight recorder so violation reports carry the event
      trail leading up to them *)
   let recorder = Obs_flight.create ~cpus:2 ~slots:256 ~slot_size:Obs_event.slot_bytes in
@@ -450,6 +688,9 @@ let san plant iterations =
   let finish code =
     San_runtime.disarm ();
     Obs_sink.install Obs_sink.Disabled;
+    Obs_sink.set_clock (fun () -> 0);
+    Obs_sink.set_cpu 0;
+    Obs_span.reset ();
     code
   in
   match Kernel.boot Kernel.default_boot with
@@ -491,6 +732,7 @@ let san plant iterations =
            | "stale-tlb" -> plant_stale_tlb k ~init; San_report.Tlb_stale
            | "fastpath-skip" ->
              plant_fastpath_skip k ~init ~t2; San_report.Sched_incoherent
+           | "span-leak" -> plant_span_leak k ~init ~t2; San_report.Span_leak
            | other -> Fmt.failwith "san: unknown plant %S" other
          in
          let hits =
@@ -552,10 +794,80 @@ let trace_events_arg =
 let trace_slots_arg =
   Arg.(value & opt int 256 & info [ "slots" ] ~doc:"Flight-recorder slots per CPU (power of two).")
 
+let workload_arg =
+  Arg.(
+    value
+    & opt (enum [ ("scripted", "scripted"); ("kv", "kv") ]) "scripted"
+    & info [ "workload" ]
+        ~doc:
+          "Workload to record: $(b,scripted) (IPC ping-pong, mmap churn, NVMe) or \
+           $(b,kv) (the kv-store GET demo; $(b,--iterations) is the request count).")
+
+let trace_export_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("chrome", "chrome") ])) None
+    & info [ "export" ]
+        ~doc:"Export the recorded stream: $(b,chrome) writes Chrome trace_event JSON.")
+
+let trace_out_arg =
+  Arg.(value & opt string "trace_chrome.json" & info [ "out" ] ~doc:"Output file for --export.")
+
 let trace_cmd =
   Cmd.v
-    (Cmd.info "trace" ~doc:"Flight-record a scripted workload; dump events and latency tables")
-    Term.(const trace $ sink_arg $ trace_iters_arg $ trace_events_arg $ trace_slots_arg)
+    (Cmd.info "trace"
+       ~doc:
+         "Flight-record a workload; dump events and latency tables, optionally export \
+          a Chrome trace")
+    Term.(
+      const trace $ sink_arg $ workload_arg $ trace_iters_arg $ trace_events_arg
+      $ trace_slots_arg $ trace_export_arg $ trace_out_arg)
+
+let requests_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "requests" ] ~doc:"GET requests to drive through the kv-store demo workload.")
+
+let folded_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "folded" ]
+        ~doc:"Also write the collapsed stacks to $(docv) (flamegraph.pl input).")
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Post-mortem profiler over the kv-store demo workload: request-path \
+          reconstruction, self/total cycles per span kind, collapsed stacks")
+    Term.(const profile $ requests_arg $ folded_arg)
+
+let top_cmd =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Per-container / per-process / per-thread / per-kind cycle accounting for the \
+          kv-store demo workload; fails if container totals do not sum to cycles/total")
+    Term.(const top $ requests_arg)
+
+let metrics_export_arg =
+  Arg.(
+    value
+    & opt (enum [ ("dump", "dump"); ("prom", "prom") ]) "dump"
+    & info [ "export" ]
+        ~doc:
+          "Output format: $(b,dump) (deterministic registry snapshot) or $(b,prom) \
+           (Prometheus text exposition).")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None & info [ "out" ] ~doc:"Write to $(docv) instead of stdout.")
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Dump the metrics registry populated by the kv-store demo workload")
+    Term.(const metrics_main $ metrics_export_arg $ requests_arg $ metrics_out_arg)
 
 let plant_arg =
   Arg.(
@@ -564,15 +876,18 @@ let plant_arg =
         (enum
            [ ("none", "none"); ("double-free", "double-free");
              ("unlocked", "unlocked"); ("bad-pte", "bad-pte");
-             ("stale-tlb", "stale-tlb"); ("fastpath-skip", "fastpath-skip") ])
+             ("stale-tlb", "stale-tlb"); ("fastpath-skip", "fastpath-skip");
+             ("span-leak", "span-leak") ])
         "none"
     & info [ "plant" ]
         ~doc:
           "Plant a bug after the clean workload and require the sanitizer to catch it: \
            $(b,double-free), $(b,unlocked) (mutation without the big lock), \
            $(b,bad-pte) (reserved bits in a leaf entry), $(b,stale-tlb) \
-           (a PTE torn out without a TLB shootdown) or $(b,fastpath-skip) \
-           (the IPC fastpath forgets to requeue the preempted sender).")
+           (a PTE torn out without a TLB shootdown), $(b,fastpath-skip) \
+           (the IPC fastpath forgets to requeue the preempted sender) or \
+           $(b,span-leak) (the IPC slowpath opens its rendezvous span and never \
+           closes it).")
 
 let san_iters_arg =
   Arg.(value & opt int 50 & info [ "iterations" ] ~doc:"IPC ping-pong rounds in the SMP phase.")
@@ -594,4 +909,6 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ verify_cmd; fuzz_cmd; ni_cmd; boot_cmdliner; trace_cmd; san_cmd ]))
+       (Cmd.group info
+          [ verify_cmd; fuzz_cmd; ni_cmd; boot_cmdliner; trace_cmd; profile_cmd; top_cmd;
+            metrics_cmd; san_cmd ]))

@@ -18,6 +18,7 @@ module Kconfig = Atmo_pm.Kconfig
 module Syscall = Atmo_spec.Syscall
 module Obs = Atmo_obs.Sink
 module Event = Atmo_obs.Event
+module Span = Atmo_obs.Span
 
 type device_info = {
   owner_proc : int;
@@ -351,6 +352,11 @@ let fastpath_enabled () = !fastpath_on
 let fastpath_skip_plant = ref false
 let set_fastpath_skip_plant b = fastpath_skip_plant := b
 
+(* atmo-san plant: open the rendezvous span on the IPC slowpath and
+   never close it — the span-balance lint must notice. *)
+let span_leak_plant = ref false
+let set_span_leak_plant b = span_leak_plant := b
+
 let ipc_fastpath_ctr = Atmo_obs.Metrics.counter "ipc/fastpath"
 let ipc_slowpath_ctr = Atmo_obs.Metrics.counter "ipc/slowpath"
 
@@ -369,19 +375,22 @@ let fastpath_ok t ~caller ~(msg : Message.t) =
 (* The generic rendezvous switch: the woken partner goes through the
    scheduler like any other wakeup. *)
 let rendezvous_slow t ~partner ~caller =
+  let sid = if Obs.tracing () then Span.begin_ Span.Ipc_rendezvous else 0 in
   let pm = t.pm in
   Proc_mgr.enqueue_runnable pm ~thread:partner;
   if pm.Proc_mgr.current = Some caller then begin
     Proc_mgr.preempt_current pm;
     ignore (Proc_mgr.dequeue_next pm)
   end;
-  Atmo_obs.Metrics.Counter.incr ipc_slowpath_ctr
+  Atmo_obs.Metrics.Counter.incr ipc_slowpath_ctr;
+  if sid <> 0 && not !span_leak_plant then Span.end_ sid
 
 (* The fused fastpath tail: write both thread records once, hand the
    CPU to the partner and requeue the caller.  [partner_up]/[caller_up]
    carry the message-buffer effect of the specific rendezvous so the
    record copy happens exactly once per thread. *)
 let rendezvous_fast t ~ep ~sender ~receiver ~caller ~partner ~partner_up ~caller_up =
+  let sid = if Obs.tracing () then Span.begin_ Span.Ipc_rendezvous else 0 in
   let pm = t.pm in
   Perm_map.update pm.Proc_mgr.thrd_perms ~ptr:partner (fun th ->
       { (partner_up th) with Thread.state = Thread.Running });
@@ -390,7 +399,10 @@ let rendezvous_fast t ~ep ~sender ~receiver ~caller ~partner ~partner_up ~caller
   pm.Proc_mgr.current <- Some partner;
   if not !fastpath_skip_plant then Sched_queue.push_back pm.Proc_mgr.run_queue caller;
   Atmo_obs.Metrics.Counter.incr ipc_fastpath_ctr;
-  if Obs.tracing () then Obs.emit (Event.Ep_fastpath { ep; sender; receiver })
+  if Obs.tracing () then begin
+    Obs.emit (Event.Ep_fastpath { ep; sender; receiver });
+    Span.end_ sid
+  end
 
 (* Map an already-[Mapped] 4 KiB frame into [proc]'s address space at
    [va], charging the owning container for the frame share and any new
@@ -506,8 +518,11 @@ let send_impl t ~thread ~slot ~msg ~blocking =
             ~partner:receiver
             ~partner_up:(fun rth -> { rth with Thread.msg_buf = Some msg })
             ~caller_up:Fun.id;
-          if Obs.tracing () then
-            Obs.emit (Event.Ep_send { ep; sender = thread; receiver });
+          if Obs.tracing () then begin
+            Span.edge Span.Ipc ~src:(Span.current ())
+              ~dst:(Span.take_blocked ~thread:receiver);
+            Obs.emit (Event.Ep_send { ep; sender = thread; receiver })
+          end;
           Syscall.Runit
         | Some receiver ->
           (match deliver t ~sender:thread ~receiver ~msg with
@@ -520,8 +535,11 @@ let send_impl t ~thread ~slot ~msg ~blocking =
              Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:receiver (fun rth ->
                  { rth with Thread.msg_buf = Some msg });
              rendezvous_slow t ~partner:receiver ~caller:thread;
-             if Obs.tracing () then
-               Obs.emit (Event.Ep_send { ep; sender = thread; receiver });
+             if Obs.tracing () then begin
+               Span.edge Span.Ipc ~src:(Span.current ())
+                 ~dst:(Span.take_blocked ~thread:receiver);
+               Obs.emit (Event.Ep_send { ep; sender = thread; receiver })
+             end;
              Syscall.Runit)
         | None ->
           if not blocking then err Errno.Ewouldblock
@@ -557,8 +575,10 @@ let send_impl t ~thread ~slot ~msg ~blocking =
               detach_from_scheduler t ~thread (fun th ->
                   { th with Thread.msg_buf = Some msg;
                             state = Thread.Blocked_send ep });
-              if Obs.tracing () then
-                Obs.emit (Event.Ep_block { ep; thread; dir = Event.Dir_send });
+              if Obs.tracing () then begin
+                Span.note_blocked ~thread ~span:(Span.current ());
+                Obs.emit (Event.Ep_block { ep; thread; dir = Event.Dir_send })
+              end;
               Syscall.Rblocked
             end
           end))
@@ -588,8 +608,11 @@ let recv_impl t ~thread ~slot ~blocking =
               ~partner:sender
               ~partner_up:(fun sth -> { sth with Thread.msg_buf = None })
               ~caller_up:(fun th -> { th with Thread.msg_buf = Some msg });
-            if Obs.tracing () then
-              Obs.emit (Event.Ep_recv { ep; receiver = thread; sender });
+            if Obs.tracing () then begin
+              Span.edge Span.Ipc ~src:(Span.take_blocked ~thread:sender)
+                ~dst:(Span.current ());
+              Obs.emit (Event.Ep_recv { ep; receiver = thread; sender })
+            end;
             Syscall.Rmsg msg
           end
           else
@@ -605,8 +628,11 @@ let recv_impl t ~thread ~slot ~blocking =
                Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:thread (fun th ->
                    { th with Thread.msg_buf = Some msg });
                rendezvous_slow t ~partner:sender ~caller:thread;
-               if Obs.tracing () then
-                 Obs.emit (Event.Ep_recv { ep; receiver = thread; sender });
+               if Obs.tracing () then begin
+                 Span.edge Span.Ipc ~src:(Span.take_blocked ~thread:sender)
+                   ~dst:(Span.current ());
+                 Obs.emit (Event.Ep_recv { ep; receiver = thread; sender })
+               end;
                Syscall.Rmsg msg)
         | None ->
           (* a pending interrupt routed to this endpoint is delivered
@@ -634,6 +660,9 @@ let recv_impl t ~thread ~slot ~blocking =
              let msg = Message.scalars_only [ device ] in
              Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:thread (fun th ->
                  { th with Thread.msg_buf = Some msg });
+             if Obs.tracing () then
+               Span.edge Span.Irq_delivery ~src:(Span.take_irq_pending ~device)
+                 ~dst:(Span.current ());
              Syscall.Rmsg msg
            | None ->
              if not blocking then err Errno.Ewouldblock
@@ -646,8 +675,10 @@ let recv_impl t ~thread ~slot ~blocking =
                detach_from_scheduler t ~thread (fun th ->
                    { th with Thread.msg_buf = None;
                              state = Thread.Blocked_recv ep });
-               if Obs.tracing () then
-                 Obs.emit (Event.Ep_block { ep; thread; dir = Event.Dir_recv });
+               if Obs.tracing () then begin
+                 Span.note_blocked ~thread ~span:(Span.current ());
+                 Obs.emit (Event.Ep_block { ep; thread; dir = Event.Dir_recv })
+               end;
                Syscall.Rblocked
              end)))
 
@@ -918,6 +949,11 @@ let irq_fire t ~device =
      | None -> Syscall.Runit
      | Some ep ->
        let e = Perm_map.borrow t.pm.Proc_mgr.edpt_perms ~ptr:ep in
+       let sid =
+         if Obs.tracing () then
+           Span.begin_ ~container:e.Endpoint.owner_container Span.Irq
+         else 0
+       in
        (match Static_list.peek_front e.Endpoint.recv_queue with
         | Some receiver ->
           Perm_map.update t.pm.Proc_mgr.edpt_perms ~ptr:ep (fun e ->
@@ -927,11 +963,20 @@ let irq_fire t ~device =
           Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:receiver (fun rth ->
               { rth with Thread.msg_buf = Some (Message.scalars_only [ device ]) });
           Proc_mgr.enqueue_runnable t.pm ~thread:receiver;
+          if sid <> 0 then begin
+            Span.edge Span.Irq_delivery ~src:sid
+              ~dst:(Span.take_blocked ~thread:receiver);
+            Span.end_ sid
+          end;
           Syscall.Runit
         | None ->
           t.devices <-
             Imap.add device { info with irq_pending = info.irq_pending + 1 } t.devices;
           irq_backlog_add t ~ep 1;
+          if sid <> 0 then begin
+            Span.note_irq_pending ~device ~span:sid;
+            Span.end_ sid
+          end;
           Syscall.Runit))
 
 let () = sweep_irqs_ref := sweep_irqs

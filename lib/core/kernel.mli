@@ -127,6 +127,11 @@ val set_fastpath_skip_plant : bool -> unit
     thread queued nowhere.  Only the scheduler-coherence lint should
     ever see this on. *)
 
+val set_span_leak_plant : bool -> unit
+(** Sanitizer plant ([atmo san --plant span-leak]): open the rendezvous
+    span on the IPC slowpath and never close it.  Only the span-balance
+    lint should ever see this on. *)
+
 val irq_backlog_of : t -> ep:int -> int
 (** Pending interrupts routed to [ep] (the cached total; invariants
     recompute it from the device table). *)

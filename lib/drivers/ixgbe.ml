@@ -4,6 +4,7 @@ module Clock = Atmo_hw.Clock
 module Cost = Atmo_sim.Cost
 module Obs = Atmo_obs.Sink
 module Event = Atmo_obs.Event
+module Span = Atmo_obs.Span
 
 (* queue ids carried by doorbell/completion tracepoints *)
 let rx_queue = 0
@@ -121,6 +122,13 @@ let wire_deliver t frame =
               ~flags:flag_dd
        then begin
          ring.hw_next <- (ring.hw_next + 1) mod ring.slots;
+         if Obs.tracing () then begin
+           (* wire-side delivery: remembered per device so the next
+              rx burst can link its completion back causally *)
+           let sid = Span.begin_ Span.Drv_submit in
+           Span.end_ sid;
+           Span.note_submit ~device:t.device ~tag:rx_queue ~span:sid
+         end;
          true
        end
        else begin
@@ -167,7 +175,11 @@ let rx_burst t ~max =
       Obs.emit (Event.Drv_completion { device = t.device; count = n });
       (* recycled descriptors are published with a tail-register write *)
       Obs.emit (Event.Drv_doorbell { device = t.device; queue = rx_queue });
-      Atmo_obs.Metrics.bump ~by:n "drv/ixgbe_rx"
+      Atmo_obs.Metrics.bump ~by:n "drv/ixgbe_rx";
+      let sid = Span.begin_ Span.Drv_complete in
+      Span.edge Span.Drv ~src:(Span.take_submit ~device:t.device ~tag:rx_queue)
+        ~dst:sid;
+      Span.end_ sid
     end;
     frames
 

@@ -2,6 +2,7 @@ module Clock = Atmo_hw.Clock
 module Cost = Atmo_sim.Cost
 module Obs = Atmo_obs.Sink
 module Event = Atmo_obs.Event
+module Span = Atmo_obs.Span
 
 let submission_queue = 0
 
@@ -90,8 +91,14 @@ let submit t op ~lba ~data =
       @ [ { p_tag = tag; p_op = op; p_lba = lba; p_data = data; submitted;
             due = due_time t op } ];
     (* submission-queue tail write *)
-    if Obs.tracing () then
+    if Obs.tracing () then begin
+      let sid = Span.begin_ Span.Drv_submit in
       Obs.emit (Event.Drv_doorbell { device = t.device; queue = submission_queue });
+      Span.end_ sid;
+      (* remembered per (device, tag) so the completion span can be
+         causally linked back to this submission *)
+      Span.note_submit ~device:t.device ~tag ~span:sid
+    end;
     Ok tag
   end
 
@@ -124,7 +131,12 @@ let poll t =
     Obs.emit (Event.Drv_completion { device = t.device; count = List.length due });
     (* modeled submit-to-completion latency, in cycles *)
     List.iter
-      (fun p -> Atmo_obs.Metrics.observe "lat/nvme_io" (p.due - p.submitted))
+      (fun p ->
+        Atmo_obs.Metrics.observe "lat/nvme_io" (p.due - p.submitted);
+        let sid = Span.begin_ Span.Drv_complete in
+        Span.edge Span.Drv ~src:(Span.take_submit ~device:t.device ~tag:p.p_tag)
+          ~dst:sid;
+        Span.end_ sid)
       due
   end;
   List.map (complete t) due

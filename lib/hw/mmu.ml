@@ -107,12 +107,18 @@ let resolve mem ~cr3 ~vaddr =
            bit-identical to the walk it replaces *)
         Some { paddr = frame + (vaddr land (size - 1)); frame; size; perm }
       | None ->
-        if Atmo_obs.Sink.tracing () then
-          Atmo_obs.Sink.emit (Atmo_obs.Event.Tlb_miss { vaddr });
+        let sid =
+          if Atmo_obs.Sink.tracing () then begin
+            Atmo_obs.Sink.emit (Atmo_obs.Event.Tlb_miss { vaddr });
+            Atmo_obs.Span.begin_ Atmo_obs.Span.Mmu_fill
+          end
+          else 0
+        in
         let r = walk mem ~cr3 ~vaddr in
         (match r with
          | Some tr -> Tlb.insert tlb ~vaddr ~frame:tr.frame ~size:tr.size ~perm:tr.perm
          | None -> ());
+        if sid <> 0 then Atmo_obs.Span.end_ sid;
         r
     end
   in

@@ -21,6 +21,9 @@ type t =
   | Tlb_miss of { vaddr : int }
   | Tlb_flush of { asid : int; entries : int }
   | Ep_fastpath of { ep : int; sender : int; receiver : int }
+  | Span_begin of { span : int; parent : int; kind : int; owner : int }
+  | Span_end of { span : int; kind : int; owner : int }
+  | Causal of { edge : int; src : int; dst : int }
 
 type record = { ts : int; cpu : int; ev : t }
 
@@ -39,6 +42,31 @@ let syscall_count = Array.length syscall_names
 let syscall_name n =
   if n >= 0 && n < syscall_count then syscall_names.(n)
   else Printf.sprintf "sys?%d" n
+
+(* Span kind codes are one byte.  1-15 are fixed structural kinds,
+   16-63 are application-registered kinds (named via the Span registry;
+   the raw decoder only knows the code), 64+ are syscall spans keyed by
+   syscall number. *)
+let span_kind_name = function
+  | 1 -> "request"
+  | 2 -> "ipc_rendezvous"
+  | 3 -> "ctx_switch"
+  | 4 -> "mmu_fill"
+  | 5 -> "drv_submit"
+  | 6 -> "drv_complete"
+  | 7 -> "irq"
+  | 8 -> "user"
+  | 9 -> "lock_wait"
+  | n when n >= 64 -> "sys_" ^ syscall_name (n - 64)
+  | n when n >= 16 -> Printf.sprintf "app%d" n
+  | n -> Printf.sprintf "span%d" n
+
+let causal_name = function
+  | 1 -> "ipc"
+  | 2 -> "irq"
+  | 3 -> "drv"
+  | 4 -> "wakeup"
+  | n -> Printf.sprintf "edge%d" n
 
 let kind = function
   | Syscall_enter _ -> "syscall_enter"
@@ -59,6 +87,9 @@ let kind = function
   | Tlb_miss _ -> "tlb_miss"
   | Tlb_flush _ -> "tlb_flush"
   | Ep_fastpath _ -> "ep_fastpath"
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
+  | Causal _ -> "causal"
 
 (* ------------------------------------------------------------------ *)
 (* Binary encoding                                                     *)
@@ -118,6 +149,9 @@ let fields = function
   | Tlb_miss { vaddr } -> (16, 0, vaddr, 0, 0)
   | Tlb_flush { asid; entries } -> (17, 0, asid, entries, 0)
   | Ep_fastpath { ep; sender; receiver } -> (18, 0, ep, sender, receiver)
+  | Span_begin { span; parent; kind; owner } -> (19, kind land 0xff, span, parent, owner)
+  | Span_end { span; kind; owner } -> (20, kind land 0xff, span, owner, 0)
+  | Causal { edge; src; dst } -> (21, edge land 0xff, src, dst, 0)
 
 let encode ~ts ~cpu ev =
   let tag, aux, a, b, c = fields ev in
@@ -162,6 +196,9 @@ let decode buf =
       | 16 -> Some (Tlb_miss { vaddr = a })
       | 17 -> Some (Tlb_flush { asid = a; entries = b })
       | 18 -> Some (Ep_fastpath { ep = a; sender = b; receiver = c })
+      | 19 -> Some (Span_begin { span = a; parent = b; kind = aux; owner = c })
+      | 20 -> Some (Span_end { span = a; kind = aux; owner = b })
+      | 21 -> Some (Causal { edge = aux; src = a; dst = b })
       | _ -> None
     in
     Option.map (fun ev -> { ts; cpu; ev }) ev
@@ -205,6 +242,13 @@ let pp ppf = function
     Format.fprintf ppf "tlb_flush      asid=0x%x entries=%d" asid entries
   | Ep_fastpath { ep; sender; receiver } ->
     Format.fprintf ppf "ep_fastpath    ep=0x%x sender=0x%x receiver=0x%x" ep sender receiver
+  | Span_begin { span; parent; kind; owner } ->
+    Format.fprintf ppf "span_begin     %-14s #%d parent=#%d owner=0x%x" (span_kind_name kind)
+      span parent owner
+  | Span_end { span; kind; owner } ->
+    Format.fprintf ppf "span_end       %-14s #%d owner=0x%x" (span_kind_name kind) span owner
+  | Causal { edge; src; dst } ->
+    Format.fprintf ppf "causal         %-14s #%d -> #%d" (causal_name edge) src dst
 
 let pp_record ppf r =
   Format.fprintf ppf "[cpu%d @%10d] %a" r.cpu r.ts pp r.ev

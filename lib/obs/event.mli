@@ -43,6 +43,16 @@ type t =
       (** A rendezvous took the IPC fastpath: the message was delivered
           and the CPU switched directly to the partner, bypassing the
           generic scheduler machinery. *)
+  | Span_begin of { span : int; parent : int; kind : int; owner : int }
+      (** A typed span opened.  [span] is a run-unique id, [parent] the
+          enclosing span on the same CPU (0 for a root), [kind] a span
+          kind code (see {!span_kind_name}), [owner] the owning
+          container pointer (-1 when unowned). *)
+  | Span_end of { span : int; kind : int; owner : int }
+  | Causal of { edge : int; src : int; dst : int }
+      (** A cross-span causal edge ([src]/[dst] are span ids): IPC
+          send→recv, IRQ→endpoint delivery, driver submit→completion,
+          or a scheduler wakeup.  See {!causal_name}. *)
 
 type record = { ts : int; cpu : int; ev : t }
 (** A decoded flight-recorder slot: cycle timestamp, recording CPU, event. *)
@@ -52,6 +62,14 @@ val syscall_name : int -> string
     (declaration order of the syscall variant). *)
 
 val syscall_count : int
+
+val span_kind_name : int -> string
+(** Decoder-side name of a span kind code: fixed structural kinds
+    (1-15), ["app<n>"] for registered application kinds (16-63; the
+    Span registry holds the real names), ["sys_<name>"] for 64+n. *)
+
+val causal_name : int -> string
+(** Name of a causal-edge code: ipc / irq / drv / wakeup. *)
 
 val kind : t -> string
 (** Constructor name, for grouping decoded streams. *)

@@ -1,0 +1,123 @@
+(* Exporters: Chrome trace_event JSON for a decoded event stream, and
+   Prometheus text exposition for the metrics registry.  Both are
+   deterministic — records are consumed in timestamp order and the
+   registry is iterated via its sorted bindings — so snapshots diff
+   cleanly across runs. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Chrome trace_event "JSON array format".  Spans become duration
+   begin/end ("B"/"E") slices — pid is the owning container (0 when
+   unowned) so chrome://tracing groups per container, tid is the CPU.
+   Causal edges become flow-event pairs ("s" start / "f" finish) bound
+   to the source and destination spans; other tracepoints become
+   instant events.  Timestamps are cycle counts passed through as the
+   microsecond field — absolute units don't matter to the viewer. *)
+let chrome_trace records =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[";
+  let first = ref true in
+  let emit line =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b line
+  in
+  let pid owner = if owner >= 0 then owner else 0 in
+  let flow = ref 0 in
+  (* Spans indexed up front so a flow event can land on the destination
+     span's coordinates. *)
+  let span_at : (int, int * int * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Event.record) ->
+      match r.ev with
+      | Event.Span_begin { span; owner; _ } ->
+        Hashtbl.replace span_at span (r.ts, r.cpu, pid owner)
+      | _ -> ())
+    records;
+  List.iter
+    (fun (r : Event.record) ->
+      match r.ev with
+      | Event.Span_begin { span; kind; owner; parent } ->
+        emit
+          (Printf.sprintf
+             {|{"name":"%s","ph":"B","ts":%d,"pid":%d,"tid":%d,"args":{"span":%d,"parent":%d}}|}
+             (json_escape (Span.label_of_code kind))
+             r.ts (pid owner) r.cpu span parent)
+      | Event.Span_end { kind; owner; span } ->
+        emit
+          (Printf.sprintf {|{"name":"%s","ph":"E","ts":%d,"pid":%d,"tid":%d,"args":{"span":%d}}|}
+             (json_escape (Span.label_of_code kind))
+             r.ts (pid owner) r.cpu span)
+      | Event.Causal { edge; src; dst } ->
+        incr flow;
+        let name = json_escape (Event.causal_name edge) in
+        let sts, scpu, spid =
+          match Hashtbl.find_opt span_at src with
+          | Some c -> c
+          | None -> (r.ts, r.cpu, 0)
+        in
+        let dts, dcpu, dpid =
+          match Hashtbl.find_opt span_at dst with
+          | Some c -> c
+          | None -> (r.ts, r.cpu, 0)
+        in
+        emit
+          (Printf.sprintf {|{"name":"%s","cat":"causal","ph":"s","id":%d,"ts":%d,"pid":%d,"tid":%d}|}
+             name !flow (max sts r.ts) spid scpu);
+        emit
+          (Printf.sprintf
+             {|{"name":"%s","cat":"causal","ph":"f","bp":"e","id":%d,"ts":%d,"pid":%d,"tid":%d}|}
+             name !flow (max dts r.ts) dpid dcpu)
+      | ev ->
+        emit
+          (Printf.sprintf {|{"name":"%s","ph":"i","ts":%d,"pid":0,"tid":%d,"s":"t"}|}
+             (json_escape (Event.kind ev)) r.ts r.cpu))
+    records;
+  Buffer.add_string b "]\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+
+let prom_sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    name
+
+let prometheus () =
+  let b = Buffer.create 2048 in
+  List.iter
+    (fun (name, c) ->
+      let n = "atmo_" ^ prom_sanitize name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n (Metrics.Counter.value c)))
+    (Metrics.all_counters ());
+  List.iter
+    (fun (name, h) ->
+      let n = "atmo_" ^ prom_sanitize name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+      let counts = Metrics.Histogram.buckets h in
+      let cum = ref 0 in
+      let last = ref (-1) in
+      Array.iteri (fun i c -> if c > 0 then last := i) counts;
+      for i = 0 to !last do
+        cum := !cum + counts.(i);
+        let le = (1 lsl (i + 1)) - 1 in
+        Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n le !cum)
+      done;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n" n
+           (Metrics.Histogram.count h) n (Metrics.Histogram.sum h) n
+           (Metrics.Histogram.count h)))
+    (Metrics.all_histograms ());
+  Buffer.contents b

@@ -1,0 +1,20 @@
+(** Export formats for traces and metrics.
+
+    Output is deterministic: records are consumed in the (sorted)
+    order {!Sink.records} yields them and the metrics registry is
+    iterated by name, so two identical runs export byte-identical
+    snapshots. *)
+
+val chrome_trace : Event.record list -> string
+(** Chrome [trace_event] JSON array: spans as ["B"]/["E"] duration
+    slices (pid = owning container, tid = CPU), causal edges as flow
+    events (["s"]/["f"]) pinned to the source/destination spans, and
+    every other tracepoint as an instant event.  Load in
+    [chrome://tracing] or Perfetto.  Timestamps pass the cycle clock
+    through the microsecond field. *)
+
+val prometheus : unit -> string
+(** Prometheus text exposition of the whole metrics registry: counters
+    as [atmo_<name>] (non-metric characters become [_]), histograms as
+    cumulative [_bucket{le="..."}] series (upper edges of the log2
+    buckets) plus [_sum]/[_count]. *)

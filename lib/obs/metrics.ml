@@ -88,6 +88,24 @@ module Histogram = struct
     t.vmin <- max_int;
     t.vmax <- 0
 
+  let buckets t = Array.copy t.counts
+
+  (* Accumulate [src] into [dst] bucket-by-bucket: per-CPU shards share
+     the bucket edges, so merging loses no precision — every sample
+     lands in the same bucket it was observed into. *)
+  let merge ~into src =
+    if into != src then begin
+      for i = 0 to bucket_count - 1 do
+        into.counts.(i) <- into.counts.(i) + src.counts.(i)
+      done;
+      into.n <- into.n + src.n;
+      into.sum <- into.sum + src.sum;
+      if src.n > 0 then begin
+        if src.vmin < into.vmin then into.vmin <- src.vmin;
+        if src.vmax > into.vmax then into.vmax <- src.vmax
+      end
+    end
+
   let pp_row ppf t =
     Format.fprintf ppf "%-26s %8d %12.1f %10d %10d %10d %10d" t.name t.n (mean t)
       (p50 t) (p90 t) (p99 t) (max_value t)
@@ -132,6 +150,23 @@ let all_histograms () = sorted_bindings histograms
 let reset () =
   Hashtbl.iter (fun _ c -> Counter.reset c) counters;
   Hashtbl.iter (fun _ h -> Histogram.reset h) histograms
+
+(* Deterministic full-registry snapshot: both tables sorted by name,
+   zero-valued entries included, so two dumps of identical registries
+   compare equal regardless of hash-table insertion order. *)
+let dump () =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (name, c) -> Buffer.add_string b (Printf.sprintf "counter %s %d\n" name (Counter.value c)))
+    (all_counters ());
+  List.iter
+    (fun (name, h) ->
+      Buffer.add_string b
+        (Printf.sprintf "histogram %s count=%d sum=%d min=%d p50=%d p99=%d max=%d\n" name
+           (Histogram.count h) (Histogram.sum h) (Histogram.min_value h) (Histogram.p50 h)
+           (Histogram.p99 h) (Histogram.max_value h)))
+    (all_histograms ());
+  Buffer.contents b
 
 let pp_table ppf () =
   let hs = List.filter (fun (_, h) -> Histogram.count h > 0) (all_histograms ()) in

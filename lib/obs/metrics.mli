@@ -42,6 +42,16 @@ module Histogram : sig
   val p90 : t -> int
   val p99 : t -> int
   val reset : t -> unit
+
+  val buckets : t -> int array
+  (** Copy of the raw bucket counts (length {!bucket_count}). *)
+
+  val merge : into:t -> t -> unit
+  (** [merge ~into src] accumulates [src] into [into] bucket-by-bucket.
+      Shards sharing the bucket edges merge without precision loss:
+      counts, sum, and extremes add exactly.  [src] is unchanged;
+      merging a histogram into itself is a no-op. *)
+
   val pp_row : Format.formatter -> t -> unit
 end
 
@@ -59,6 +69,12 @@ val reset : unit -> unit
 (** Zero every registered metric in place (tests and fresh CLI runs).
     Registrations persist, so handles cached by instrumentation sites
     keep feeding the registry. *)
+
+val dump : unit -> string
+(** Deterministic full-registry snapshot: one line per metric, counters
+    then histograms, each table sorted by name, zero values included.
+    Stable across hash-table ordering — the anchor for exporters and
+    golden-style test expectations. *)
 
 val pp_table : Format.formatter -> unit -> unit
 (** Histogram table (count / mean / p50 / p90 / p99 / max) followed by

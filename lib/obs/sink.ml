@@ -34,7 +34,7 @@ let now () = !now_fn ()
 let set_cpu c = cpu_hint := c
 let current_cpu () = !cpu_hint
 
-let emit ?cpu ev =
+let emit ?ts ?cpu ev =
   match !current with
   | Disabled -> ()
   | Flight fr ->
@@ -45,7 +45,8 @@ let emit ?cpu ev =
         let c = !cpu_hint in
         if c >= 0 && c < Flight.cpus fr then c else 0
     in
-    Flight.push fr ~cpu (Event.encode ~ts:(!now_fn ()) ~cpu ev)
+    let ts = match ts with Some t -> t | None -> !now_fn () in
+    Flight.push fr ~cpu (Event.encode ~ts ~cpu ev)
 
 let records () =
   match !current with

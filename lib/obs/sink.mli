@@ -30,9 +30,11 @@ val set_cpu : int -> unit
 
 val current_cpu : unit -> int
 
-val emit : ?cpu:int -> Event.t -> unit
+val emit : ?ts:int -> ?cpu:int -> Event.t -> unit
 (** Record an event (no-op when disabled).  Out-of-range CPUs fall back
-    to ring 0. *)
+    to ring 0.  [?ts] overrides the injected clock — span begin/end
+    sites whose caller owns the timeline stamp explicit cycle times so a
+    span's duration matches the cycle model exactly. *)
 
 val records : unit -> Event.record list
 (** Decode every live slot of the installed recorder, merged across

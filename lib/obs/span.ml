@@ -1,0 +1,232 @@
+(* The span layer: typed begin/end intervals with parent links, causal
+   edges, and per-owner cycle accounting, built on top of the flat
+   tracepoint stream.
+
+   Spans nest per CPU: [begin_] pushes a frame onto the current CPU's
+   stack (parent = previous top) and emits a [Span_begin] event;
+   [end_] pops it, emits [Span_end], and charges the span's *self*
+   cycles (duration minus the summed duration of its direct children)
+   to the owning container / process / thread as `cycles/...` counter
+   families.  Root spans additionally feed `cycles/total`, so the sum
+   of all per-container counters equals `cycles/total` by construction
+   — self times partition each tree's root duration exactly.
+
+   Timestamps: whoever owns the timeline (the SMP simulator, a
+   workload harness) passes explicit [~ts] so span durations match the
+   cycle model; spans opened inside the kernel (rendezvous, TLB fills)
+   default to [Sink.now ()] and are zero-duration structural children.
+
+   Everything here is host-only bookkeeping: with the sink [Disabled],
+   [begin_] returns 0 after one flag load and every other entry point
+   is a no-op, preserving the bit-identical zero-overhead invariant. *)
+
+type kind =
+  | Request
+  | Ipc_rendezvous
+  | Ctx_switch
+  | Mmu_fill
+  | Drv_submit
+  | Drv_complete
+  | Irq
+  | User
+  | Lock_wait
+  | App of int
+  | Syscall of int
+
+let code = function
+  | Request -> 1
+  | Ipc_rendezvous -> 2
+  | Ctx_switch -> 3
+  | Mmu_fill -> 4
+  | Drv_submit -> 5
+  | Drv_complete -> 6
+  | Irq -> 7
+  | User -> 8
+  | Lock_wait -> 9
+  | App c -> if c >= 16 && c < 64 then c else 16
+  | Syscall n -> 64 + (n land 0xff)
+
+(* Application kinds: codes 16-63, registered by name.  The raw event
+   decoder prints "app<n>"; [label_of_code] resolves registered names
+   for human-facing output (profiler, exporters). *)
+let app_names : (int, string) Hashtbl.t = Hashtbl.create 8
+let next_app = ref 16
+
+let register_app name =
+  let found =
+    Hashtbl.fold (fun c n acc -> if n = name then Some c else acc) app_names None
+  in
+  match found with
+  | Some c -> App c
+  | None ->
+    let c = if !next_app < 64 then !next_app else 63 in
+    if !next_app < 64 then incr next_app;
+    Hashtbl.replace app_names c name;
+    App c
+
+let label_of_code c =
+  match Hashtbl.find_opt app_names c with
+  | Some n -> n
+  | None -> Event.span_kind_name c
+
+let label k = label_of_code (code k)
+
+(* ------------------------------------------------------------------ *)
+(* Per-CPU open-span stacks                                            *)
+
+type frame = {
+  id : int;
+  fcode : int;
+  container : int;
+  fproc : int;
+  fthread : int;
+  t0 : int;
+  mutable child : int;  (* summed duration of completed direct children *)
+}
+
+let next_id = ref 1
+let stacks : (int, frame list ref) Hashtbl.t = Hashtbl.create 8
+let leaks : (int * int * int) list ref = ref []  (* cpu, code, id *)
+
+let stack_for cpu =
+  match Hashtbl.find_opt stacks cpu with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.replace stacks cpu r;
+    r
+
+(* Causal-edge side tables: who to connect a later event back to. *)
+let blocked : (int, int) Hashtbl.t = Hashtbl.create 32  (* thread -> span *)
+let irq_pending : (int, int) Hashtbl.t = Hashtbl.create 8  (* device -> span *)
+let submits : (int * int, int) Hashtbl.t = Hashtbl.create 32  (* device,tag -> span *)
+
+let reset () =
+  next_id := 1;
+  Hashtbl.reset stacks;
+  leaks := [];
+  Hashtbl.reset blocked;
+  Hashtbl.reset irq_pending;
+  Hashtbl.reset submits
+
+(* ------------------------------------------------------------------ *)
+(* Begin / end                                                         *)
+
+let total_name = "cycles/total"
+
+let charge family owner by =
+  if owner >= 0 && by > 0 then Metrics.bump ~by (family ^ string_of_int owner)
+
+let begin_ ?ts ?(container = -1) ?(proc = -1) ?(thread = -1) kind =
+  if not (Sink.tracing ()) then 0
+  else begin
+    let cpu = Sink.current_cpu () in
+    let st = stack_for cpu in
+    let id = !next_id in
+    incr next_id;
+    let parent, container, proc, thread =
+      match !st with
+      | [] -> (0, container, proc, thread)
+      | f :: _ ->
+        (* Owner inherits down the stack unless overridden. *)
+        ( f.id,
+          (if container >= 0 then container else f.container),
+          (if proc >= 0 then proc else f.fproc),
+          if thread >= 0 then thread else f.fthread )
+    in
+    let c = code kind in
+    let t0 = match ts with Some t -> t | None -> Sink.now () in
+    st := { id; fcode = c; container; fproc = proc; fthread = thread; t0; child = 0 } :: !st;
+    Sink.emit ?ts (Event.Span_begin { span = id; parent; kind = c; owner = container });
+    id
+  end
+
+let close_frame ?ts st f rest =
+  st := rest;
+  let t1 = match ts with Some t -> t | None -> Sink.now () in
+  let dur = max 0 (t1 - f.t0) in
+  let self = max 0 (dur - f.child) in
+  (match rest with
+  | p :: _ -> p.child <- p.child + dur
+  | [] -> Metrics.bump ~by:dur total_name);
+  charge "cycles/container/" f.container self;
+  charge "cycles/process/" f.fproc self;
+  charge "cycles/thread/" f.fthread self;
+  if self > 0 then Metrics.bump ~by:self ("cycles/kind/" ^ label_of_code f.fcode);
+  Sink.emit ?ts (Event.Span_end { span = f.id; kind = f.fcode; owner = f.container })
+
+let rec end_ ?ts id =
+  if Sink.tracing () && id > 0 then begin
+    let cpu = Sink.current_cpu () in
+    let st = stack_for cpu in
+    match !st with
+    | [] -> Metrics.bump "span/stray_end"
+    | f :: rest ->
+      if f.id = id then close_frame ?ts st f rest
+      else if List.exists (fun g -> g.id = id) rest then begin
+        (* Children left open above the span being ended: a balance
+           violation.  Record them for the sanitizer lint and unwind. *)
+        leaks := (cpu, f.fcode, f.id) :: !leaks;
+        Metrics.bump "span/leaked";
+        st := rest;
+        end_ ?ts id
+      end
+      else Metrics.bump "span/stray_end"
+  end
+
+let current () =
+  if not (Sink.tracing ()) then 0
+  else
+    match Hashtbl.find_opt stacks (Sink.current_cpu ()) with
+    | Some { contents = f :: _ } -> f.id
+    | _ -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Causal edges                                                        *)
+
+type edge_kind = Ipc | Irq_delivery | Drv | Wakeup
+
+let edge_code = function Ipc -> 1 | Irq_delivery -> 2 | Drv -> 3 | Wakeup -> 4
+
+let edge kind ~src ~dst =
+  if Sink.tracing () && src > 0 && dst > 0 then
+    Sink.emit (Event.Causal { edge = edge_code kind; src; dst })
+
+let note_blocked ~thread ~span = if span > 0 then Hashtbl.replace blocked thread span
+
+let take_blocked ~thread =
+  match Hashtbl.find_opt blocked thread with
+  | Some s ->
+    Hashtbl.remove blocked thread;
+    s
+  | None -> 0
+
+let note_irq_pending ~device ~span = if span > 0 then Hashtbl.replace irq_pending device span
+
+let take_irq_pending ~device =
+  match Hashtbl.find_opt irq_pending device with
+  | Some s ->
+    Hashtbl.remove irq_pending device;
+    s
+  | None -> 0
+
+let note_submit ~device ~tag ~span = if span > 0 then Hashtbl.replace submits (device, tag) span
+
+let take_submit ~device ~tag =
+  match Hashtbl.find_opt submits (device, tag) with
+  | Some s ->
+    Hashtbl.remove submits (device, tag);
+    s
+  | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Introspection (the sanitizer's span-balance lint)                   *)
+
+let open_spans () =
+  Hashtbl.fold
+    (fun cpu st acc -> List.fold_left (fun acc f -> (cpu, f.fcode, f.id) :: acc) acc !st)
+    stacks []
+  |> List.sort compare
+
+let leaked () = List.sort compare !leaks
+let clear_leaked () = leaks := []

@@ -1,0 +1,97 @@
+(** Typed spans with parent links, causal edges, and per-owner cycle
+    accounting on top of the flight-recorder event stream.
+
+    A span is an interval of the cycle timeline attributed to a kind
+    (syscall, IPC rendezvous, TLB fill, driver submit/complete, ...)
+    and an owner (container / process / thread pointers).  Spans nest
+    per CPU; {!begin_} emits {!Event.Span_begin} with the enclosing
+    span as parent, {!end_} emits {!Event.Span_end} and charges the
+    span's {e self} cycles (duration minus completed children) to
+    [cycles/container/<p>], [cycles/process/<p>], [cycles/thread/<p>],
+    and [cycles/kind/<name>] counter families.  Root spans feed
+    [cycles/total], so per-container totals sum to [cycles/total]
+    exactly.
+
+    Causal edges ({!Event.Causal}) connect spans across CPUs and
+    threads: IPC send→recv, IRQ→endpoint delivery, driver
+    submit→completion, scheduler wakeups.  Side tables
+    ({!note_blocked} &c.) let an instrumentation site recorded at one
+    point in time be linked from a later one.
+
+    Zero-overhead contract: every entry point loads the sink flag
+    first; with {!Sink.Disabled} nothing allocates, no clock is read,
+    and no cycle-model state is touched. *)
+
+type kind =
+  | Request        (** application-level request root *)
+  | Ipc_rendezvous (** kernel IPC rendezvous (fast or slow path) *)
+  | Ctx_switch     (** scheduler picked a new current thread *)
+  | Mmu_fill       (** TLB miss serviced by a page-table walk *)
+  | Drv_submit     (** driver queued work / rang a doorbell *)
+  | Drv_complete   (** driver harvested a completion *)
+  | Irq            (** interrupt fired and was routed *)
+  | User           (** simulated user-mode think time *)
+  | Lock_wait      (** big-kernel-lock wait *)
+  | App of int     (** registered application kind (code 16-63) *)
+  | Syscall of int (** one syscall, by [Atmo_spec.Syscall.number] *)
+
+val code : kind -> int
+(** One-byte kind code as stored in events (syscall [n] maps to
+    [64 + n]). *)
+
+val register_app : string -> kind
+(** Intern an application span kind by name (codes 16-63; idempotent
+    per name).  {!label} resolves it back. *)
+
+val label : kind -> string
+
+val label_of_code : int -> string
+(** Name for a raw kind code, preferring registered application names
+    over the generic decoder names. *)
+
+val begin_ : ?ts:int -> ?container:int -> ?proc:int -> ?thread:int -> kind -> int
+(** Open a span on the current CPU ({!Sink.current_cpu}) and return its
+    id, or 0 when tracing is disabled.  Owner fields default to the
+    enclosing span's owners.  [?ts] stamps an explicit cycle time;
+    otherwise {!Sink.now} is used. *)
+
+val end_ : ?ts:int -> int -> unit
+(** Close a span by id (no-op for id 0 or when tracing is disabled).
+    Children still open above it are recorded as leaks (see {!leaked})
+    and unwound. *)
+
+val current : unit -> int
+(** Id of the innermost open span on the current CPU, or 0. *)
+
+type edge_kind = Ipc | Irq_delivery | Drv | Wakeup
+
+val edge : edge_kind -> src:int -> dst:int -> unit
+(** Emit a causal edge between two spans; dropped if either id is 0. *)
+
+(** {2 Causal side tables} *)
+
+val note_blocked : thread:int -> span:int -> unit
+(** Remember the span during which [thread] parked on an endpoint. *)
+
+val take_blocked : thread:int -> int
+(** Consume the parked span for [thread] (0 if none). *)
+
+val note_irq_pending : device:int -> span:int -> unit
+val take_irq_pending : device:int -> int
+val note_submit : device:int -> tag:int -> span:int -> unit
+val take_submit : device:int -> tag:int -> int
+
+(** {2 Introspection} *)
+
+val open_spans : unit -> (int * int * int) list
+(** Open spans as [(cpu, kind code, id)], sorted — at quiescence this
+    must be empty; the sanitizer's span-balance lint checks it. *)
+
+val leaked : unit -> (int * int * int) list
+(** Spans that were left open when an enclosing span ended, sorted. *)
+
+val clear_leaked : unit -> unit
+
+val reset : unit -> unit
+(** Drop all open-span stacks, side tables, and leak records, and
+    restart id allocation.  Call when (re)installing a sink. *)

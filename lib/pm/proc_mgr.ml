@@ -276,6 +276,8 @@ let close_endpoint_slot t ~thread ~slot =
 (* ------------------------------------------------------------------ *)
 (* Scheduler                                                           *)
 
+let ctx_switch_ctr = Atmo_obs.Metrics.counter "sched/ctx_switch"
+
 let dequeue_next t =
   match Sched_queue.pop_front t.run_queue with
   | None ->
@@ -285,6 +287,13 @@ let dequeue_next t =
     Perm_map.update t.thrd_perms ~ptr:th (fun thread ->
         { thread with Thread.state = Thread.Running });
     t.current <- Some th;
+    Atmo_obs.Metrics.Counter.incr ctx_switch_ctr;
+    if Atmo_obs.Sink.tracing () then begin
+      (* zero-duration structural span: the switch shows up in the tree
+         under whatever kernel path triggered it *)
+      let sid = Atmo_obs.Span.begin_ ~thread:th Atmo_obs.Span.Ctx_switch in
+      Atmo_obs.Span.end_ sid
+    end;
     Some th
 
 let preempt_current t =

@@ -18,6 +18,7 @@ type rule =
   | Pt_bad_leaf_state
   | Tlb_stale
   | Sched_incoherent
+  | Span_leak
 
 let rule_name = function
   | Use_after_free -> "use-after-free"
@@ -39,6 +40,7 @@ let rule_name = function
   | Pt_bad_leaf_state -> "pt-bad-leaf-state"
   | Tlb_stale -> "tlb-stale"
   | Sched_incoherent -> "sched-incoherent"
+  | Span_leak -> "span-leak"
 
 type t = {
   rule : rule;

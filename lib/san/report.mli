@@ -29,6 +29,9 @@ type rule =
       (** scheduler state broken: a Runnable thread queued nowhere, a
           queued thread not Runnable/alive, or current/Running disagree
           (the IPC fastpath's obligations) *)
+  | Span_leak
+      (** span begun but never ended: still open at quiescence, or left
+          open when its enclosing span closed *)
 
 val rule_name : rule -> string
 

@@ -1,0 +1,35 @@
+(* Span-balance lint: every span begun must have ended by the time the
+   system is quiescent.
+
+   Two violation sources, both recorded as [Span_leak]:
+   - spans still sitting on an open-span stack at check time (nothing
+     will ever close them — at quiescence no syscall is in flight);
+   - spans the span layer had to unwind because an enclosing span
+     closed over them (recorded by [Atmo_obs.Span] as it popped them).
+
+   The kernel's [span-leak] plant opens the IPC-slowpath rendezvous
+   span and never closes it; this lint is its oracle.  The leak list is
+   consumed so repeated checks do not re-report the same unwind. *)
+
+module Span = Atmo_obs.Span
+
+let lint (_k : Atmo_core.Kernel.t) =
+  let n = ref 0 in
+  List.iter
+    (fun (cpu, code, id) ->
+      incr n;
+      Report.record Report.Span_leak ~site:"span_lint.open" ~page:(-1)
+        ~detail:
+          (Printf.sprintf "span #%d (%s) still open on cpu%d at quiescence" id
+             (Span.label_of_code code) cpu))
+    (Span.open_spans ());
+  List.iter
+    (fun (cpu, code, id) ->
+      incr n;
+      Report.record Report.Span_leak ~site:"span_lint.unwound" ~page:(-1)
+        ~detail:
+          (Printf.sprintf "span #%d (%s) on cpu%d was left open when its parent ended" id
+             (Span.label_of_code code) cpu))
+    (Span.leaked ());
+  Span.clear_leaked ();
+  !n

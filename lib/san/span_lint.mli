@@ -1,0 +1,12 @@
+(** Span-balance lint.
+
+    At quiescence (no syscall in flight) every span the tracing layer
+    opened must have been closed: the per-CPU open-span stacks must be
+    empty and the span layer must not have unwound any span because its
+    parent ended first.  Violations file as [Span_leak] — this is the
+    oracle for [atmo san --plant span-leak], which opens the IPC
+    slowpath's rendezvous span and never closes it.  The unwound-leak
+    list is consumed, so back-to-back checks do not double-report. *)
+
+val lint : Atmo_core.Kernel.t -> int
+(** Run the check; returns the number of violations filed. *)

@@ -107,15 +107,38 @@ let run k ~cost ~cpus ~programs ~iterations =
             let kcycles = syscall_cycles cost call in
             let grant = max lock_request !lock_free in
             lock_wait := !lock_wait + (grant - lock_request);
-            if tracing then begin
-              sim_now := grant;
-              Atmo_obs.Sink.set_cpu cpu;
-              Atmo_obs.Sink.emit
-                (Atmo_obs.Event.Lock_acquire
-                   { cpu; wait_cycles = grant - lock_request });
-              Atmo_obs.Metrics.observe "smp/lock_wait" (grant - lock_request);
-              Atmo_obs.Metrics.observe ("lat/syscall/" ^ Syscall.name call) kcycles
-            end;
+            let span =
+              if tracing then begin
+                sim_now := grant;
+                Atmo_obs.Sink.set_cpu cpu;
+                (* spans carry the cycle-model interval boundaries: the
+                   simulator owns the timeline, so think time, lock wait
+                   and the kernel entry each get their exact extent and
+                   are charged to the caller's container/process/thread *)
+                let container = Kernel.container_of_thread k ~thread:p.thread in
+                let proc = Kernel.proc_of_thread k ~thread:p.thread in
+                let uspan =
+                  Atmo_obs.Span.begin_ ~ts:think_start ?container ?proc
+                    ~thread:p.thread Atmo_obs.Span.User
+                in
+                Atmo_obs.Span.end_ ~ts:lock_request uspan;
+                if grant > lock_request then begin
+                  let w =
+                    Atmo_obs.Span.begin_ ~ts:lock_request ?container ?proc
+                      ~thread:p.thread Atmo_obs.Span.Lock_wait
+                  in
+                  Atmo_obs.Span.end_ ~ts:grant w
+                end;
+                Atmo_obs.Sink.emit
+                  (Atmo_obs.Event.Lock_acquire
+                     { cpu; wait_cycles = grant - lock_request });
+                Atmo_obs.Metrics.observe "smp/lock_wait" (grant - lock_request);
+                Atmo_obs.Metrics.observe ("lat/syscall/" ^ Syscall.name call) kcycles;
+                Atmo_obs.Span.begin_ ~ts:grant ?container ?proc ~thread:p.thread
+                  (Atmo_obs.Span.Syscall (Syscall.number call))
+              end
+              else 0
+            in
             (* the call really executes against the kernel, under the
                modelled big lock (reported to the lock-discipline
                checker when atmo-san is armed) *)
@@ -125,6 +148,10 @@ let run k ~cost ~cpus ~programs ~iterations =
             else ignore (Kernel.step k ~thread:p.thread call);
             incr executed;
             let finish = grant + kcycles in
+            if span <> 0 then begin
+              sim_now := finish;
+              Atmo_obs.Span.end_ ~ts:finish span
+            end;
             lock_free := finish;
             (* kernel time also occupies the caller's CPU *)
             cpu_free.(cpu) <- finish;

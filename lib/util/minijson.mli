@@ -1,0 +1,41 @@
+(** Minimal JSON reader/writer for the bench pipeline.
+
+    [bench report] merges the machine-readable [BENCH_*.json] files this
+    repo's benchmarks write into [BENCH_summary.json] and compares runs;
+    the container's toolchain is frozen, so the benches cannot depend on
+    an external JSON library.  The reader covers the JSON this repo
+    actually produces (objects, arrays, strings, numbers, booleans,
+    null); [\uXXXX] escapes decode to ['?']. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Raises {!Parse_error}. *)
+
+val of_string : string -> (t, string) result
+val of_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects. *)
+
+val path : string list -> t -> t option
+(** Nested lookup: [path ["a"; "b"] v] is [v.a.b]. *)
+
+val to_float : t option -> float option
+(** Numbers pass through; booleans coerce to 0/1 (handy for floors). *)
+
+val to_bool : t option -> bool option
+val to_string : t option -> string option
+
+val to_string_pretty : t -> string
+(** Deterministic two-space-indented rendering, trailing newline. *)
+
+val to_file : string -> t -> unit

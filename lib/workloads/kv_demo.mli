@@ -1,0 +1,31 @@
+(** The kv-store demo workload — §6.6's GET path as a span-tree
+    acceptance scenario.
+
+    Boots a kernel, creates a server container (CPU 1) holding three
+    Maglev-steered kv-store shards backed by an NVMe queue pair, and
+    drives GET requests from init (CPU 0) over a pair of IPC endpoints.
+    Each request crosses two IPC rendezvous and one driver
+    submit/completion, so with a {!Atmo_obs.Sink.Flight} sink installed
+    the flight-recorder stream reconstructs the full request path:
+    [Request → send —ipc→ recv —wakeup→ kv_handler → drv_submit —drv→
+    drv_complete → send —ipc→ recv → Request end].
+
+    The virtual clock advances identically whether the sink is
+    [Disabled] or [Flight]; [end_cycles] and [latencies] are the
+    bit-identity oracle for the zero-overhead guarantee. *)
+
+type result = {
+  requests : int;
+  hits : int;  (** GETs that found their key (should equal [requests]) *)
+  end_cycles : int;  (** virtual clock at workload end *)
+  latencies : int list;  (** per-request round-trip cycles, oldest first *)
+  server_container : int;
+  client_container : int;
+  abstract : Atmo_spec.Abstract_state.t;
+}
+
+val run : ?requests:int -> ?entries:int -> unit -> result
+(** Run the workload on a freshly booted kernel.  [requests] defaults
+    to 16; [entries] (per-shard capacity) to 256.  Installs nothing:
+    the caller owns sink setup/teardown ({!Atmo_obs.Sink.install},
+    {!Atmo_obs.Span.reset}, {!Atmo_obs.Metrics.reset}). *)

@@ -419,6 +419,66 @@ let test_san_fastpath_skip () =
       | None -> Alcotest.fail "fastpath skip not detected"
       | Some _ -> ())
 
+let test_san_span_leak () =
+  (* same parked-receiver setup as the fastpath test, but under a live
+     flight recorder: force the rendezvous onto the slowpath and make it
+     drop the span's end — the span-balance lint must flag the span
+     still open at quiescence. *)
+  let k, init =
+    match Kernel.boot Kernel.default_boot with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "boot: %a" Atmo_util.Errno.pp e
+  in
+  let t2 =
+    match Kernel.step k ~thread:init Syscall.New_thread with
+    | Syscall.Rptr t -> t
+    | r -> Alcotest.failf "new_thread: %a" Syscall.pp_ret r
+  in
+  (match Kernel.step k ~thread:init (Syscall.New_endpoint { slot = 0 }) with
+   | Syscall.Rptr _ -> ()
+   | r -> Alcotest.failf "new_endpoint: %a" Syscall.pp_ret r);
+  let ep =
+    Option.get (Thread.slot (Perm_map.borrow k.Kernel.pm.Proc_mgr.thrd_perms ~ptr:init) 0)
+  in
+  Perm_map.update k.Kernel.pm.Proc_mgr.thrd_perms ~ptr:t2 (fun th ->
+      Thread.set_slot th 0 (Some ep));
+  Perm_map.update k.Kernel.pm.Proc_mgr.edpt_perms ~ptr:ep (fun e ->
+      { e with Endpoint.refcount = e.Endpoint.refcount + 1 });
+  (match Kernel.step k ~thread:t2 (Syscall.Recv { slot = 0 }) with
+   | Syscall.Rblocked -> ()
+   | r -> Alcotest.failf "recv should block: %a" Syscall.pp_ret r);
+  let module Obs_sink = Atmo_obs.Sink in
+  let recorder =
+    Atmo_obs.Flight.create ~cpus:1 ~slots:64 ~slot_size:Atmo_obs.Event.slot_bytes
+  in
+  Atmo_obs.Span.reset ();
+  Obs_sink.install (Obs_sink.Flight recorder);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs_sink.install Obs_sink.Disabled;
+      Atmo_obs.Span.reset ())
+    (fun () ->
+      with_san (fun () ->
+          San_runtime.attach k;
+          checkb "clean lint before plant" true (Atmo_san.Span_lint.lint k = 0);
+          Kernel.set_fastpath false;
+          Kernel.set_span_leak_plant true;
+          Fun.protect
+            ~finally:(fun () ->
+              Kernel.set_span_leak_plant false;
+              Kernel.set_fastpath true)
+            (fun () ->
+              match
+                Kernel.step k ~thread:init
+                  (Syscall.Send { slot = 0; msg = Atmo_pm.Message.scalars_only [ 1 ] })
+              with
+              | Syscall.Runit -> ()
+              | r -> Alcotest.failf "send: %a" Syscall.pp_ret r);
+          checkb "lint fires" true (Atmo_san.Span_lint.lint k > 0);
+          match san_find San_report.Span_leak with
+          | None -> Alcotest.fail "span leak not detected"
+          | Some _ -> ()))
+
 (* ------------------------------------------------------------------ *)
 (* Spec mutations: a wrong return value must violate the spec          *)
 
@@ -502,6 +562,7 @@ let () =
           Alcotest.test_case "malformed pte" `Quick test_san_malformed_pte;
           Alcotest.test_case "stale tlb" `Quick test_san_stale_tlb;
           Alcotest.test_case "fastpath skip" `Quick test_san_fastpath_skip;
+          Alcotest.test_case "span leak" `Quick test_san_span_leak;
         ] );
       ( "spec",
         [
