@@ -1,7 +1,7 @@
 # Convenience targets over dune; `make check` is the pre-commit gate.
 
-.PHONY: all build test test-san bench bench-tlb bench-ipc bench-span bench-all \
-	check trace obs profile top san clean
+.PHONY: all build test test-san bench bench-tlb bench-ipc bench-span bench-dev \
+	bench-all check trace obs profile top san clean
 
 all: build
 
@@ -36,6 +36,13 @@ bench-ipc:
 bench-span:
 	dune exec bench/main.exe -- span
 
+# Device-model backend interchange and hostile-mode resilience: fault-free
+# virtio-vs-ixgbe delivery identity, kv-store bit-identity across block and
+# NIC backends, seeded hostile sweeps with bounded delivery loss and a clean
+# driver lint.  Writes BENCH_dev.json.
+bench-dev:
+	dune exec bench/main.exe -- dev
+
 # Every benchmark that writes a BENCH_*.json artifact, then the merge:
 # `bench report` folds them into BENCH_summary.json, reports deltas
 # >= 5% against the previous summary, and enforces the hard floors
@@ -46,15 +53,17 @@ bench-all:
 	dune exec bench/main.exe -- tlb
 	dune exec bench/main.exe -- ipc
 	dune exec bench/main.exe -- span
+	dune exec bench/main.exe -- dev
 	dune exec bench/main.exe -- report
 
 # Pre-commit gate: build, tier-1 tests (plain and with the sanitizer
 # armed, so the TLB-coherence, scheduler and span-balance lints run
 # over every suite), the fastpath on/off oracle, the headline IPC
-# table, the sanitizer over the scripted workload (clean run must
-# report zero violations; the stale-TLB, fastpath-skip and span-leak
-# plants must be caught), the profiler's request-path reconstruction
-# over the kv-store demo, and the span bench + regression report
+# table, the sanitizer over the scripted workload + hostile device
+# sweep (clean run must report zero violations; the stale-TLB,
+# fastpath-skip, span-leak and driver plants must each be caught by
+# exactly their rule), the profiler's request-path reconstruction over
+# the kv-store demo, and the span + device benches + regression report
 # (bit-identity and performance floors over the BENCH_*.json set).
 check:
 	dune build && dune runtest && SAN=1 dune runtest --force \
@@ -64,8 +73,13 @@ check:
 	&& dune exec bin/atmo_cli.exe -- san --plant stale-tlb \
 	&& dune exec bin/atmo_cli.exe -- san --plant fastpath-skip \
 	&& dune exec bin/atmo_cli.exe -- san --plant span-leak \
+	&& dune exec bin/atmo_cli.exe -- san --plant undefined-state \
+	&& dune exec bin/atmo_cli.exe -- san --plant dma-escape \
+	&& dune exec bin/atmo_cli.exe -- san --plant irq-storm \
+	&& dune exec bin/atmo_cli.exe -- san --plant lost-completion \
 	&& dune exec bin/atmo_cli.exe -- profile --requests 8 \
 	&& dune exec bench/main.exe -- span \
+	&& dune exec bench/main.exe -- dev \
 	&& dune exec bench/main.exe -- report
 
 trace:
@@ -82,8 +96,10 @@ profile:
 top:
 	dune exec bin/atmo_cli.exe -- top
 
-# Full sanitizer demonstration: clean workload, then the six planted
-# bugs, each of which must be detected with a typed report.
+# Full sanitizer demonstration: clean workload (including the seeded
+# hostile device sweep), then the ten planted bugs, each of which must
+# be detected with a typed report — the four driver plants by exactly
+# their Driver_lint rule.
 san:
 	dune exec bin/atmo_cli.exe -- san
 	dune exec bin/atmo_cli.exe -- san --plant double-free
@@ -92,6 +108,10 @@ san:
 	dune exec bin/atmo_cli.exe -- san --plant stale-tlb
 	dune exec bin/atmo_cli.exe -- san --plant fastpath-skip
 	dune exec bin/atmo_cli.exe -- san --plant span-leak
+	dune exec bin/atmo_cli.exe -- san --plant undefined-state
+	dune exec bin/atmo_cli.exe -- san --plant dma-escape
+	dune exec bin/atmo_cli.exe -- san --plant irq-storm
+	dune exec bin/atmo_cli.exe -- san --plant lost-completion
 
 clean:
 	dune clean

@@ -568,6 +568,201 @@ let run_san_workload k ~init ~iterations =
   ignore (Atmo_drivers.Nvme.wait_all nvme);
   (stats, t2)
 
+(* ------------------------------------------------------------------ *)
+(* Hostile device sweep: all four device models under seeded fault
+   injection.  Every fault the engines emit must be absorbed as a typed
+   error and every ledger must balance at quiescence — Driver_lint runs
+   right after inside [San_runtime.full_check]. *)
+
+module Model = Atmo_devmodel.Model
+module Hostile = Atmo_devmodel.Hostile
+module Ixgbe = Atmo_drivers.Ixgbe
+module Virtio_net = Atmo_drivers.Virtio_net
+module Virtio_blk = Atmo_drivers.Virtio_blk
+module Nvme = Atmo_drivers.Nvme
+
+(* A standalone DMA environment: private memory, an IOMMU domain rooted
+   in an identity-style page table, and a bump allocator of mapped iova
+   spans.  Device traffic here cannot touch the workload kernel. *)
+let mk_dev_env ~device =
+  let mem = Phys_mem.create ~page_count:128 in
+  let alloc = Atmo_pmem.Page_alloc.create mem ~reserved_frames:0 in
+  let iommu = Atmo_hw.Iommu.create mem in
+  let pt =
+    match Page_table.create mem alloc with
+    | Ok p -> p
+    | Error _ -> Fmt.failwith "san: device env page table"
+  in
+  let next = ref 0x20_0000 in
+  let span bytes =
+    let base = !next in
+    let pages = (bytes + Phys_mem.page_size - 1) / Phys_mem.page_size in
+    for i = 0 to pages - 1 do
+      let frame =
+        match Atmo_pmem.Page_alloc.alloc_4k alloc ~purpose:Atmo_pmem.Page_alloc.User with
+        | Some f -> f
+        | None -> Fmt.failwith "san: device env out of frames"
+      in
+      match
+        Page_table.map_4k pt ~vaddr:(base + (i * Phys_mem.page_size)) ~frame
+          ~perm:Pte_bits.perm_rw
+      with
+      | Ok () -> ()
+      | Error _ -> Fmt.failwith "san: device env map"
+    done;
+    next := base + (pages * Phys_mem.page_size);
+    base
+  in
+  Atmo_hw.Iommu.attach iommu ~device ~root:(Page_table.cr3 pt);
+  (mem, iommu, span)
+
+let sweep_frame = Bytes.make 96 '\x5a'
+
+let hostile_nic_sweep ~seed ~steps ~kind =
+  let cost = Atmo_sim.Cost.default in
+  let clock = Atmo_hw.Clock.create () in
+  let slots = 8 in
+  let rx drv_rx = ignore (drv_rx ~max:slots) in
+  match kind with
+  | `Ixgbe ->
+    let mem, iommu, span = mk_dev_env ~device:11 in
+    let nic = Ixgbe.create mem iommu ~device:11 ~clock ~cost in
+    let buffers () = Array.init slots (fun _ -> (span 2048, 2048)) in
+    (match Ixgbe.setup_rx nic ~ring_iova:(span Phys_mem.page_size) ~buffers:(buffers ()) with
+     | Ok () -> ()
+     | Error e -> Fmt.failwith "san: ixgbe setup: %s" (Atmo_devmodel.Fault.error_to_string e));
+    (match Ixgbe.setup_tx nic ~ring_iova:(span Phys_mem.page_size) ~buffers:(buffers ()) with
+     | Ok () -> ()
+     | Error e -> Fmt.failwith "san: ixgbe setup: %s" (Atmo_devmodel.Fault.error_to_string e));
+    Ixgbe.set_hostile nic (Some (Hostile.create ~seed ()));
+    for i = 1 to steps do
+      ignore (Ixgbe.wire_deliver nic sweep_frame);
+      rx (Ixgbe.rx_burst nic);
+      if i mod 4 = 0 then begin
+        ignore (Ixgbe.tx_burst nic [ sweep_frame ]);
+        ignore (Ixgbe.wire_collect nic)
+      end
+    done;
+    Ixgbe.set_hostile nic None;
+    for _ = 1 to 4 do rx (Ixgbe.rx_burst nic) done;
+    Ixgbe.error_count nic
+  | `Virtio ->
+    let mem, iommu, span = mk_dev_env ~device:14 in
+    let nic = Virtio_net.create mem iommu ~device:14 ~clock ~cost in
+    let buffers () = Array.init slots (fun _ -> (span 2048, 2048)) in
+    (match Virtio_net.setup_rx nic ~ring_iova:(span Phys_mem.page_size) ~buffers:(buffers ()) with
+     | Ok () -> ()
+     | Error e -> Fmt.failwith "san: virtio-net setup: %s" (Atmo_devmodel.Fault.error_to_string e));
+    (match Virtio_net.setup_tx nic ~ring_iova:(span Phys_mem.page_size) ~buffers:(buffers ()) with
+     | Ok () -> ()
+     | Error e -> Fmt.failwith "san: virtio-net setup: %s" (Atmo_devmodel.Fault.error_to_string e));
+    Virtio_net.set_hostile nic (Some (Hostile.create ~seed ()));
+    for i = 1 to steps do
+      ignore (Virtio_net.wire_deliver nic sweep_frame);
+      rx (Virtio_net.rx_burst nic);
+      if i mod 4 = 0 then begin
+        ignore (Virtio_net.tx_burst nic [ sweep_frame ]);
+        ignore (Virtio_net.wire_collect nic)
+      end
+    done;
+    Virtio_net.set_hostile nic None;
+    for _ = 1 to 4 do rx (Virtio_net.rx_burst nic) done;
+    Virtio_net.error_count nic
+
+let hostile_blk_sweep ~seed ~steps ~kind =
+  let cost = Atmo_sim.Cost.default in
+  let clock = Atmo_hw.Clock.create () in
+  let block = Bytes.make Nvme.block_bytes 'b' in
+  match kind with
+  | `Nvme ->
+    let dev = Nvme.create ~clock ~cost ~capacity_blocks:256 in
+    Nvme.set_device dev 12;
+    Nvme.set_hostile dev (Some (Hostile.create ~seed ()));
+    for i = 1 to steps do
+      let lba = i mod 256 in
+      (match
+         if i mod 3 = 0 then Result.map ignore (Nvme.submit_write dev ~lba ~data:block)
+         else Result.map ignore (Nvme.submit_read dev ~lba)
+       with
+       | Ok () -> ()
+       | Error _ -> ignore (Nvme.wait_all dev));
+      if i mod 8 = 0 then ignore (Nvme.poll dev)
+    done;
+    ignore (Nvme.wait_all dev);
+    Nvme.set_hostile dev None;
+    ignore (Nvme.wait_all dev);
+    Nvme.error_count dev
+  | `Virtio ->
+    let mem, iommu, span = mk_dev_env ~device:13 in
+    let dev = Virtio_blk.create mem iommu ~device:13 ~clock ~cost ~capacity_blocks:256 in
+    let depth = 16 in
+    let _, _, _, ring_bytes = Atmo_drivers.Virtio_ring.layout ~qsz:(3 * depth) ~base:0 in
+    let ring_iova = span ring_bytes in
+    let arena_iova = span (depth * Virtio_blk.slot_bytes) in
+    (match Virtio_blk.setup dev ~ring_iova ~arena_iova ~depth with
+     | Ok () -> ()
+     | Error e -> Fmt.failwith "san: virtio-blk setup: %s" (Atmo_devmodel.Fault.error_to_string e));
+    Virtio_blk.set_hostile dev (Some (Hostile.create ~seed ()));
+    for i = 1 to steps do
+      let lba = i mod 256 in
+      (match
+         if i mod 3 = 0 then Result.map ignore (Virtio_blk.submit_write dev ~lba ~data:block)
+         else Result.map ignore (Virtio_blk.submit_read dev ~lba)
+       with
+       | Ok () -> ()
+       | Error _ -> ignore (Virtio_blk.wait_all dev));
+      if i mod 8 = 0 then ignore (Virtio_blk.poll dev)
+    done;
+    ignore (Virtio_blk.wait_all dev);
+    Virtio_blk.set_hostile dev None;
+    ignore (Virtio_blk.wait_all dev);
+    Virtio_blk.error_count dev
+
+let run_hostile_sweep ~seed ~steps =
+  let absorbed =
+    hostile_nic_sweep ~seed ~steps ~kind:`Ixgbe
+    + hostile_nic_sweep ~seed:(seed + 1) ~steps ~kind:`Virtio
+    + hostile_blk_sweep ~seed:(seed + 2) ~steps ~kind:`Nvme
+    + hostile_blk_sweep ~seed:(seed + 3) ~steps ~kind:`Virtio
+  in
+  absorbed
+
+(* ------------------------------------------------------------------ *)
+(* Driver plants: each must trip exactly its Driver_lint rule. *)
+
+let plant_undefined_state k =
+  (match Model.find ~device:7 with
+   | Some m -> Model.force_undefined m ~why:"planted by atmo san"
+   | None -> Fmt.failwith "san: no device model registered for device 7");
+  ignore (Atmo_san.Driver_lint.lint k)
+
+let plant_dma_escape k =
+  (* an IOMMU window left mapped over the device's escape target: the
+     stray write reaches memory, and the ledger records it unblocked *)
+  let m = Model.register ~name:"rogue21" ~device:21 ~initial:Model.Active in
+  Model.note_escape m ~blocked:false;
+  ignore (Atmo_san.Driver_lint.lint k)
+
+let plant_irq_storm k =
+  (* a driver that disabled its storm auto-mask and stopped acking *)
+  let m = Model.register ~name:"storm22" ~device:22 ~initial:Model.Active in
+  Model.set_auto_mask m false;
+  for _ = 1 to Model.storm_threshold + 8 do
+    Model.raise_irq m
+  done;
+  ignore (Atmo_san.Driver_lint.lint k)
+
+let plant_lost_completion k =
+  let clock = Atmo_hw.Clock.create () in
+  let dev = Nvme.create ~clock ~cost:Atmo_sim.Cost.default ~capacity_blocks:16 in
+  Nvme.set_device dev 23;
+  Nvme.set_drop_completion_plant dev true;
+  (match Nvme.submit_read dev ~lba:1 with
+   | Ok _ -> ()
+   | Error e -> Fmt.failwith "san: plant submit: %s" (Atmo_devmodel.Fault.error_to_string e));
+  ignore (Nvme.wait_all dev);
+  ignore (Atmo_san.Driver_lint.lint k)
+
 let plant_double_free k =
   match Atmo_pmem.Page_alloc.alloc_4k k.Kernel.alloc ~purpose:Atmo_pmem.Page_alloc.Kernel with
   | None -> Fmt.failwith "san: plant allocation failed"
@@ -676,10 +871,11 @@ let plant_span_leak k ~init ~t2 =
       | r -> Fmt.failwith "san: plant send -> %a" Syscall.pp_ret r);
   ignore (Atmo_san.Span_lint.lint k)
 
-let san plant iterations =
+let san plant iterations seed =
   setup_logs ();
   Obs_metrics.reset ();
   Obs_span.reset ();
+  Model.reset ();
   (* trace into a flight recorder so violation reports carry the event
      trail leading up to them *)
   let recorder = Obs_flight.create ~cpus:2 ~slots:256 ~slot_size:Obs_event.slot_bytes in
@@ -691,6 +887,9 @@ let san plant iterations =
     Obs_sink.set_clock (fun () -> 0);
     Obs_sink.set_cpu 0;
     Obs_span.reset ();
+    Model.reset ();
+    if code <> 0 then
+      Format.printf "san: failing run is replayable with --seed %d@." seed;
     code
   in
   match Kernel.boot Kernel.default_boot with
@@ -700,13 +899,15 @@ let san plant iterations =
   | Ok (k, init) ->
     San_runtime.attach k;
     let stats, t2 = run_san_workload k ~init ~iterations in
+    let absorbed = run_hostile_sweep ~seed ~steps:200 in
     let structural = San_runtime.full_check k in
     let clean_count = San_report.count () in
     Format.printf
-      "san: %d syscalls under the big lock, %d accesses checked, %d structural check(s) failed@."
+      "san: %d syscalls under the big lock, %d accesses checked, %d hostile fault(s) \
+       absorbed as typed errors (seed %d), %d structural check(s) failed@."
       stats.Atmo_sim.Smp.syscalls_executed
       (Atmo_san.Memsan.checked ())
-      structural;
+      absorbed seed structural;
     (match plant with
      | "none" ->
        if clean_count = 0 then begin
@@ -733,12 +934,29 @@ let san plant iterations =
            | "fastpath-skip" ->
              plant_fastpath_skip k ~init ~t2; San_report.Sched_incoherent
            | "span-leak" -> plant_span_leak k ~init ~t2; San_report.Span_leak
+           | "undefined-state" ->
+             plant_undefined_state k; San_report.Drv_undefined_state
+           | "dma-escape" -> plant_dma_escape k; San_report.Drv_dma_escape
+           | "irq-storm" -> plant_irq_storm k; San_report.Drv_irq_storm
+           | "lost-completion" ->
+             plant_lost_completion k; San_report.Drv_lost_completion
            | other -> Fmt.failwith "san: unknown plant %S" other
          in
-         let hits =
-           List.filter (fun r -> r.San_report.rule = expected) (San_report.reports ())
+         let hits, others =
+           List.partition (fun r -> r.San_report.rule = expected) (San_report.reports ())
+         in
+         let driver_plant =
+           match expected with
+           | San_report.Drv_undefined_state | San_report.Drv_dma_escape
+           | San_report.Drv_irq_storm | San_report.Drv_lost_completion -> true
+           | _ -> false
          in
          match hits with
+         | _ :: _ when driver_plant && others <> [] ->
+           (* the driver plants are surgical: exactly their rule, nothing else *)
+           Format.printf "planted %s tripped %d unrelated report(s) too:@.%a@." plant
+             (List.length others) San_report.pp_summary ();
+           finish 1
          | r :: _ ->
            Format.printf "planted %s detected:@.%a@." plant San_report.pp r;
            finish 0
@@ -877,7 +1095,9 @@ let plant_arg =
            [ ("none", "none"); ("double-free", "double-free");
              ("unlocked", "unlocked"); ("bad-pte", "bad-pte");
              ("stale-tlb", "stale-tlb"); ("fastpath-skip", "fastpath-skip");
-             ("span-leak", "span-leak") ])
+             ("span-leak", "span-leak"); ("undefined-state", "undefined-state");
+             ("dma-escape", "dma-escape"); ("irq-storm", "irq-storm");
+             ("lost-completion", "lost-completion") ])
         "none"
     & info [ "plant" ]
         ~doc:
@@ -885,12 +1105,24 @@ let plant_arg =
            $(b,double-free), $(b,unlocked) (mutation without the big lock), \
            $(b,bad-pte) (reserved bits in a leaf entry), $(b,stale-tlb) \
            (a PTE torn out without a TLB shootdown), $(b,fastpath-skip) \
-           (the IPC fastpath forgets to requeue the preempted sender) or \
+           (the IPC fastpath forgets to requeue the preempted sender), \
            $(b,span-leak) (the IPC slowpath opens its rendezvous span and never \
-           closes it).")
+           closes it), $(b,undefined-state) (a device model pushed into the state \
+           the driver theorems forbid), $(b,dma-escape) (device DMA outside its \
+           IOMMU window reaches memory), $(b,irq-storm) (auto-mask disabled, vector \
+           never acked) or $(b,lost-completion) (the NVMe driver silently drops a \
+           completion).")
 
 let san_iters_arg =
   Arg.(value & opt int 50 & info [ "iterations" ] ~doc:"IPC ping-pong rounds in the SMP phase.")
+
+let san_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ]
+        ~doc:
+          "Seed for the hostile device sweep (deterministic: the same seed replays the \
+           same injected faults; printed on any failure).")
 
 let san_cmd =
   Cmd.v
@@ -900,7 +1132,7 @@ let san_cmd =
           poisoning, lock-discipline checking, container attribution, page-table lint, \
           leak audit); exit 0 iff clean — or, with $(b,--plant), iff the planted bug is \
           detected")
-    Term.(const san $ plant_arg $ san_iters_arg)
+    Term.(const san $ plant_arg $ san_iters_arg $ san_seed_arg)
 
 let () =
   let info =

@@ -75,7 +75,7 @@ let () =
        ~buffers:(Array.init 32 (fun i -> (iova_of (i + 2), 2048)))
    with
    | Ok () -> say "NIC RX ring programmed (32 descriptors at iova 0x%x)." (iova_of 0)
-   | Error msg -> failwith msg);
+   | Error e -> failwith (Atmo_devmodel.Fault.error_to_string e));
 
   (* the shared ring lives in the frame backing arena page 1 — the
      CPU-only page the device cannot touch *)

@@ -1,0 +1,43 @@
+type t = {
+  seed : int;
+  mutable state : int64;
+  mutable budget : int;
+  rate : int;
+  mutable log : (string * Fault.kind) list;  (* newest first *)
+  mutable count : int;
+}
+
+let create ?(budget = 64) ?(rate = 4) ~seed () =
+  if rate <= 0 then invalid_arg "Hostile.create: rate <= 0";
+  (* xorshift64 needs a nonzero state; fold the seed through a odd
+     multiplier so nearby seeds diverge immediately *)
+  let state = Int64.logor (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L) 1L in
+  { seed; state; budget; rate; log = []; count = 0 }
+
+let seed t = t.seed
+let budget_left t = t.budget
+let injected_count t = t.count
+let injected t = List.rev t.log
+
+let next t =
+  let s = t.state in
+  let s = Int64.logxor s (Int64.shift_left s 13) in
+  let s = Int64.logxor s (Int64.shift_right_logical s 7) in
+  let s = Int64.logxor s (Int64.shift_left s 17) in
+  t.state <- s;
+  s
+
+let rand t n =
+  if n <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+let pick t ~site candidates =
+  if t.budget <= 0 || candidates = [] then None
+  else if rand t t.rate <> 0 then None
+  else begin
+    let f = List.nth candidates (rand t (List.length candidates)) in
+    t.budget <- t.budget - 1;
+    t.count <- t.count + 1;
+    t.log <- (site, f) :: t.log;
+    Some f
+  end

@@ -1,0 +1,34 @@
+(** Seeded, deterministic hostile-mode fault injection.
+
+    An engine is attached to a device model and consulted at each
+    injection site (descriptor read, completion post, IRQ raise).  Given
+    the same seed, rate, and budget, the same sequence of [pick] calls
+    yields the same faults — a failing hostile run is replayable from
+    the seed alone ([atmo san --seed N]).
+
+    The budget bounds total injections so benchmarks can state "at most
+    [budget] faults were injected" and gate delivery ratios on it. *)
+
+type t
+
+val create : ?budget:int -> ?rate:int -> seed:int -> unit -> t
+(** [create ~seed ()] is a fresh engine.  [budget] (default 64) is the
+    maximum number of faults it will ever inject; [rate] (default 4)
+    makes each opportunity inject with probability 1/[rate]. *)
+
+val seed : t -> int
+val budget_left : t -> int
+val injected_count : t -> int
+
+val injected : t -> (string * Fault.kind) list
+(** Injection log, oldest first: (site, fault). *)
+
+val pick : t -> site:string -> Fault.kind list -> Fault.kind option
+(** One injection opportunity at [site]: with probability 1/rate (and
+    while budget remains), pick one of [candidates] uniformly, charge
+    the budget, log it, and return it.  [None] means behave well. *)
+
+val rand : t -> int -> int
+(** [rand t n] is a deterministic uniform draw in [0, n-1] (0 when
+    [n <= 0]).  Devices use it for reorder positions and bogus values
+    so the whole hostile run is a function of the seed. *)

@@ -5,6 +5,8 @@ module Cost = Atmo_sim.Cost
 module Obs = Atmo_obs.Sink
 module Event = Atmo_obs.Event
 module Span = Atmo_obs.Span
+module Fault = Atmo_devmodel.Fault
+module Model = Atmo_devmodel.Model
 
 (* queue ids carried by doorbell/completion tracepoints *)
 let rx_queue = 0
@@ -16,9 +18,13 @@ let line_rate_pps = 14.2e6
 let flag_dd = 0x1
 let flag_own = 0x2
 
+(* hostile-mode DMA escapes aim here: far outside any mapped window *)
+let escape_iova = 0x7f00_0000_0000
+
 type ring = {
   iova : int;  (* base of the descriptor ring, device-visible *)
   slots : int;
+  bufs : (int * int) array;  (* per-slot (buffer iova, capacity) *)
   mutable hw_next : int;  (* next slot the device will use *)
   mutable drv_next : int;  (* next slot the driver will harvest/fill *)
 }
@@ -29,13 +35,22 @@ type t = {
   device : int;
   clock : Clock.t;
   cost : Cost.t;
+  model : Model.t;
   mutable rx : ring option;
   mutable tx : ring option;
   mutable tx_wire : bytes list;  (* newest first *)
   mutable rx_drops : int;
   mutable rx_frames : int;
   mutable tx_frames : int;
+  mutable errors : Fault.error list;  (* newest first, capped *)
+  mutable error_count : int;
 }
+
+let error_cap = 32
+
+let note_error t e =
+  t.error_count <- t.error_count + 1;
+  if List.length t.errors < error_cap then t.errors <- e :: t.errors
 
 let create mem iommu ~device ~clock ~cost =
   {
@@ -44,13 +59,23 @@ let create mem iommu ~device ~clock ~cost =
     device;
     clock;
     cost;
+    model =
+      Model.register ~name:(Printf.sprintf "ixgbe%d" device) ~device
+        ~initial:Model.Reset;
     rx = None;
     tx = None;
     tx_wire = [];
     rx_drops = 0;
     rx_frames = 0;
     tx_frames = 0;
+    errors = [];
+    error_count = 0;
   }
+
+let model t = t.model
+let set_hostile t h = Model.set_hostile t.model h
+let errors t = List.rev t.errors
+let error_count t = t.error_count
 
 (* All descriptor accesses are device-side: they go through the IOMMU. *)
 let desc_addr ring slot = ring.iova + (slot * descriptor_bytes)
@@ -71,41 +96,94 @@ let write_desc t ring slot ~buf_iova ~len ~flags =
   Bytes.set_uint16_le b 10 flags;
   Iommu.dma_write t.iommu ~device:t.device ~iova:(desc_addr ring slot) b
 
-let setup_rx t ~ring_iova ~buffers =
+let setup_ring t ~ring_iova ~buffers ~flags =
   let slots = Array.length buffers in
-  if slots = 0 then Error "setup_rx: no buffers"
+  if slots = 0 then Error (Fault.Bad_setup "no buffers")
   else begin
-    let ring = { iova = ring_iova; slots; hw_next = 0; drv_next = 0 } in
-    let ok = ref true in
+    let ring =
+      { iova = ring_iova; slots; bufs = Array.copy buffers; hw_next = 0; drv_next = 0 }
+    in
+    let fault = ref None in
     Array.iteri
       (fun i (buf_iova, len) ->
-        if !ok then
-          ok := write_desc t ring i ~buf_iova ~len ~flags:flag_own)
+        if !fault = None && not (write_desc t ring i ~buf_iova ~len ~flags) then
+          fault := Some (Fault.Dma_fault { iova = desc_addr ring i; len = descriptor_bytes }))
       buffers;
-    if !ok then begin
-      t.rx <- Some ring;
-      (* arming the ring is the first tail-register write *)
-      if Obs.tracing () then
-        Obs.emit (Event.Drv_doorbell { device = t.device; queue = rx_queue });
-      Ok ()
-    end
-    else Error "setup_rx: descriptor DMA faulted (ring not mapped for the device?)"
+    match !fault with
+    | Some e ->
+      note_error t e;
+      Error e
+    | None -> Ok ring
   end
 
-let setup_tx t ~ring_iova ~slots =
-  if slots <= 0 then Error "setup_tx: slots <= 0"
-  else begin
-    let ring = { iova = ring_iova; slots; hw_next = 0; drv_next = 0 } in
-    let ok = ref true in
-    for i = 0 to slots - 1 do
-      if !ok then ok := write_desc t ring i ~buf_iova:0 ~len:0 ~flags:0
-    done;
-    if !ok then begin
-      t.tx <- Some ring;
-      Ok ()
+let setup_rx t ~ring_iova ~buffers =
+  match setup_ring t ~ring_iova ~buffers ~flags:flag_own with
+  | Error _ as e -> e
+  | Ok ring ->
+    t.rx <- Some ring;
+    Model.on_setup t.model;
+    (* arming the ring is the first tail-register write *)
+    if Obs.tracing () then
+      Obs.emit (Event.Drv_doorbell { device = t.device; queue = rx_queue });
+    Ok ()
+
+let setup_tx t ~ring_iova ~buffers =
+  match setup_ring t ~ring_iova ~buffers ~flags:0 with
+  | Error _ as e -> e
+  | Ok ring ->
+    t.tx <- Some ring;
+    Model.on_setup t.model;
+    Ok ()
+
+(* Device-side delivery of one frame into the next hardware-owned RX
+   descriptor.  In hostile mode this is the injection point: the device
+   may post a malformed or truncated descriptor, duplicate the
+   completion, raise bogus interrupts, or aim its DMA outside the IOMMU
+   window.  None of these may reach the driver as anything but a typed
+   error. *)
+let deliver_into t ring frame =
+  match read_desc t ring ring.hw_next with
+  | Some (buf_iova, buf_len, flags)
+    when flags land flag_own <> 0 && Bytes.length frame <= buf_len ->
+    if
+      Iommu.dma_write t.iommu ~device:t.device ~iova:buf_iova frame
+      && write_desc t ring ring.hw_next ~buf_iova ~len:(Bytes.length frame)
+           ~flags:flag_dd
+    then begin
+      ring.hw_next <- (ring.hw_next + 1) mod ring.slots;
+      Model.note_deliver t.model 1;
+      if Obs.tracing () then begin
+        (* wire-side delivery: remembered per device so the next
+           rx burst can link its completion back causally *)
+        let sid = Span.begin_ Span.Drv_submit in
+        Span.end_ sid;
+        Span.note_submit ~device:t.device ~tag:rx_queue ~span:sid
+      end;
+      true
     end
-    else Error "setup_tx: descriptor DMA faulted"
-  end
+    else begin
+      t.rx_drops <- t.rx_drops + 1;
+      false
+    end
+  | _ ->
+    t.rx_drops <- t.rx_drops + 1;
+    false
+
+(* Post a descriptor the driver must reject: DD set with an impossible
+   length.  The completion is "delivered" (the driver will consume and
+   discard it); the frame itself is lost. *)
+let deliver_poisoned t ring ~len =
+  match read_desc t ring ring.hw_next with
+  | Some (buf_iova, _, flags) when flags land flag_own <> 0 ->
+    if write_desc t ring ring.hw_next ~buf_iova ~len ~flags:flag_dd then begin
+      ring.hw_next <- (ring.hw_next + 1) mod ring.slots;
+      Model.note_deliver t.model 1
+    end;
+    t.rx_drops <- t.rx_drops + 1;
+    false
+  | _ ->
+    t.rx_drops <- t.rx_drops + 1;
+    false
 
 let wire_deliver t frame =
   match t.rx with
@@ -113,31 +191,49 @@ let wire_deliver t frame =
     t.rx_drops <- t.rx_drops + 1;
     false
   | Some ring ->
-    (match read_desc t ring ring.hw_next with
-     | Some (buf_iova, buf_len, flags)
-       when flags land flag_own <> 0 && Bytes.length frame <= buf_len ->
-       if
-         Iommu.dma_write t.iommu ~device:t.device ~iova:buf_iova frame
-         && write_desc t ring ring.hw_next ~buf_iova ~len:(Bytes.length frame)
-              ~flags:flag_dd
-       then begin
-         ring.hw_next <- (ring.hw_next + 1) mod ring.slots;
-         if Obs.tracing () then begin
-           (* wire-side delivery: remembered per device so the next
-              rx burst can link its completion back causally *)
-           let sid = Span.begin_ Span.Drv_submit in
-           Span.end_ sid;
-           Span.note_submit ~device:t.device ~tag:rx_queue ~span:sid
-         end;
-         true
-       end
-       else begin
-         t.rx_drops <- t.rx_drops + 1;
-         false
-       end
-     | _ ->
+    (match
+       Model.inject t.model ~site:"ixgbe.wire_deliver"
+         [ Fault.Malformed_desc; Fault.Short_desc; Fault.Spurious_irq;
+           Fault.Irq_storm; Fault.Duplicate_completion; Fault.Dma_escape ]
+     with
+     | None -> deliver_into t ring frame
+     | Some Fault.Malformed_desc ->
+       (* length beyond any buffer capacity *)
+       deliver_poisoned t ring ~len:0xffff
+     | Some Fault.Short_desc ->
+       (* zero-length completion: truncated past the point of use *)
+       deliver_poisoned t ring ~len:0
+     | Some Fault.Spurious_irq ->
+       Model.raise_irq t.model;
+       Model.recovered t.model Fault.Spurious_irq;
+       deliver_into t ring frame
+     | Some Fault.Irq_storm ->
+       for _ = 0 to Model.storm_threshold + 7 do
+         Model.raise_irq t.model
+       done;
+       (* auto-mask bounds the storm; the vector unmasks at the next poll *)
+       Model.recovered t.model Fault.Irq_storm;
+       deliver_into t ring frame
+     | Some Fault.Duplicate_completion ->
+       let first = deliver_into t ring frame in
+       if first then begin
+         Model.note_dup t.model;
+         ignore (deliver_into t ring frame)
+       end;
+       first
+     | Some Fault.Dma_escape ->
+       (* the device aims the frame outside its window; the IOMMU must
+          reject it before a byte lands *)
+       let blocked = not (Iommu.dma_write t.iommu ~device:t.device ~iova:escape_iova frame) in
+       Model.note_escape t.model ~blocked;
+       if blocked then Model.recovered t.model Fault.Dma_escape;
        t.rx_drops <- t.rx_drops + 1;
-       false)
+       false
+     | Some (Fault.Reorder_completion as f) ->
+       (* positional ring: reordering is not expressible; treat as a
+          well-behaved delivery after noting the attempt *)
+       Model.recovered t.model f;
+       deliver_into t ring frame)
 
 let wire_collect t =
   let frames = List.rev t.tx_wire in
@@ -150,23 +246,50 @@ let rx_burst t ~max =
   match t.rx with
   | None -> []
   | Some ring ->
+    (* level-triggered vector: polling services and unmasks it *)
+    if Model.pending_irqs t.model > 0 then Model.ack_irqs t.model;
+    Model.on_op t.model;
     let rec harvest acc n =
       if n >= max then acc
       else
         match read_desc t ring ring.drv_next with
         | Some (buf_iova, len, flags) when flags land flag_dd <> 0 ->
           Clock.advance t.clock t.cost.Cost.driver_per_packet;
-          (* the driver process owns the buffers; it reads them through
-             its mapping, which shares the frames the IOMMU targets *)
-          (match Iommu.dma_read t.iommu ~device:t.device ~iova:buf_iova ~len with
-           | Some frame ->
-             (* recycle the descriptor back to hardware with the standard
-                2 KiB buffer capacity *)
-             ignore (write_desc t ring ring.drv_next ~buf_iova ~len:2048 ~flags:flag_own);
-             ring.drv_next <- (ring.drv_next + 1) mod ring.slots;
-             t.rx_frames <- t.rx_frames + 1;
-             harvest (frame :: acc) (n + 1)
-           | None -> acc)
+          let _, cap = ring.bufs.(ring.drv_next mod Array.length ring.bufs) in
+          let consume err frame =
+            (* recycle the descriptor back to hardware at the slot's
+               real buffer capacity *)
+            ignore (write_desc t ring ring.drv_next ~buf_iova ~len:cap ~flags:flag_own);
+            ring.drv_next <- (ring.drv_next + 1) mod ring.slots;
+            Model.note_harvest t.model 1;
+            match err, frame with
+            | Some (e, f), _ ->
+              note_error t e;
+              Model.recovered t.model f;
+              harvest acc (n + 1)
+            | None, Some frame ->
+              t.rx_frames <- t.rx_frames + 1;
+              harvest (frame :: acc) (n + 1)
+            | None, None -> harvest acc (n + 1)
+          in
+          if len = 0 then
+            consume (Some (Fault.Short_frame { len = 0; min = 1 }, Fault.Short_desc)) None
+          else if len > cap then
+            consume
+              (Some
+                 ( Fault.Malformed
+                     { slot = ring.drv_next; detail = Printf.sprintf "len %d > capacity %d" len cap },
+                   Fault.Malformed_desc ))
+              None
+          else
+            (match Iommu.dma_read_checked t.iommu ~device:t.device ~iova:buf_iova ~len with
+             | Ok frame -> consume None (Some frame)
+             | Error de ->
+               consume
+                 (Some
+                    ( Fault.Dma_fault { iova = de.Iommu.e_iova; len },
+                      Fault.Malformed_desc ))
+                 None)
         | _ -> acc
     in
     let frames = List.rev (harvest [] 0) in
@@ -187,6 +310,7 @@ let tx_burst t frames =
   match t.tx with
   | None -> 0
   | Some ring ->
+    Model.on_op t.model;
     let accepted =
       List.fold_left
         (fun accepted frame ->
@@ -194,16 +318,30 @@ let tx_burst t frames =
           (* a slot is free when its OWN and DD bits are clear *)
           match read_desc t ring ring.drv_next with
           | Some (_, _, flags) when flags land (flag_own lor flag_dd) = 0 ->
-            ring.drv_next <- (ring.drv_next + 1) mod ring.slots;
-            t.tx_wire <- Bytes.copy frame :: t.tx_wire;
-            t.tx_frames <- t.tx_frames + 1;
-            accepted + 1
+            let buf_iova, cap = ring.bufs.(ring.drv_next mod Array.length ring.bufs) in
+            if
+              Bytes.length frame <= cap
+              && Iommu.dma_write t.iommu ~device:t.device ~iova:buf_iova frame
+            then begin
+              ring.drv_next <- (ring.drv_next + 1) mod ring.slots;
+              t.tx_wire <- Bytes.copy frame :: t.tx_wire;
+              t.tx_frames <- t.tx_frames + 1;
+              accepted + 1
+            end
+            else accepted
           | _ -> accepted)
         0 frames
     in
-    if accepted > 0 && Obs.tracing () then begin
-      Obs.emit (Event.Drv_doorbell { device = t.device; queue = tx_queue });
-      Atmo_obs.Metrics.bump ~by:accepted "drv/ixgbe_tx"
+    if accepted > 0 then begin
+      (* transmissions complete synchronously in this model: the driver
+         observes the send on the same doorbell *)
+      Model.note_submit t.model accepted;
+      Model.note_deliver t.model accepted;
+      Model.note_harvest t.model accepted;
+      if Obs.tracing () then begin
+        Obs.emit (Event.Drv_doorbell { device = t.device; queue = tx_queue });
+        Atmo_obs.Metrics.bump ~by:accepted "drv/ixgbe_tx"
+      end
     end;
     accepted
 

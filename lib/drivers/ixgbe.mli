@@ -15,7 +15,13 @@
 
     The wire is modelled by {!wire_deliver} / {!wire_collect}; a 64-byte
     line rate cap of 14.2 Mpps applies to the throughput model, not to
-    the functional path. *)
+    the functional path.
+
+    The device runs behind an {!Atmo_devmodel.Model} state machine; with
+    a hostile engine attached ({!set_hostile}) the wire side injects
+    malformed/short descriptors, spurious and storming IRQs, duplicated
+    completions, and DMA escapes, all of which the driver absorbs as
+    typed {!Atmo_devmodel.Fault.error}s. *)
 
 type t
 
@@ -30,14 +36,25 @@ val create :
   cost:Atmo_sim.Cost.t ->
   t
 
+val model : t -> Atmo_devmodel.Model.t
+val set_hostile : t -> Atmo_devmodel.Hostile.t option -> unit
+
+val errors : t -> Atmo_devmodel.Fault.error list
+(** Typed errors the driver absorbed, oldest first (capped). *)
+
+val error_count : t -> int
+
 val setup_rx :
-  t -> ring_iova:int -> buffers:(int * int) array -> (unit, string) result
+  t -> ring_iova:int -> buffers:(int * int) array -> (unit, Atmo_devmodel.Fault.error) result
 (** Program the receive ring: descriptor ring at [ring_iova], one
     [(buffer iova, buffer length)] per slot, all slots handed to
     hardware.  Fails if the ring or a descriptor write faults in the
     IOMMU. *)
 
-val setup_tx : t -> ring_iova:int -> slots:int -> (unit, string) result
+val setup_tx :
+  t -> ring_iova:int -> buffers:(int * int) array -> (unit, Atmo_devmodel.Fault.error) result
+(** Program the transmit ring with one DMA buffer per slot; frames are
+    DMA-written into the slot buffer before they reach the wire. *)
 
 (** {2 Wire side (the cable)} *)
 
@@ -56,8 +73,12 @@ val rx_drops : t -> int
 
 val rx_burst : t -> max:int -> bytes list
 (** Poll the RX ring: harvest up to [max] completed frames, recycle
-    their descriptors back to hardware.  Charges
-    [cost.driver_per_packet] per frame to the clock. *)
+    their descriptors back to hardware, and acknowledge any pending
+    IRQs.  A completion that fails validation (zero length, length
+    beyond the slot's capacity, buffer the IOMMU rejects) is consumed,
+    recorded as a typed error, and its descriptor recycled — hostile
+    devices cannot wedge the ring.  Charges [cost.driver_per_packet]
+    per consumed descriptor to the clock. *)
 
 val tx_burst : t -> bytes list -> int
 (** Enqueue frames for transmission into free TX descriptors (the

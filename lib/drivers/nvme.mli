@@ -32,14 +32,32 @@ val set_device : t -> int -> unit
 
 val device : t -> int
 
-val submit_read : t -> lba:int -> (int, string) result
+val model : t -> Atmo_devmodel.Model.t
+val set_hostile : t -> Atmo_devmodel.Hostile.t option -> unit
+
+val errors : t -> Atmo_devmodel.Fault.error list
+(** Typed errors the driver absorbed (bogus/duplicate completion tags),
+    oldest first, capped. *)
+
+val error_count : t -> int
+
+val set_drop_completion_plant : t -> bool -> unit
+(** Plant a driver bug for the sanitizer: the next valid completion is
+    silently skipped, which [Atmo_san.Driver_lint] must report as
+    [drv-lost-completion]. *)
+
+val submit_read : t -> lba:int -> (int, Atmo_devmodel.Fault.error) result
 (** Returns the tag; fails on out-of-range LBA or full queue. *)
 
-val submit_write : t -> lba:int -> data:bytes -> (int, string) result
+val submit_write : t -> lba:int -> data:bytes -> (int, Atmo_devmodel.Fault.error) result
 (** [data] must be exactly one block. *)
 
 val poll : t -> completion list
-(** Harvest completions due at the current clock, oldest first. *)
+(** Harvest completions due at the current clock, oldest first.  Only
+    completions whose tag is actually outstanding are surfaced: a
+    hostile controller's invented or duplicated tags are dropped with a
+    typed error, and its interrupt glitches are acknowledged (storms
+    are bounded by the auto-mask in the device model). *)
 
 val wait_all : t -> completion list
 (** Advance the clock to drain every outstanding request (benchmark

@@ -1,0 +1,119 @@
+let flag_next = 0x1
+let flag_write = 0x2
+
+let descriptor_bytes = 16
+
+type dma = {
+  read : iova:int -> len:int -> bytes option;
+  write : iova:int -> bytes -> bool;
+}
+
+type t = {
+  dma : dma;
+  qsz : int;
+  desc : int;
+  avail : int;
+  used : int;
+  mutable avail_shadow : int;  (* driver: free-running published avail index *)
+  mutable used_seen : int;  (* driver: used entries consumed *)
+  mutable avail_seen : int;  (* device: avail entries consumed *)
+  mutable used_shadow : int;  (* device: free-running published used index *)
+}
+
+let align4 n = (n + 3) land lnot 3
+
+let layout ~qsz ~base =
+  let desc = base in
+  let avail = desc + (qsz * descriptor_bytes) in
+  (* avail: flags u16, idx u16, ring u16[qsz] *)
+  let used = align4 (avail + 4 + (2 * qsz)) in
+  (* used: flags u16, idx u16, elems (id u32, len u32)[qsz] *)
+  let total = used + 4 + (8 * qsz) - base in
+  (desc, avail, used, total)
+
+let create dma ~qsz ~desc ~avail ~used =
+  if qsz <= 0 then invalid_arg "Virtio_ring.create: qsz <= 0";
+  { dma; qsz; desc; avail; used; avail_shadow = 0; used_seen = 0; avail_seen = 0;
+    used_shadow = 0 }
+
+let qsz t = t.qsz
+
+let read_u16 t iova =
+  match t.dma.read ~iova ~len:2 with
+  | None -> None
+  | Some b -> Some (Bytes.get_uint16_le b 0)
+
+let write_u16 t iova v =
+  let b = Bytes.create 2 in
+  Bytes.set_uint16_le b 0 (v land 0xffff);
+  t.dma.write ~iova b
+
+let desc_iova t slot = t.desc + (slot * descriptor_bytes)
+
+let write_desc t ~slot ~addr ~len ?(flags = 0) ?(next = 0) () =
+  if slot < 0 || slot >= t.qsz then false
+  else begin
+    let b = Bytes.make descriptor_bytes '\000' in
+    Bytes.set_int64_le b 0 (Int64.of_int addr);
+    Bytes.set_int32_le b 8 (Int32.of_int len);
+    Bytes.set_uint16_le b 12 flags;
+    Bytes.set_uint16_le b 14 next;
+    t.dma.write ~iova:(desc_iova t slot) b
+  end
+
+let read_desc t ~slot =
+  if slot < 0 || slot >= t.qsz then None
+  else
+    match t.dma.read ~iova:(desc_iova t slot) ~len:descriptor_bytes with
+    | None -> None
+    | Some b ->
+      Some
+        ( Int64.to_int (Bytes.get_int64_le b 0),
+          Int32.to_int (Bytes.get_int32_le b 8),
+          Bytes.get_uint16_le b 12,
+          Bytes.get_uint16_le b 14 )
+
+let push_avail t ~head =
+  let slot = t.avail_shadow mod t.qsz in
+  if not (write_u16 t (t.avail + 4 + (2 * slot)) head) then false
+  else begin
+    t.avail_shadow <- t.avail_shadow + 1;
+    write_u16 t (t.avail + 2) t.avail_shadow
+  end
+
+let device_pop_avail t =
+  match read_u16 t (t.avail + 2) with
+  | None -> None
+  | Some idx ->
+    if (idx - t.avail_seen) land 0xffff = 0 then None
+    else begin
+      let slot = t.avail_seen mod t.qsz in
+      let head = read_u16 t (t.avail + 4 + (2 * slot)) in
+      t.avail_seen <- t.avail_seen + 1;
+      head
+    end
+
+let device_push_used t ~id ~len =
+  let slot = t.used_shadow mod t.qsz in
+  let b = Bytes.make 8 '\000' in
+  Bytes.set_int32_le b 0 (Int32.of_int id);
+  Bytes.set_int32_le b 4 (Int32.of_int len);
+  if not (t.dma.write ~iova:(t.used + 4 + (8 * slot)) b) then false
+  else begin
+    t.used_shadow <- t.used_shadow + 1;
+    write_u16 t (t.used + 2) t.used_shadow
+  end
+
+let poll_used t =
+  match read_u16 t (t.used + 2) with
+  | None -> None
+  | Some idx ->
+    if (idx - t.used_seen) land 0xffff = 0 then None
+    else begin
+      let slot = t.used_seen mod t.qsz in
+      t.used_seen <- t.used_seen + 1;
+      match t.dma.read ~iova:(t.used + 4 + (8 * slot)) ~len:8 with
+      | None -> None
+      | Some b ->
+        Some (Int32.to_int (Bytes.get_int32_le b 0), Int32.to_int (Bytes.get_int32_le b 4))
+    end

@@ -1,0 +1,51 @@
+(** Virtio 1.0 split virtqueue layout over device-visible memory.
+
+    A split virtqueue is three structures in guest memory: a descriptor
+    table ([qsz] × 16 bytes: buffer address u64, length u32, flags u16,
+    next u16), an available ring the driver appends descriptor heads to,
+    and a used ring the device appends completed heads to.  Both sides
+    only ever exchange 16-bit free-running indices, so every access here
+    is an explicit little-endian read/write through the supplied DMA
+    closures — with the IOMMU behind them, a virtqueue the owning
+    process never mapped for the device faults like any other DMA. *)
+
+val flag_next : int  (* 0x1: descriptor continues at [next] *)
+val flag_write : int  (* 0x2: device writes this buffer *)
+
+type dma = {
+  read : iova:int -> len:int -> bytes option;
+  write : iova:int -> bytes -> bool;
+}
+
+type t
+
+val layout : qsz:int -> base:int -> int * int * int * int
+(** [layout ~qsz ~base] is [(desc, avail, used, total_bytes)]: the
+    iovas of the three structures when packed from [base], and the
+    total footprint. *)
+
+val create : dma -> qsz:int -> desc:int -> avail:int -> used:int -> t
+val qsz : t -> int
+
+(** {2 Driver side} *)
+
+val write_desc :
+  t -> slot:int -> addr:int -> len:int -> ?flags:int -> ?next:int -> unit -> bool
+val read_desc : t -> slot:int -> (int * int * int * int) option
+(** [(addr, len, flags, next)]. *)
+
+val push_avail : t -> head:int -> bool
+(** Publish descriptor chain [head]: write the ring slot, then advance
+    the available index. *)
+
+val poll_used : t -> (int * int) option
+(** Next unseen used-ring entry [(id, len)], if the device has pushed
+    one.  Advances the driver's used index even if the entry later
+    fails validation — a garbage entry must not wedge the ring. *)
+
+(** {2 Device side} *)
+
+val device_pop_avail : t -> int option
+(** Next unseen available head, if the driver has pushed one. *)
+
+val device_push_used : t -> id:int -> len:int -> bool

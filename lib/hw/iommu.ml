@@ -5,6 +5,29 @@ type t = {
   mutable faults : int;
 }
 
+type dma_error = {
+  e_device : int;
+  e_iova : int;
+  e_len : int;
+  e_write : bool;
+  e_reason : [ `No_domain | `Unmapped | `Readonly ];
+}
+
+let reason_name = function
+  | `No_domain -> "no-domain"
+  | `Unmapped -> "unmapped"
+  | `Readonly -> "readonly"
+
+let pp_dma_error ppf e =
+  Format.fprintf ppf "device %d %s iova=0x%x len=%d: %s" e.e_device
+    (if e.e_write then "write" else "read")
+    e.e_iova e.e_len (reason_name e.e_reason)
+
+(* Rejected DMA bursts, process-wide (like mmu/walk_loads the registry
+   entry lives for the whole process; [Metrics.reset] zeroes it). *)
+let blocked_counter = Atmo_obs.Metrics.counter "iommu/blocked"
+let blocked () = Atmo_obs.Metrics.Counter.value blocked_counter
+
 let create mem =
   { mem; contexts = Hashtbl.create 16; iotlbs = Hashtbl.create 16; faults = 0 }
 
@@ -89,32 +112,41 @@ let translate t ~device ~iova =
             Some tr))
 
 (* DMA bursts may cross frame boundaries; every touched frame must be
-   mapped with suitable permissions or the whole burst is rejected. *)
-let span_ok t ~device ~iova ~len ~need_write =
+   mapped with suitable permissions or the whole burst is rejected
+   before a single byte of [Phys_mem] is touched. *)
+let span_check t ~device ~iova ~len ~need_write =
+  let err reason off =
+    t.faults <- t.faults + 1;
+    Atmo_obs.Metrics.Counter.incr blocked_counter;
+    Error
+      { e_device = device; e_iova = iova + off; e_len = len; e_write = need_write;
+        e_reason = reason }
+  in
   let rec go off =
-    if off >= len then true
+    if off >= len then Ok ()
     else
       match translate t ~device ~iova:(iova + off) with
-      | None -> false
+      | None ->
+        (* [translate] already charged [t.faults] for the miss itself *)
+        t.faults <- t.faults - 1;
+        err (if Hashtbl.mem t.contexts device then `Unmapped else `No_domain) off
       | Some tr ->
-        if need_write && not tr.Mmu.perm.Pte_bits.write then begin
-          t.faults <- t.faults + 1;
-          false
-        end
+        if need_write && not tr.Mmu.perm.Pte_bits.write then err `Readonly off
         else
           let in_frame = (iova + off) land (Phys_mem.page_size - 1) in
           go (off + (Phys_mem.page_size - in_frame))
   in
   go 0
 
-let dma_write t ~device ~iova data =
+let dma_write_checked t ~device ~iova data =
   let len = Bytes.length data in
-  if not (span_ok t ~device ~iova ~len ~need_write:true) then false
-  else begin
+  match span_check t ~device ~iova ~len ~need_write:true with
+  | Error e -> Error e
+  | Ok () -> begin
     let rec go off =
       if off < len then begin
         match translate t ~device ~iova:(iova + off) with
-        | None -> assert false (* span_ok checked every frame *)
+        | None -> assert false (* span_check checked every frame *)
         | Some tr ->
           let in_frame = (iova + off) land (Phys_mem.page_size - 1) in
           let chunk = min (len - off) (Phys_mem.page_size - in_frame) in
@@ -123,12 +155,16 @@ let dma_write t ~device ~iova data =
       end
     in
     go 0;
-    true
+    Ok ()
   end
 
-let dma_read t ~device ~iova ~len =
-  if not (span_ok t ~device ~iova ~len ~need_write:false) then None
-  else begin
+let dma_write t ~device ~iova data =
+  match dma_write_checked t ~device ~iova data with Ok () -> true | Error _ -> false
+
+let dma_read_checked t ~device ~iova ~len =
+  match span_check t ~device ~iova ~len ~need_write:false with
+  | Error e -> Error e
+  | Ok () -> begin
     let dst = Bytes.make len '\000' in
     let rec go off =
       if off < len then begin
@@ -142,5 +178,8 @@ let dma_read t ~device ~iova ~len =
       end
     in
     go 0;
-    Some dst
+    Ok dst
   end
+
+let dma_read t ~device ~iova ~len =
+  match dma_read_checked t ~device ~iova ~len with Ok b -> Some b | Error _ -> None

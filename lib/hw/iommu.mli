@@ -8,6 +8,23 @@
 
 type t
 
+type dma_error = {
+  e_device : int;
+  e_iova : int;  (** first faulting address of the burst *)
+  e_len : int;  (** length of the whole attempted burst *)
+  e_write : bool;
+  e_reason : [ `No_domain | `Unmapped | `Readonly ];
+}
+(** Typed DMA fault: why the IOMMU rejected a burst.  Every rejection
+    bumps the [iommu/blocked] metrics counter and happens before any
+    byte of {!Phys_mem} is touched. *)
+
+val pp_dma_error : Format.formatter -> dma_error -> unit
+
+val blocked : unit -> int
+(** Process-wide count of DMA bursts the IOMMU rejected (the
+    [iommu/blocked] counter; [Atmo_obs.Metrics.reset] zeroes it). *)
+
 val create : Phys_mem.t -> t
 
 val attach : t -> device:int -> root:int -> unit
@@ -49,6 +66,12 @@ val dma_write : t -> device:int -> iova:int -> bytes -> bool
     unmapped boundaries within one 4 KiB frame. *)
 
 val dma_read : t -> device:int -> iova:int -> len:int -> bytes option
+
+val dma_write_checked : t -> device:int -> iova:int -> bytes -> (unit, dma_error) result
+(** Like {!dma_write} but says why a burst was rejected, so drivers can
+    surface a typed error instead of a bare failure. *)
+
+val dma_read_checked : t -> device:int -> iova:int -> len:int -> (bytes, dma_error) result
 
 val faults : t -> int
 (** Count of rejected DMA operations since creation. *)

@@ -24,6 +24,8 @@ type t =
   | Span_begin of { span : int; parent : int; kind : int; owner : int }
   | Span_end of { span : int; kind : int; owner : int }
   | Causal of { edge : int; src : int; dst : int }
+  | Dev_fault of { device : int; fault : int }
+  | Dev_recover of { device : int; fault : int }
 
 type record = { ts : int; cpu : int; ev : t }
 
@@ -68,6 +70,19 @@ let causal_name = function
   | 4 -> "wakeup"
   | n -> Printf.sprintf "edge%d" n
 
+(* Device-fault codes carried by [Dev_fault]/[Dev_recover].  Kept in
+   sync with [Atmo_devmodel.Fault.code] (obs cannot depend on devmodel;
+   the cross-check lives in test_devmodel). *)
+let fault_name = function
+  | 1 -> "malformed-desc"
+  | 2 -> "short-desc"
+  | 3 -> "spurious-irq"
+  | 4 -> "irq-storm"
+  | 5 -> "reorder-completion"
+  | 6 -> "duplicate-completion"
+  | 7 -> "dma-escape"
+  | n -> Printf.sprintf "fault%d" n
+
 let kind = function
   | Syscall_enter _ -> "syscall_enter"
   | Syscall_exit _ -> "syscall_exit"
@@ -90,6 +105,8 @@ let kind = function
   | Span_begin _ -> "span_begin"
   | Span_end _ -> "span_end"
   | Causal _ -> "causal"
+  | Dev_fault _ -> "dev_fault"
+  | Dev_recover _ -> "dev_recover"
 
 (* ------------------------------------------------------------------ *)
 (* Binary encoding                                                     *)
@@ -152,6 +169,8 @@ let fields = function
   | Span_begin { span; parent; kind; owner } -> (19, kind land 0xff, span, parent, owner)
   | Span_end { span; kind; owner } -> (20, kind land 0xff, span, owner, 0)
   | Causal { edge; src; dst } -> (21, edge land 0xff, src, dst, 0)
+  | Dev_fault { device; fault } -> (22, fault land 0xff, device, 0, 0)
+  | Dev_recover { device; fault } -> (23, fault land 0xff, device, 0, 0)
 
 let encode ~ts ~cpu ev =
   let tag, aux, a, b, c = fields ev in
@@ -199,6 +218,8 @@ let decode buf =
       | 19 -> Some (Span_begin { span = a; parent = b; kind = aux; owner = c })
       | 20 -> Some (Span_end { span = a; kind = aux; owner = b })
       | 21 -> Some (Causal { edge = aux; src = a; dst = b })
+      | 22 -> Some (Dev_fault { device = a; fault = aux })
+      | 23 -> Some (Dev_recover { device = a; fault = aux })
       | _ -> None
     in
     Option.map (fun ev -> { ts; cpu; ev }) ev
@@ -249,6 +270,10 @@ let pp ppf = function
     Format.fprintf ppf "span_end       %-14s #%d owner=0x%x" (span_kind_name kind) span owner
   | Causal { edge; src; dst } ->
     Format.fprintf ppf "causal         %-14s #%d -> #%d" (causal_name edge) src dst
+  | Dev_fault { device; fault } ->
+    Format.fprintf ppf "dev_fault      device=%d %s" device (fault_name fault)
+  | Dev_recover { device; fault } ->
+    Format.fprintf ppf "dev_recover    device=%d %s" device (fault_name fault)
 
 let pp_record ppf r =
   Format.fprintf ppf "[cpu%d @%10d] %a" r.cpu r.ts pp r.ev

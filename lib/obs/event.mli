@@ -53,6 +53,12 @@ type t =
       (** A cross-span causal edge ([src]/[dst] are span ids): IPC
           send→recv, IRQ→endpoint delivery, driver submit→completion,
           or a scheduler wakeup.  See {!causal_name}. *)
+  | Dev_fault of { device : int; fault : int }
+      (** A device misbehaved (hostile-mode injection or a real model
+          fault); [fault] is a fault code, see {!fault_name}. *)
+  | Dev_recover of { device : int; fault : int }
+      (** The driver absorbed a device fault with a typed error and the
+          device model returned to its operating state. *)
 
 type record = { ts : int; cpu : int; ev : t }
 (** A decoded flight-recorder slot: cycle timestamp, recording CPU, event. *)
@@ -70,6 +76,10 @@ val span_kind_name : int -> string
 
 val causal_name : int -> string
 (** Name of a causal-edge code: ipc / irq / drv / wakeup. *)
+
+val fault_name : int -> string
+(** Name of a device-fault code carried by [Dev_fault]/[Dev_recover];
+    matches [Atmo_devmodel.Fault.code] (cross-checked in tests). *)
 
 val kind : t -> string
 (** Constructor name, for grouping decoded streams. *)

@@ -1,0 +1,32 @@
+module Model = Atmo_devmodel.Model
+
+let check (m : Model.t) =
+  let site = Printf.sprintf "driver_lint.%s" m.Model.name in
+  if m.Model.state = Model.Undefined then
+    Report.record Report.Drv_undefined_state ~site ~page:(-1)
+      ~detail:
+        (Printf.sprintf "device %d (%s) is in the undefined state" m.Model.device
+           m.Model.name);
+  if m.Model.escape_attempts > m.Model.escape_blocked then
+    Report.record Report.Drv_dma_escape ~site ~page:(-1)
+      ~detail:
+        (Printf.sprintf "%d of %d out-of-window DMA attempts reached memory"
+           (m.Model.escape_attempts - m.Model.escape_blocked)
+           m.Model.escape_attempts);
+  let pending = Model.pending_irqs m in
+  if pending > Model.storm_threshold then
+    Report.record Report.Drv_irq_storm ~site ~page:(-1)
+      ~detail:
+        (Printf.sprintf "%d IRQs pending unacknowledged (threshold %d, vector %s)"
+           pending Model.storm_threshold
+           (if m.Model.irq_masked then "masked" else "unmasked"));
+  if m.Model.harvested < m.Model.delivered then
+    Report.record Report.Drv_lost_completion ~site ~page:(-1)
+      ~detail:
+        (Printf.sprintf "device posted %d completions, driver harvested %d"
+           m.Model.delivered m.Model.harvested)
+
+let lint _k =
+  let before = Report.count () in
+  Memsan.suspend (fun () -> List.iter check (Model.all ()));
+  Report.count () - before

@@ -1,0 +1,21 @@
+(** Driver/device lint: the executable shadow of the paper's driver
+    theorems.
+
+    Walks the {!Atmo_devmodel.Model} registry at quiescence (every
+    driver drained, no requests in flight) and checks, per device:
+
+    - [drv-undefined-state]: the state machine is in [Undefined] — the
+      "device never reaches an undefined state" clause.
+    - [drv-dma-escape]: a DMA the device aimed outside its IOMMU window
+      reached memory (escape attempts exceed blocked escapes) — the
+      IOMMU-isolation clause.
+    - [drv-irq-storm]: pending unacknowledged IRQs exceed
+      {!Atmo_devmodel.Model.storm_threshold} — the driver neither
+      serviced nor masked a storming vector.
+    - [drv-lost-completion]: the device posted more completions than
+      the driver harvested — a completion was silently dropped. *)
+
+val lint : Atmo_core.Kernel.t -> int
+(** Check every registered device model; returns the number of new
+    reports filed.  The kernel argument is unused (the registry is
+    process-global) but keeps the [Runtime.full_check] shape. *)

@@ -19,6 +19,10 @@ type rule =
   | Tlb_stale
   | Sched_incoherent
   | Span_leak
+  | Drv_undefined_state
+  | Drv_dma_escape
+  | Drv_irq_storm
+  | Drv_lost_completion
 
 let rule_name = function
   | Use_after_free -> "use-after-free"
@@ -41,6 +45,10 @@ let rule_name = function
   | Tlb_stale -> "tlb-stale"
   | Sched_incoherent -> "sched-incoherent"
   | Span_leak -> "span-leak"
+  | Drv_undefined_state -> "drv-undefined-state"
+  | Drv_dma_escape -> "drv-dma-escape"
+  | Drv_irq_storm -> "drv-irq-storm"
+  | Drv_lost_completion -> "drv-lost-completion"
 
 type t = {
   rule : rule;

@@ -32,6 +32,17 @@ type rule =
   | Span_leak
       (** span begun but never ended: still open at quiescence, or left
           open when its enclosing span closed *)
+  | Drv_undefined_state
+      (** a device model is in the [Undefined] state the paper's driver
+          theorems forbid *)
+  | Drv_dma_escape
+      (** device DMA outside its IOMMU window actually reached memory *)
+  | Drv_irq_storm
+      (** pending unacknowledged IRQs above the storm threshold — the
+          driver neither serviced nor masked the vector *)
+  | Drv_lost_completion
+      (** a completion the device posted was never harvested by its
+          driver (checked at quiescence) *)
 
 val rule_name : rule -> string
 

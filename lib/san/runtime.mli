@@ -25,8 +25,10 @@ val attach : Atmo_core.Kernel.t -> unit
 
 val full_check : Atmo_core.Kernel.t -> int
 (** Run the on-demand whole-state checks — {!Pt_lint.lint},
-    {!Audit.leaks}, {!Tlb_lint.lint}, {!Sched_lint.lint} and
-    {!Span_lint.lint} — returning the number of new violations. *)
+    {!Audit.leaks}, {!Tlb_lint.lint}, {!Sched_lint.lint},
+    {!Span_lint.lint} and {!Driver_lint.lint} — returning the number of
+    new violations.  Call at quiescence: drivers drained, no requests
+    in flight. *)
 
 val arm_of_env : unit -> unit
 (** Arm (memsan only) when the [SAN] environment variable is [1] — the

@@ -31,6 +31,17 @@ module Sink = Atmo_obs.Sink
 module Span = Atmo_obs.Span
 module Clock = Atmo_hw.Clock
 module Nvme = Atmo_drivers.Nvme
+module Ixgbe = Atmo_drivers.Ixgbe
+module Virtio_net = Atmo_drivers.Virtio_net
+module Virtio_blk = Atmo_drivers.Virtio_blk
+module Virtio_ring = Atmo_drivers.Virtio_ring
+module Fault = Atmo_devmodel.Fault
+module Phys_mem = Atmo_hw.Phys_mem
+module Iommu = Atmo_hw.Iommu
+module Pte = Atmo_hw.Pte_bits
+module Page_alloc = Atmo_pmem.Page_alloc
+module Page_table = Atmo_pt.Page_table
+module Packet = Atmo_net.Packet
 module Kv_store = Atmo_net.Kv_store
 module Maglev = Atmo_net.Maglev
 
@@ -39,6 +50,7 @@ type result = {
   hits : int;
   end_cycles : int;  (** virtual clock at workload end *)
   latencies : int list;  (** per-request round-trip cycles, oldest first *)
+  replies : bytes list;  (** encoded reply per request, oldest first *)
   server_container : int;
   client_container : int;
   abstract : Atmo_spec.Abstract_state.t;
@@ -103,7 +115,156 @@ let keys = 32
 let key_of i = Bytes.of_string (Printf.sprintf "k%05d" (i mod keys))
 let lba_of i = 1 + (i mod keys)
 
-let run ?(requests = 16) ?(entries = 256) () =
+(* ------------------------------------------------------------------ *)
+(* Interchangeable device backends.  Each backend that DMAs lives in its
+   own standalone device environment (memory, identity page table,
+   IOMMU domain) so the workload kernel's memory accounting is
+   untouched; both backends of a kind charge the virtual clock
+   identically, so swapping one for the other must not move a single
+   cycle. *)
+
+type blk = Blk_nvme of Nvme.t | Blk_virtio of Virtio_blk.t
+type nic = Nic_ixgbe of Ixgbe.t | Nic_virtio of Virtio_net.t
+
+(* A private DMA arena: fresh memory, an identity-style page table
+   attached to the IOMMU as [device], and a bump allocator of mapped
+   iova ranges. *)
+let mk_dma_env ~page_count ~device =
+  let mem = Phys_mem.create ~page_count in
+  let alloc = Page_alloc.create mem ~reserved_frames:0 in
+  let iommu = Iommu.create mem in
+  let pt =
+    match Page_table.create mem alloc with
+    | Ok pt -> pt
+    | Error e -> Fmt.failwith "kv_demo: device page table: %a" Page_table.pp_error e
+  in
+  let map_page iova =
+    let frame =
+      match Page_alloc.alloc_4k alloc ~purpose:Page_alloc.User with
+      | Some f -> f
+      | None -> Fmt.failwith "kv_demo: device arena out of frames"
+    in
+    match Page_table.map_4k pt ~vaddr:iova ~frame ~perm:Pte.perm_rw with
+    | Ok () -> ()
+    | Error _ -> Fmt.failwith "kv_demo: device arena map failed at 0x%x" iova
+  in
+  let next_iova = ref 0x20_0000 in
+  let span bytes =
+    let base = !next_iova in
+    let pages = (bytes + Phys_mem.page_size - 1) / Phys_mem.page_size in
+    for i = 0 to pages - 1 do
+      map_page (base + (i * Phys_mem.page_size))
+    done;
+    next_iova := base + (pages * Phys_mem.page_size);
+    base
+  in
+  Iommu.attach iommu ~device ~root:(Page_table.cr3 pt);
+  (mem, iommu, span)
+
+let blk_queue_depth = 32
+
+let mk_blk backend ~clock ~cost =
+  match backend with
+  | `Nvme ->
+    let nvme = Nvme.create ~clock ~cost ~capacity_blocks:1024 in
+    Nvme.set_device nvme 7;
+    Blk_nvme nvme
+  | `Virtio ->
+    let mem, iommu, span = mk_dma_env ~page_count:64 ~device:7 in
+    let blk = Virtio_blk.create mem iommu ~device:7 ~clock ~cost ~capacity_blocks:1024 in
+    let _, _, _, ring_bytes =
+      Virtio_ring.layout ~qsz:(3 * blk_queue_depth) ~base:0
+    in
+    let ring_iova = span ring_bytes in
+    let arena_iova = span (blk_queue_depth * Virtio_blk.slot_bytes) in
+    (match Virtio_blk.setup blk ~ring_iova ~arena_iova ~depth:blk_queue_depth with
+     | Ok () -> ()
+     | Error e -> Fmt.failwith "kv_demo: virtio-blk setup: %s" (Fault.error_to_string e));
+    Blk_virtio blk
+
+let blk_write b ~lba ~data =
+  match b with
+  | Blk_nvme d -> Result.map ignore (Nvme.submit_write d ~lba ~data)
+  | Blk_virtio d -> Result.map ignore (Virtio_blk.submit_write d ~lba ~data)
+
+let blk_read b ~lba =
+  match b with
+  | Blk_nvme d -> Result.map ignore (Nvme.submit_read d ~lba)
+  | Blk_virtio d -> Result.map ignore (Virtio_blk.submit_read d ~lba)
+
+let blk_wait b =
+  match b with
+  | Blk_nvme d -> ignore (Nvme.wait_all d)
+  | Blk_virtio d -> ignore (Virtio_blk.wait_all d)
+
+(* The optional NIC loop: when a NIC backend is selected, every request
+   and reply payload additionally travels as an Ethernet frame through
+   the device — driver tx, the wire, device rx DMA — and the bytes the
+   far side decodes are the ones harvested from the RX ring. *)
+let nic_slots = 8
+let nic_buf_bytes = 2048
+
+let mk_nic backend ~clock ~cost =
+  let mem_pages = 64 in
+  let mk_rings span =
+    let ring () = span Phys_mem.page_size in
+    let bufs () = Array.init nic_slots (fun _ -> (span nic_buf_bytes, nic_buf_bytes)) in
+    let rx_ring = ring () in
+    let rx_bufs = bufs () in
+    let tx_ring = ring () in
+    let tx_bufs = bufs () in
+    (rx_ring, rx_bufs, tx_ring, tx_bufs)
+  in
+  let fail what = function
+    | Ok () -> ()
+    | Error e -> Fmt.failwith "kv_demo: %s: %s" what (Fault.error_to_string e)
+  in
+  match backend with
+  | `Ixgbe ->
+    let mem, iommu, span = mk_dma_env ~page_count:mem_pages ~device:3 in
+    let nic = Ixgbe.create mem iommu ~device:3 ~clock ~cost in
+    let rx_ring, rx_bufs, tx_ring, tx_bufs = mk_rings span in
+    fail "ixgbe setup_rx" (Ixgbe.setup_rx nic ~ring_iova:rx_ring ~buffers:rx_bufs);
+    fail "ixgbe setup_tx" (Ixgbe.setup_tx nic ~ring_iova:tx_ring ~buffers:tx_bufs);
+    Nic_ixgbe nic
+  | `Virtio ->
+    let mem, iommu, span = mk_dma_env ~page_count:mem_pages ~device:3 in
+    let nic = Virtio_net.create mem iommu ~device:3 ~clock ~cost in
+    let rx_ring, rx_bufs, tx_ring, tx_bufs = mk_rings span in
+    fail "virtio-net setup_rx" (Virtio_net.setup_rx nic ~ring_iova:rx_ring ~buffers:rx_bufs);
+    fail "virtio-net setup_tx" (Virtio_net.setup_tx nic ~ring_iova:tx_ring ~buffers:tx_bufs);
+    Nic_virtio nic
+
+let nic_flow = lazy (Packet.flow_of_ints ~src:0x0a00_0001 ~dst:0x0a00_0002 ~sport:7777 ~dport:11211)
+
+(* Send [payload] through the NIC datapath and harvest it on the far
+   side: driver tx -> wire -> loopback rx DMA -> driver rx.  Returns the
+   payload as decoded from the received frame. *)
+let nic_transfer nic payload =
+  let frame = Packet.build (Lazy.force nic_flow) ~payload in
+  let sent, collected, harvested =
+    match nic with
+    | Nic_ixgbe n ->
+      let sent = Ixgbe.tx_burst n [ frame ] in
+      let wire = Ixgbe.wire_collect n in
+      List.iter (fun f -> ignore (Ixgbe.wire_deliver n f)) wire;
+      (sent, wire, Ixgbe.rx_burst n ~max:nic_slots)
+    | Nic_virtio n ->
+      let sent = Virtio_net.tx_burst n [ frame ] in
+      let wire = Virtio_net.wire_collect n in
+      List.iter (fun f -> ignore (Virtio_net.wire_deliver n f)) wire;
+      (sent, wire, Virtio_net.rx_burst n ~max:nic_slots)
+  in
+  match (sent, collected, harvested) with
+  | 1, [ _ ], [ rxf ] ->
+    (match Packet.payload rxf with
+     | Some p -> p
+     | None -> Fmt.failwith "kv_demo: nic frame lost its payload")
+  | _ ->
+    Fmt.failwith "kv_demo: nic transfer sent=%d wire=%d rx=%d" sent
+      (List.length collected) (List.length harvested)
+
+let run ?(requests = 16) ?(entries = 256) ?(blk = `Nvme) ?nic () =
   let cost = Atmo_sim.Cost.default in
   let k, init =
     match Kernel.boot Kernel.default_boot with
@@ -174,28 +335,32 @@ let run ?(requests = 16) ?(entries = 256) () =
   let maglev = Maglev.create ~backends ~table_size:31 in
   let stores = List.map (fun b -> (b, Kv_store.create ~entries)) backends in
   let shard_of key = List.assoc (Maglev.lookup maglev (flow_hash key)) stores in
-  let nvme = Nvme.create ~clock:dclock ~cost ~capacity_blocks:1024 in
-  Nvme.set_device nvme 7;
+  let blkdev = mk_blk blk ~clock:dclock ~cost in
+  let nicdev = Option.map (fun b -> mk_nic b ~clock:dclock ~cost) nic in
   let block = Bytes.make Nvme.block_bytes 'v' in
   for i = 0 to keys - 1 do
     let key = key_of i in
     let value = Bytes.of_string (string_of_int (lba_of i)) in
     if not (Kv_store.set (shard_of key) ~key ~value) then
       Fmt.failwith "kv_demo: preload overflowed a %d-entry shard" entries;
-    (match Nvme.submit_write nvme ~lba:(lba_of i) ~data:block with
-     | Ok _ -> ()
-     | Error e -> Fmt.failwith "kv_demo: preload write: %s" e)
+    (match blk_write blkdev ~lba:(lba_of i) ~data:block with
+     | Ok () -> ()
+     | Error e -> Fmt.failwith "kv_demo: preload write: %s" (Fault.error_to_string e))
   done;
-  ignore (Nvme.wait_all nvme);
+  blk_wait blkdev;
   (* the request loop *)
   let hits = ref 0 in
   let latencies = ref [] in
+  let replies = ref [] in
   for i = 0 to requests - 1 do
     let key = key_of i in
     let payload = Kv_store.encode_request (Kv_store.Get key) in
     (* client opens the request root span and sends the GET; the send
        parks until the server harvests it *)
     let t_start = Clock.now dclock in
+    (* with a NIC backend, the request bytes also cross the device
+       datapath; the server decodes what came off the RX ring *)
+    let wire_request = Option.map (fun n -> nic_transfer n payload) nicdev in
     let req_sid =
       if tracing then begin
         Sink.set_cpu 0;
@@ -214,7 +379,9 @@ let run ?(requests = 16) ?(entries = 256) () =
        emits the send→recv IPC edge *)
     let request_bytes, recv_sid =
       match tstep ~cpu:1 srv (Syscall.Recv { slot = 0 }) with
-      | (Syscall.Rmsg m, sid) -> (unpack_bytes m.Message.scalars, sid)
+      | (Syscall.Rmsg m, sid) ->
+        let ipc_bytes = unpack_bytes m.Message.scalars in
+        (Option.value wire_request ~default:ipc_bytes, sid)
       | (r, _) -> Fmt.failwith "kv_demo: server recv -> %a" Syscall.pp_ret r
     in
     (* application handler span, causally downstream of the recv *)
@@ -239,20 +406,21 @@ let run ?(requests = 16) ?(entries = 256) () =
            (* fetch the backing block: driver submit/complete spans and
               the submit→completion causal edge come from the driver *)
            let lba = int_of_string (Bytes.to_string value) in
-           (match Nvme.submit_read nvme ~lba with
-            | Ok _tag -> ignore (Nvme.wait_all nvme)
-            | Error e -> Fmt.failwith "kv_demo: nvme read: %s" e);
+           (match blk_read blkdev ~lba with
+            | Ok () -> blk_wait blkdev
+            | Error e -> Fmt.failwith "kv_demo: block read: %s" (Fault.error_to_string e));
            Kv_store.Value value
          | None -> Kv_store.Not_found)
       | _ -> Kv_store.Error
     in
     Clock.advance dclock handler_cycles;
+    let reply_bytes = Kv_store.encode_reply reply in
+    (* the reply crosses the NIC datapath too when one is attached *)
+    let wire_reply = Option.map (fun n -> nic_transfer n reply_bytes) nicdev in
     (* reply leaves inside the handler span, then the handler closes *)
     (match
        tstep ~cpu:1 srv
-         (Syscall.Send
-            { slot = 1;
-              msg = Message.scalars_only (pack_bytes (Kv_store.encode_reply reply)) })
+         (Syscall.Send { slot = 1; msg = Message.scalars_only (pack_bytes reply_bytes) })
      with
      | (Syscall.Rblocked, _) -> ()
      | (r, _) -> Fmt.failwith "kv_demo: server send -> %a" Syscall.pp_ret r);
@@ -261,7 +429,9 @@ let run ?(requests = 16) ?(entries = 256) () =
        and the request span closes *)
     (match tstep ~cpu:0 init (Syscall.Recv { slot = 1 }) with
      | (Syscall.Rmsg m, _) ->
-       (match Kv_store.decode_reply (unpack_bytes m.Message.scalars) with
+       let received = Option.value wire_reply ~default:(unpack_bytes m.Message.scalars) in
+       replies := received :: !replies;
+       (match Kv_store.decode_reply received with
         | Some (Kv_store.Value _) | Some Kv_store.Not_found -> ()
         | _ -> Fmt.failwith "kv_demo: bad reply for request %d" i)
      | (r, _) -> Fmt.failwith "kv_demo: client recv -> %a" Syscall.pp_ret r);
@@ -279,6 +449,7 @@ let run ?(requests = 16) ?(entries = 256) () =
     hits = !hits;
     end_cycles = Clock.now dclock;
     latencies = List.rev !latencies;
+    replies = List.rev !replies;
     server_container = srv_container;
     client_container;
     abstract = Atmo_core.Abstraction.abstract k;

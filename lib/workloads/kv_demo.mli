@@ -19,13 +19,30 @@ type result = {
   hits : int;  (** GETs that found their key (should equal [requests]) *)
   end_cycles : int;  (** virtual clock at workload end *)
   latencies : int list;  (** per-request round-trip cycles, oldest first *)
+  replies : bytes list;
+      (** encoded reply the client received per request, oldest first —
+          the bit-identity oracle across device backends *)
   server_container : int;
   client_container : int;
   abstract : Atmo_spec.Abstract_state.t;
 }
 
-val run : ?requests:int -> ?entries:int -> unit -> result
+val run :
+  ?requests:int ->
+  ?entries:int ->
+  ?blk:[ `Nvme | `Virtio ] ->
+  ?nic:[ `Ixgbe | `Virtio ] ->
+  unit ->
+  result
 (** Run the workload on a freshly booted kernel.  [requests] defaults
-    to 16; [entries] (per-shard capacity) to 256.  Installs nothing:
-    the caller owns sink setup/teardown ({!Atmo_obs.Sink.install},
-    {!Atmo_obs.Span.reset}, {!Atmo_obs.Metrics.reset}). *)
+    to 16; [entries] (per-shard capacity) to 256.  [blk] selects the
+    block backend behind the shards ([`Nvme], the default, or [`Virtio]
+    for virtio-blk over a split virtqueue); both share one service-time
+    model, so [end_cycles], [latencies] and [replies] are bit-identical
+    across them.  [nic], when given, additionally routes every request
+    and reply payload through a NIC datapath (ixgbe descriptor rings or
+    virtio-net virtqueues) in a standalone IOMMU domain; the two NICs
+    charge identical driver cycles, so they too are interchangeable
+    without moving a cycle.  Installs nothing: the caller owns sink
+    setup/teardown ({!Atmo_obs.Sink.install}, {!Atmo_obs.Span.reset},
+    {!Atmo_obs.Metrics.reset}). *)

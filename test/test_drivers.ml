@@ -49,7 +49,7 @@ let test_rx_path () =
   let _, _, _, nic, ring, buffers = mk_env () in
   (match Ixgbe.setup_rx nic ~ring_iova:ring ~buffers with
    | Ok () -> ()
-   | Error m -> Alcotest.fail m);
+   | Error m -> Alcotest.fail (Atmo_devmodel.Fault.error_to_string m));
   checkb "frame accepted" true (Ixgbe.wire_deliver nic (frame_of_text "one"));
   checkb "second frame" true (Ixgbe.wire_deliver nic (frame_of_text "two"));
   (match Ixgbe.rx_burst nic ~max:8 with
@@ -63,7 +63,7 @@ let test_rx_ring_wraps () =
   let _, _, _, nic, ring, buffers = mk_env ~bufs:4 () in
   (match Ixgbe.setup_rx nic ~ring_iova:ring ~buffers with
    | Ok () -> ()
-   | Error m -> Alcotest.fail m);
+   | Error m -> Alcotest.fail (Atmo_devmodel.Fault.error_to_string m));
   (* run 3 full laps around the 4-slot ring *)
   for lap = 0 to 11 do
     checkb "deliver" true (Ixgbe.wire_deliver nic (frame_of_text (string_of_int lap)));
@@ -77,7 +77,7 @@ let test_rx_overflow_drops () =
   let _, _, _, nic, ring, buffers = mk_env ~bufs:2 () in
   (match Ixgbe.setup_rx nic ~ring_iova:ring ~buffers with
    | Ok () -> ()
-   | Error m -> Alcotest.fail m);
+   | Error m -> Alcotest.fail (Atmo_devmodel.Fault.error_to_string m));
   checkb "1 ok" true (Ixgbe.wire_deliver nic (frame_of_text "a"));
   checkb "2 ok" true (Ixgbe.wire_deliver nic (frame_of_text "b"));
   checkb "3 dropped (no free descriptor)" false (Ixgbe.wire_deliver nic (frame_of_text "c"));
@@ -121,7 +121,7 @@ let test_rx_unmapped_buffer_drops () =
   let nic = Ixgbe.create mem iommu ~device:0 ~clock ~cost in
   (match Ixgbe.setup_rx nic ~ring_iova:ring ~buffers:[| (good, 2048); (evil, 2048) |] with
    | Ok () -> ()
-   | Error m -> Alcotest.fail m);
+   | Error m -> Alcotest.fail (Atmo_devmodel.Fault.error_to_string m));
   checkb "first frame lands in good buffer" true (Ixgbe.wire_deliver nic (frame_of_text "a"));
   checkb "second frame dropped by IOMMU" false (Ixgbe.wire_deliver nic (frame_of_text "b"));
   (* and nothing was written to the unmapped frame *)
@@ -129,10 +129,10 @@ let test_rx_unmapped_buffer_drops () =
     (Bytes.equal (Phys_mem.blit_from mem ~addr:evil ~len:64) (Bytes.make 64 '\000'))
 
 let test_tx_path () =
-  let _, _, _, nic, ring, _ = mk_env () in
-  (match Ixgbe.setup_tx nic ~ring_iova:ring ~slots:8 with
+  let _, _, _, nic, ring, buffers = mk_env () in
+  (match Ixgbe.setup_tx nic ~ring_iova:ring ~buffers with
    | Ok () -> ()
-   | Error m -> Alcotest.fail m);
+   | Error m -> Alcotest.fail (Atmo_devmodel.Fault.error_to_string m));
   checki "accepted" 2 (Ixgbe.tx_burst nic [ frame_of_text "x"; frame_of_text "y" ]);
   (match Ixgbe.wire_collect nic with
    | [ a; b ] ->
@@ -146,7 +146,7 @@ let test_driver_cycles_charged () =
   let _, _, clock, nic, ring, buffers = mk_env () in
   (match Ixgbe.setup_rx nic ~ring_iova:ring ~buffers with
    | Ok () -> ()
-   | Error m -> Alcotest.fail m);
+   | Error m -> Alcotest.fail (Atmo_devmodel.Fault.error_to_string m));
   ignore (Ixgbe.wire_deliver nic (frame_of_text "a"));
   let before = Clock.now clock in
   ignore (Ixgbe.rx_burst nic ~max:1);
@@ -161,11 +161,11 @@ let test_nvme_write_read () =
   let data = Bytes.make Nvme.block_bytes 'z' in
   (match Nvme.submit_write dev ~lba:5 ~data with
    | Ok _ -> ()
-   | Error m -> Alcotest.fail m);
+   | Error m -> Alcotest.fail (Atmo_devmodel.Fault.error_to_string m));
   ignore (Nvme.wait_all dev);
   (match Nvme.submit_read dev ~lba:5 with
    | Ok _ -> ()
-   | Error m -> Alcotest.fail m);
+   | Error m -> Alcotest.fail (Atmo_devmodel.Fault.error_to_string m));
   (match Nvme.wait_all dev with
    | [ c ] ->
      checkb "read ok" true c.Nvme.ok;

@@ -203,6 +203,36 @@ let test_iommu_unmapped_dma_rejected () =
    | Some b -> checkb "no partial write" true (Bytes.equal b (Bytes.make 6 '\000'))
    | None -> Alcotest.fail "prefix should read")
 
+let test_iommu_typed_dma_errors () =
+  (* out-of-window DMA must fault with a typed error, bump the
+     iommu/blocked counter, and leave physical memory untouched *)
+  let m = Phys_mem.create ~page_count:16 in
+  let cr3, va = build_manual_pt m in
+  let io = Iommu.create m in
+  Iommu.attach io ~device:7 ~root:cr3;
+  let snapshot () = Phys_mem.blit_from m ~addr:0 ~len:(16 * Phys_mem.page_size) in
+  let before_mem = snapshot () in
+  let blocked0 = Iommu.blocked () in
+  (* unmapped iova inside the domain *)
+  (match Iommu.dma_write_checked io ~device:7 ~iova:0x7f00_0000 (Bytes.make 64 'x') with
+   | Ok () -> Alcotest.fail "write through unmapped iova must fail"
+   | Error e ->
+     checkb "reason unmapped" true (e.Iommu.e_reason = `Unmapped);
+     check Alcotest.int "iova reported" 0x7f00_0000 e.Iommu.e_iova;
+     checkb "write flagged" true e.Iommu.e_write);
+  (* device with no domain at all *)
+  (match Iommu.dma_read_checked io ~device:9 ~iova:va ~len:8 with
+   | Ok _ -> Alcotest.fail "read without a domain must fail"
+   | Error e -> checkb "reason no-domain" true (e.Iommu.e_reason = `No_domain));
+  (* burst leaking past the window edge is rejected whole *)
+  (match Iommu.dma_write_checked io ~device:7 ~iova:(va + 4090) (Bytes.make 16 'y') with
+   | Ok () -> Alcotest.fail "partial burst must be rejected whole"
+   | Error e -> checkb "reason unmapped" true (e.Iommu.e_reason = `Unmapped));
+  check Alcotest.int "blocked counter bumped per rejected burst" (blocked0 + 3)
+    (Iommu.blocked ());
+  checkb "physical memory untouched by rejected DMA" true
+    (Bytes.equal before_mem (snapshot ()))
+
 let test_iommu_detach () =
   let m = Phys_mem.create ~page_count:16 in
   let cr3, va = build_manual_pt m in
@@ -332,6 +362,7 @@ let () =
           Alcotest.test_case "translate and dma" `Quick test_iommu_translate_and_dma;
           Alcotest.test_case "unattached faults" `Quick test_iommu_unattached_faults;
           Alcotest.test_case "unmapped dma rejected" `Quick test_iommu_unmapped_dma_rejected;
+          Alcotest.test_case "typed dma errors" `Quick test_iommu_typed_dma_errors;
           Alcotest.test_case "detach" `Quick test_iommu_detach;
         ] );
       ( "e820",

@@ -479,6 +479,40 @@ let test_san_span_leak () =
           | None -> Alcotest.fail "span leak not detected"
           | Some _ -> ()))
 
+let test_san_lost_completion () =
+  (* a driver that silently drops a completion the device posted: the
+     ledger ends with delivered > harvested, and Driver_lint must file
+     drv-lost-completion at quiescence *)
+  let module Model = Atmo_devmodel.Model in
+  let module Nvme = Atmo_drivers.Nvme in
+  let k, _init = world () in
+  Model.reset ();
+  Fun.protect ~finally:(fun () -> Model.reset ())
+    (fun () ->
+      with_san (fun () ->
+          San_runtime.attach k;
+          let clock = Atmo_hw.Clock.create () in
+          let dev = Nvme.create ~clock ~cost:Atmo_sim.Cost.default ~capacity_blocks:16 in
+          Nvme.set_device dev 9;
+          (* a drained well-behaved driver is clean *)
+          (match Nvme.submit_read dev ~lba:1 with
+           | Ok _ -> ()
+           | Error e -> Alcotest.fail (Atmo_devmodel.Fault.error_to_string e));
+          ignore (Nvme.wait_all dev);
+          checkb "clean lint before plant" true (Atmo_san.Driver_lint.lint k = 0);
+          (* plant the bug, lose exactly one completion *)
+          Nvme.set_drop_completion_plant dev true;
+          (match Nvme.submit_read dev ~lba:2 with
+           | Ok _ -> ()
+           | Error e -> Alcotest.fail (Atmo_devmodel.Fault.error_to_string e));
+          ignore (Nvme.wait_all dev);
+          checkb "lint fires" true (Atmo_san.Driver_lint.lint k > 0);
+          match san_find San_report.Drv_lost_completion with
+          | None -> Alcotest.fail "lost completion not detected"
+          | Some r ->
+            checkb "report names the device model" true
+              (r.San_report.site = "driver_lint.nvme0")))
+
 (* ------------------------------------------------------------------ *)
 (* Spec mutations: a wrong return value must violate the spec          *)
 
@@ -563,6 +597,7 @@ let () =
           Alcotest.test_case "stale tlb" `Quick test_san_stale_tlb;
           Alcotest.test_case "fastpath skip" `Quick test_san_fastpath_skip;
           Alcotest.test_case "span leak" `Quick test_san_span_leak;
+        Alcotest.test_case "lost completion" `Quick test_san_lost_completion;
         ] );
       ( "spec",
         [

@@ -84,6 +84,9 @@ let sample_events =
     Event.Drv_doorbell { device = 7; queue = 0 };
     Event.Drv_completion { device = 7; count = 32 };
     Event.Lock_acquire { cpu = 3; wait_cycles = 458 };
+    Event.Dev_fault { device = 11; fault = 1 };
+    Event.Dev_fault { device = 13; fault = 7 };
+    Event.Dev_recover { device = 11; fault = 4 };
   ]
 
 let test_roundtrip_samples () =
