@@ -1,7 +1,7 @@
 # Convenience targets over dune; `make check` is the pre-commit gate.
 
 .PHONY: all build test test-san bench bench-tlb bench-ipc bench-span bench-dev \
-	bench-all check trace obs profile top san clean
+	bench-verif bench-all check trace obs profile top san verify clean
 
 all: build
 
@@ -43,6 +43,12 @@ bench-span:
 bench-dev:
 	dune exec bench/main.exe -- dev
 
+# Incremental verification: full-suite discharge, one transition, then
+# the dirty-set re-check against an oracle full re-discharge.  Writes
+# BENCH_verif.json (verdict identity, re-check fraction, >= 5x speedup).
+bench-verif:
+	dune exec bench/main.exe -- verif
+
 # Every benchmark that writes a BENCH_*.json artifact, then the merge:
 # `bench report` folds them into BENCH_summary.json, reports deltas
 # >= 5% against the previous summary, and enforces the hard floors
@@ -54,6 +60,7 @@ bench-all:
 	dune exec bench/main.exe -- ipc
 	dune exec bench/main.exe -- span
 	dune exec bench/main.exe -- dev
+	dune exec bench/main.exe -- verif
 	dune exec bench/main.exe -- report
 
 # Pre-commit gate: build, tier-1 tests (plain and with the sanitizer
@@ -62,9 +69,12 @@ bench-all:
 # table, the sanitizer over the scripted workload + hostile device
 # sweep (clean run must report zero violations; the stale-TLB,
 # fastpath-skip, span-leak and driver plants must each be caught by
-# exactly their rule), the profiler's request-path reconstruction over
-# the kv-store demo, and the span + device benches + regression report
-# (bit-identity and performance floors over the BENCH_*.json set).
+# exactly their rule), the incremental verifier (dirty-set re-check
+# bit-identical to a full oracle within the 20% budget; the stale-proof
+# plant caught by exactly its rule), the profiler's request-path
+# reconstruction over the kv-store demo, and the span + device + verif
+# benches + regression report (bit-identity and performance floors,
+# including the >= 5x incremental speedup, over the BENCH_*.json set).
 check:
 	dune build && dune runtest && SAN=1 dune runtest --force \
 	&& dune exec test/test_fastpath.exe \
@@ -77,9 +87,12 @@ check:
 	&& dune exec bin/atmo_cli.exe -- san --plant dma-escape \
 	&& dune exec bin/atmo_cli.exe -- san --plant irq-storm \
 	&& dune exec bin/atmo_cli.exe -- san --plant lost-completion \
+	&& dune exec bin/atmo_cli.exe -- verify --incremental \
+	&& dune exec bin/atmo_cli.exe -- verify --plant stale-proof \
 	&& dune exec bin/atmo_cli.exe -- profile --requests 8 \
 	&& dune exec bench/main.exe -- span \
 	&& dune exec bench/main.exe -- dev \
+	&& dune exec bench/main.exe -- verif \
 	&& dune exec bench/main.exe -- report
 
 trace:
@@ -112,6 +125,16 @@ san:
 	dune exec bin/atmo_cli.exe -- san --plant dma-escape
 	dune exec bin/atmo_cli.exe -- san --plant irq-storm
 	dune exec bin/atmo_cli.exe -- san --plant lost-completion
+
+# Obligation discharge via the CLI: the full suite, the incremental
+# dirty-set re-check after one transition (verdicts must be
+# bit-identical to the full oracle, within the 20% re-check budget),
+# and the stale-proof plant (dropped dirty marks must be caught by
+# exactly the stale-proof lint).
+verify:
+	dune exec bin/atmo_cli.exe -- verify
+	dune exec bin/atmo_cli.exe -- verify --incremental
+	dune exec bin/atmo_cli.exe -- verify --plant stale-proof
 
 clean:
 	dune clean

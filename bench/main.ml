@@ -13,6 +13,7 @@ module Runner = Atmo_verif.Runner
 module Catalog = Atmo_verif.Catalog
 module Effort = Atmo_verif.Effort
 module Obligation = Atmo_verif.Obligation
+module Incremental = Atmo_verif.Incremental
 module Kernel = Atmo_core.Kernel
 module Syscall = Atmo_spec.Syscall
 module Message = Atmo_pm.Message
@@ -95,9 +96,26 @@ let table2 () =
   let flat = Catalog.pt_obligations_flat pt in
   let r_nros = run_suite "NrOS-style page table" nros in
   let r_flat = run_suite "Atmo page table (flat)" flat in
-  (match Catalog.full_suite ~scale:6 with
-   | Ok suite -> ignore (run_suite "Atmosphere (full)" suite)
-   | Error msg -> line "full suite failed to build: %s" msg);
+  (match Catalog.build_world ~scale:6 with
+   | Error msg -> line "full suite failed to build: %s" msg
+   | Ok (k, init) ->
+     let suite = Catalog.suite_for ~scale:6 k in
+     Incremental.arm ();
+     Fun.protect ~finally:Incremental.disarm (fun () ->
+         let r_full = Incremental.run ~threads:1 suite in
+         line "%-22s %4d obligations   1 thread %8.1f ms   %s" "Atmosphere (full)"
+           (List.length suite)
+           (r_full.Runner.wall_s *. 1000.)
+           (if Runner.all_ok r_full then "ok" else "FAIL");
+         (* the incremental column: one yield, then re-check only what
+            the transition dirtied (see `bench verif` for the gated run) *)
+         ignore (Kernel.step k ~thread:init Syscall.Yield);
+         let r_inc = Incremental.run ~threads:1 suite in
+         line
+           "%-22s %4d obligations   1 thread %8.1f ms   re-checked %d, reused %d cached"
+           "Atmosphere (incremental)" (List.length suite)
+           (r_inc.Runner.wall_s *. 1000.)
+           r_inc.Runner.rechecked r_inc.Runner.reused));
   line "";
   (* compare the two obligations both formulations share *)
   let time_of r names =
@@ -1316,13 +1334,77 @@ let dev () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* verif: incremental dirty-set re-check vs full discharge             *)
+
+let verif () =
+  section "Incremental verification: dirty-set re-check vs full discharge";
+  line "(arm the dirty tracker, discharge the full suite once, apply one";
+  line " syscall, then re-discharge: only obligations whose read set";
+  line " intersects the transition's dirty set may run; verdicts must be";
+  line " bit-identical to an oracle full re-check)";
+  line "";
+  match Catalog.build_world ~scale:3 with
+  | Error msg ->
+    line "world failed to build: %s" msg;
+    exit 1
+  | Ok (k, init) ->
+    let suite = Catalog.suite_for ~scale:3 k in
+    let n = List.length suite in
+    Incremental.arm ();
+    Fun.protect ~finally:Incremental.disarm (fun () ->
+        let r_full = Incremental.run ~threads:1 suite in
+        line "full discharge:        %4d obligations  %8.1f ms  %s" n
+          (r_full.Runner.wall_s *. 1000.)
+          (if Runner.all_ok r_full then "ok" else "FAIL");
+        ignore (Kernel.step k ~thread:init Syscall.Yield);
+        let dirty = Incremental.dirty_ids () in
+        line "transition: yield      dirty = {%s}" (String.concat "; " dirty);
+        let r_inc = Incremental.run ~threads:1 suite in
+        line "incremental re-check:  %4d obligations  %8.1f ms  re-checked %d, reused %d"
+          n
+          (r_inc.Runner.wall_s *. 1000.)
+          r_inc.Runner.rechecked r_inc.Runner.reused;
+        (* oracle: a full re-discharge of the same state must agree on
+           every (name, verdict, detail) triple *)
+        let r_oracle = Runner.run ~threads:1 suite in
+        let verdicts (r : Runner.report) =
+          List.map
+            (fun (x : Obligation.result) ->
+              (x.Obligation.name, x.Obligation.ok, x.Obligation.detail))
+            r.Runner.results
+        in
+        let identical = verdicts r_inc = verdicts r_oracle in
+        let fraction = float_of_int r_inc.Runner.rechecked /. float_of_int (max 1 n) in
+        let speedup =
+          r_full.Runner.wall_s /. Float.max 1e-6 r_inc.Runner.wall_s
+        in
+        line "verdicts vs oracle full re-check: %s"
+          (if identical then "bit-identical" else "DIVERGED");
+        line "re-check fraction: %.1f%% (budget 20%%)   speedup: %.1fx (floor 5x)"
+          (100. *. fraction) speedup;
+        write_bench_json "BENCH_verif.json"
+          [
+            ("bench", J.Str "incremental_verif");
+            ("obligations", J.Num (float_of_int n));
+            ("full_ms", J.Num (r_full.Runner.wall_s *. 1000.));
+            ("incremental_ms", J.Num (r_inc.Runner.wall_s *. 1000.));
+            ("speedup", J.Num speedup);
+            ("rechecked", J.Num (float_of_int r_inc.Runner.rechecked));
+            ("reused", J.Num (float_of_int r_inc.Runner.reused));
+            ("recheck_fraction", J.Num fraction);
+            ("recheck_within_budget", J.Bool (fraction <= 0.20));
+            ("verdicts_identical", J.Bool identical);
+            ("all_ok", J.Bool (Runner.all_ok r_inc && Runner.all_ok r_oracle));
+          ])
+
+(* ------------------------------------------------------------------ *)
 (* report: merge BENCH_*.json, enforce floors, diff the last summary   *)
 
 let report () =
   section "Bench report: merge BENCH_*.json, enforce floors, diff the last summary";
   let files =
     [ "BENCH_obs.json"; "BENCH_san.json"; "BENCH_tlb.json"; "BENCH_ipc.json";
-      "BENCH_span.json"; "BENCH_dev.json" ]
+      "BENCH_span.json"; "BENCH_dev.json"; "BENCH_verif.json" ]
   in
   let loaded =
     List.filter_map
@@ -1408,6 +1490,10 @@ let report () =
   floor_true "dev kv nic identity" [ "dev"; "kv_nic_identity" ];
   floor_num "dev hostile delivery >= 0.9" [ "dev"; "hostile_delivery_ratio" ] ~min_v:0.9;
   floor_true "dev hostile lint clean" [ "dev"; "hostile_lint_clean" ];
+  floor_true "verif incremental verdict identity" [ "verif"; "verdicts_identical" ];
+  floor_true "verif incremental all ok" [ "verif"; "all_ok" ];
+  floor_true "verif re-check within 20% budget" [ "verif"; "recheck_within_budget" ];
+  floor_num "verif incremental speedup >= 5x" [ "verif"; "speedup" ] ~min_v:5.0;
   if !failures > 0 then begin
     line "  %d floor(s) FAILED" !failures;
     exit 1
@@ -1518,6 +1604,7 @@ let all () =
   ipc ();
   span ();
   dev ();
+  verif ();
   bechamel ()
 
 let () =
@@ -1539,6 +1626,7 @@ let () =
   | "ipc" -> ipc ()
   | "span" -> span ()
   | "dev" -> dev ()
+  | "verif" -> verif ()
   | "report" -> report ()
   | "bechamel" -> bechamel ()
   | "all" -> all ()

@@ -32,27 +32,129 @@ let setup_logs () =
 
 (* ------------------------------------------------------------------ *)
 
-let verify scale threads verbose =
-  setup_logs ();
-  match Catalog.full_suite ~scale with
-  | Error msg ->
-    Format.eprintf "failed to build the verification world: %s@." msg;
+module Incremental = Atmo_verif.Incremental
+
+(* Multi-domain discharge is the default: [--threads 0] (the default)
+   resolves to the machine's recommended domain count, as the parallel
+   benches do. *)
+let resolve_threads threads =
+  if threads > 0 then threads else min 8 (Domain.recommended_domain_count ())
+
+let print_report ~threads ~verbose report =
+  if verbose then Format.printf "%a@." Runner.pp report
+  else
+    Format.printf "%d obligations, %d threads, wall %.3f s, check %.3f s@."
+      (List.length report.Runner.results)
+      threads report.Runner.wall_s
+      (Runner.total_check_time report)
+
+let report_failures report =
+  match Runner.failures report with
+  | [] ->
+    Format.printf "all obligations discharged.@.";
+    0
+  | fs ->
+    List.iter (fun f -> Format.printf "FAILED %a@." Obligation.pp_result f) fs;
     1
-  | Ok suite ->
-    let report = Runner.run ~threads suite in
-    if verbose then Format.printf "%a@." Runner.pp report
-    else
-      Format.printf "%d obligations, %d threads, wall %.3f s, check %.3f s@."
-        (List.length report.Runner.results)
-        threads report.Runner.wall_s
-        (Runner.total_check_time report);
-    (match Runner.failures report with
-     | [] ->
-       Format.printf "all obligations discharged.@.";
-       0
-     | fs ->
-       List.iter (fun f -> Format.printf "FAILED %a@." Obligation.pp_result f) fs;
-       1)
+
+let verdicts report =
+  List.map
+    (fun (r : Obligation.result) ->
+      (r.Obligation.name, r.Obligation.ok, r.Obligation.detail))
+    report.Runner.results
+
+(* One full discharge to populate the verdict cache, one syscall on the
+   live world, then an incremental re-run: only obligations whose read
+   set intersects the transition's dirty set may be re-discharged, and
+   the spliced report must be verdict-identical to a from-scratch run. *)
+let verify_incremental ~threads ~verbose k init suite =
+  let full = Incremental.run ~threads suite in
+  Format.printf "full run:        ";
+  print_report ~threads ~verbose:false full;
+  (match Kernel.step k ~thread:init Syscall.Yield with
+   | Syscall.Rerr e -> Format.printf "(transition yield -> %a)@." Atmo_util.Errno.pp e
+   | _ -> ());
+  Format.printf "transition:      yield; dirty = {%s}@."
+    (String.concat ", " (Incremental.dirty_ids ()));
+  let incr = Incremental.run ~threads suite in
+  Format.printf "incremental run: ";
+  print_report ~threads ~verbose incr;
+  let oracle = Runner.run ~threads suite in
+  let n = List.length suite in
+  let frac = 100. *. float_of_int incr.Runner.rechecked /. float_of_int (max 1 n) in
+  Format.printf "re-discharged %d/%d obligations (%.1f%%), reused %d cached verdicts@."
+    incr.Runner.rechecked n frac incr.Runner.reused;
+  let identical = verdicts incr = verdicts oracle in
+  Format.printf "verdicts vs full re-check: %s@."
+    (if identical then "bit-identical" else "DIVERGED");
+  let ok = Runner.all_ok incr in
+  if not ok then ignore (report_failures incr);
+  if identical && ok && frac <= 20. then begin
+    Format.printf "incremental verification sound; re-check fraction within the 20%% budget.@.";
+    0
+  end
+  else begin
+    if frac > 20. then
+      Format.printf "FAILED: re-checked %.1f%% of the suite (budget 20%%)@." frac;
+    1
+  end
+
+(* Plant for the stale-proof lint: drop the tracker's dirty marks while
+   a transition mutates the kernel; the always-on intrinsic counters
+   keep advancing, so the lint must flag the unmarked mutation (and
+   exactly that rule). *)
+let verify_plant_stale_proof ~threads k init suite =
+  let module R = Atmo_san.Report in
+  let _full = Incremental.run ~threads suite in
+  R.clear ();
+  Incremental.set_miss_plant true;
+  Fun.protect
+    ~finally:(fun () -> Incremental.set_miss_plant false)
+    (fun () -> ignore (Kernel.step k ~thread:init Syscall.Yield));
+  let n = Atmo_san.Proof_lint.lint k in
+  let reports = R.reports () in
+  let stale, other =
+    List.partition (fun (r : R.t) -> r.R.rule = R.Stale_proof) reports
+  in
+  Format.printf "planted: a syscall mutated the kernel behind the dirty tracker@.";
+  List.iter (fun r -> Format.printf "%a@." R.pp r) reports;
+  if n > 0 && stale <> [] && other = [] then begin
+    Format.printf "stale-proof plant detected by exactly its rule (%d report(s)).@." n;
+    0
+  end
+  else begin
+    Format.printf "stale-proof plant NOT detected correctly (%d stale, %d other).@."
+      (List.length stale) (List.length other);
+    1
+  end
+
+let verify scale threads verbose incremental plant =
+  setup_logs ();
+  let threads = resolve_threads threads in
+  match plant with
+  | Some p when p <> "stale-proof" ->
+    Format.eprintf "verify: unknown plant %S (only stale-proof)@." p;
+    124
+  | Some _ | None when incremental || plant <> None ->
+    (match Catalog.build_world ~scale with
+     | Error msg ->
+       Format.eprintf "failed to build the verification world: %s@." msg;
+       1
+     | Ok (k, init) ->
+       Incremental.arm ();
+       Fun.protect ~finally:Incremental.disarm (fun () ->
+           let suite = Catalog.suite_for ~scale k in
+           if plant <> None then verify_plant_stale_proof ~threads k init suite
+           else verify_incremental ~threads ~verbose k init suite))
+  | _ ->
+    (match Catalog.full_suite ~scale with
+     | Error msg ->
+       Format.eprintf "failed to build the verification world: %s@." msg;
+       1
+     | Ok suite ->
+       let report = Runner.run ~threads suite in
+       print_report ~threads ~verbose report;
+       report_failures report)
 
 let fuzz seed steps =
   setup_logs ();
@@ -972,16 +1074,36 @@ let scale_arg =
   Arg.(value & opt int 6 & info [ "scale" ] ~doc:"World size for the verification suite.")
 
 let threads_arg =
-  Arg.(value & opt int 1 & info [ "threads"; "j" ] ~doc:"Discharge obligations on N domains.")
+  Arg.(
+    value
+    & opt int 0
+    & info [ "threads"; "j" ]
+        ~doc:"Discharge obligations on N domains (0 = auto, the default).")
 
 let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-obligation report.")
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 let steps_arg = Arg.(value & opt int 300 & info [ "steps" ] ~doc:"Number of transitions.")
 
+let incremental_arg =
+  Arg.(
+    value & flag
+    & info [ "incremental" ]
+        ~doc:
+          "Full run, one syscall transition, then a dirty-set incremental re-run \
+           checked verdict-identical against a full re-check.")
+
+let verify_plant_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "plant" ] ~docv:"BUG"
+        ~doc:"Plant $(b,stale-proof): mutate the kernel behind the dirty tracker.")
+
 let verify_cmd =
   Cmd.v
     (Cmd.info "verify" ~doc:"Discharge the verification obligation suites")
-    Term.(const verify $ scale_arg $ threads_arg $ verbose_arg)
+    Term.(const verify $ scale_arg $ threads_arg $ verbose_arg $ incremental_arg
+          $ verify_plant_arg)
 
 let fuzz_cmd =
   Cmd.v

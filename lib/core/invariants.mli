@@ -35,5 +35,9 @@ val devices_wf : Kernel.t -> (unit, string) result
 (** Every assigned device belongs to a live process and its IOMMU
     domain root is that process's page-table root. *)
 
+val irq_backlog_wf : Kernel.t -> (unit, string) result
+(** The cached per-endpoint interrupt backlog equals the ground truth
+    recomputed from the device table. *)
+
 val total_wf : Kernel.t -> (unit, string) result
 val obligations : (string * (Kernel.t -> (unit, string) result)) list

@@ -71,6 +71,29 @@ let boot params =
   ignore (Proc_mgr.dequeue_next pm);
   Ok (t, init_thread)
 
+(* Device-table mutation observer for the incremental verifier: fires
+   whenever [t.devices] or the per-endpoint IRQ backlog cache changes
+   (the adjacent IOMMU attach/detach and io_pt teardown are covered by
+   the page-table layer's own hook).  Keyed registry + always-on
+   intrinsic counter, same discipline as Perm_map/Page_alloc. *)
+let dev_hook_armed = ref false
+let dev_hooks : (string * (op:string -> unit)) list ref = ref []
+
+let add_device_hook ~key f =
+  dev_hooks := (key, f) :: List.remove_assoc key !dev_hooks;
+  dev_hook_armed := true
+
+let remove_device_hook ~key =
+  dev_hooks := List.remove_assoc key !dev_hooks;
+  dev_hook_armed := !dev_hooks <> []
+
+let dev_muts = Atomic.make 0
+let device_mutation_count () = Atomic.get dev_muts
+
+let note_dev ~op =
+  Atomic.incr dev_muts;
+  if !dev_hook_armed then List.iter (fun (_, f) -> f ~op) !dev_hooks
+
 (* Endpoint-freeing paths must clear stale interrupt routes; the sweep
    itself is defined with the interrupt machinery below. *)
 let sweep_irqs_ref : (t -> unit) ref = ref (fun _ -> ())
@@ -85,7 +108,8 @@ let irq_backlog_add t ~ep n =
   if n <> 0 then begin
     let v = irq_backlog_of t ~ep + n in
     t.irq_backlog <-
-      (if v <= 0 then Imap.remove ep t.irq_backlog else Imap.add ep v t.irq_backlog)
+      (if v <= 0 then Imap.remove ep t.irq_backlog else Imap.add ep v t.irq_backlog);
+    note_dev ~op:"irq-backlog"
   end
 
 (* ------------------------------------------------------------------ *)
@@ -656,6 +680,7 @@ let recv_impl t ~thread ~slot ~blocking =
              let info = Imap.find device t.devices in
              t.devices <-
                Imap.add device { info with irq_pending = info.irq_pending - 1 } t.devices;
+             note_dev ~op:"irq-consume";
              irq_backlog_add t ~ep (-1);
              let msg = Message.scalars_only [ device ] in
              Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:thread (fun th ->
@@ -756,6 +781,7 @@ let sweep_devices t =
         if Perm_map.mem t.pm.Proc_mgr.proc_perms ~ptr:info.owner_proc then true
         else begin
           teardown_device t ~device info;
+          note_dev ~op:"sweep";
           false
         end)
       t.devices
@@ -840,6 +866,7 @@ let sys_assign_device t ~thread ~device =
                  irq_pending = 0;
                }
                t.devices;
+           note_dev ~op:"assign";
            Syscall.Runit)
     end
 
@@ -919,9 +946,11 @@ let sweep_irqs t =
         match d.irq_endpoint with
         | Some ep when not (Perm_map.mem t.pm.Proc_mgr.edpt_perms ~ptr:ep) ->
           t.irq_backlog <- Imap.remove ep t.irq_backlog;
+          note_dev ~op:"irq-sweep";
           { d with irq_endpoint = None; irq_pending = 0 }
         | Some _ | None -> d)
-      t.devices
+      t.devices;
+  note_dev ~op:"irq-sweep"
 
 let sys_register_irq t ~thread ~device ~slot =
   match calling_thread t ~thread with
@@ -937,6 +966,7 @@ let sys_register_irq t ~thread ~device ~slot =
           | None -> err Errno.Einval
           | Some ep ->
             t.devices <- Imap.add device { info with irq_endpoint = Some ep } t.devices;
+            note_dev ~op:"register-irq";
             Syscall.Runit))
 
 (* A hardware entry: no calling thread is involved.  Unassigned or
@@ -972,6 +1002,7 @@ let irq_fire t ~device =
         | None ->
           t.devices <-
             Imap.add device { info with irq_pending = info.irq_pending + 1 } t.devices;
+          note_dev ~op:"irq-pend";
           irq_backlog_add t ~ep 1;
           if sid <> 0 then begin
             Span.note_irq_pending ~device ~span:sid;

@@ -132,6 +132,17 @@ val set_span_leak_plant : bool -> unit
     span on the IPC slowpath and never close it.  Only the span-balance
     lint should ever see this on. *)
 
+val add_device_hook : key:string -> (op:string -> unit) -> unit
+(** Process-global observer of device-table / IRQ-backlog mutations
+    (keyed registry; one bool load per change when nothing is
+    installed).  Used by the incremental verifier's dirty tracker. *)
+
+val remove_device_hook : key:string -> unit
+
+val device_mutation_count : unit -> int
+(** Intrinsic count of device-table mutations across every kernel
+    instance; always on.  Audited by atmo_san's [stale-proof] lint. *)
+
 val irq_backlog_of : t -> ep:int -> int
 (** Pending interrupts routed to [ep] (the cached total; invariants
     recompute it from the device table). *)

@@ -8,38 +8,83 @@ type 'a t = {
   borrows : Atmo_obs.Metrics.Counter.t;
       (* borrows/updates, under [pm/borrows/<name>] in the obs registry
          so benches and the CLI see them next to every other metric *)
+  muts : int Atomic.t;  (* intrinsic mutation counter, shared per name *)
 }
 
+(* Mutation observers: a keyed registry so independent analyses (the
+   sanitizer's lock-discipline checker, the incremental verifier's
+   dirty tracker) can subscribe simultaneously; one bool load per
+   mutation when nothing is installed.  Borrows are reads and are not
+   reported — the big lock protects mutations of kernel state. *)
+let hook_armed = ref false
+let hooks : (string * (name:string -> op:string -> ptr:int -> unit)) list ref = ref []
+
+let add_mutation_hook ~key f =
+  hooks := (key, f) :: List.remove_assoc key !hooks;
+  hook_armed := true
+
+let remove_mutation_hook ~key =
+  hooks := List.remove_assoc key !hooks;
+  hook_armed := !hooks <> []
+
+let legacy = "legacy-single-slot"
+
+let set_mutation_hook = function
+  | None -> remove_mutation_hook ~key:legacy
+  | Some f -> add_mutation_hook ~key:legacy f
+
+(* Intrinsic per-name mutation counters: always on, shared by every map
+   instance with the same [name] (scratch worlds included), and
+   independent of any hook — atmo_san's stale-proof lint compares them
+   against the dirty tracker's observed counts, so a mutation the
+   tracker failed to see is evidence, not something the buggy hook
+   path can hide.  Registration is rare (map creation) and guarded by a
+   mutex; bumps are atomic so parallel discharge domains stay safe. *)
+let counters : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 16
+let counters_mu = Mutex.create ()
+
+let counter_for name =
+  Mutex.protect counters_mu (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.add counters name c;
+        c)
+
+let mutation_count ~name =
+  Mutex.protect counters_mu (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> Atomic.get c
+      | None -> 0)
+
 let create ~name =
-  { name; map = Imap.empty; borrows = Atmo_obs.Metrics.counter ("pm/borrows/" ^ name) }
+  {
+    name;
+    map = Imap.empty;
+    borrows = Atmo_obs.Metrics.counter ("pm/borrows/" ^ name);
+    muts = counter_for name;
+  }
 
 let name t = t.name
 
-(* Mutation hook for the sanitizer's lock-discipline checker: one bool
-   load per mutation when not installed.  Borrows are reads and are not
-   reported — the big lock protects mutations of kernel state. *)
-let hook_armed = ref false
-let hook : (name:string -> op:string -> ptr:int -> unit) ref =
-  ref (fun ~name:_ ~op:_ ~ptr:_ -> ())
-
-let set_mutation_hook = function
-  | None ->
-    hook_armed := false;
-    hook := (fun ~name:_ ~op:_ ~ptr:_ -> ())
-  | Some f ->
-    hook := f;
-    hook_armed := true
+(* One intrinsic bump + one dispatch per mutation attempt (before the
+   linearity guard, matching the sanitizer's long-standing view that a
+   double alloc is still an observable mutation attempt). *)
+let note t ~op ~ptr =
+  Atomic.incr t.muts;
+  if !hook_armed then List.iter (fun (_, f) -> f ~name:t.name ~op ~ptr) !hooks
 
 let violation t fmt =
   Format.kasprintf (fun s -> raise (Permission_violation (t.name ^ ": " ^ s))) fmt
 
 let alloc t ~ptr v =
-  if !hook_armed then !hook ~name:t.name ~op:"alloc" ~ptr;
+  note t ~op:"alloc" ~ptr;
   if Imap.mem ptr t.map then violation t "double allocation at 0x%x" ptr;
   t.map <- Imap.add ptr v t.map
 
 let consume t ~ptr =
-  if !hook_armed then !hook ~name:t.name ~op:"consume" ~ptr;
+  note t ~op:"consume" ~ptr;
   match Imap.find_opt ptr t.map with
   | None -> violation t "consume of absent permission 0x%x" ptr
   | Some v ->
@@ -58,7 +103,7 @@ let borrow_opt t ~ptr =
 
 let update t ~ptr f =
   Atmo_obs.Metrics.Counter.incr t.borrows;
-  if !hook_armed then !hook ~name:t.name ~op:"update" ~ptr;
+  note t ~op:"update" ~ptr;
   match Imap.find_opt ptr t.map with
   | None -> violation t "update of absent permission 0x%x" ptr
   | Some v -> t.map <- Imap.add ptr (f v) t.map

@@ -53,7 +53,24 @@ val set_mutation_hook :
 (** Process-global observer of map mutations ([op] is ["alloc"],
     ["consume"] or ["update"]) used by atmo_san's lock-discipline
     checker; one bool load per mutation when not installed.  Borrows are
-    reads and are not reported. *)
+    reads and are not reported.  Equivalent to
+    {!add_mutation_hook}/{!remove_mutation_hook} under a reserved key —
+    kept so existing single-subscriber callers are unchanged. *)
+
+val add_mutation_hook :
+  key:string -> (name:string -> op:string -> ptr:int -> unit) -> unit
+(** Subscribe under [key]; replaces any previous subscriber with the
+    same key.  Multiple analyses (sanitizer, incremental verifier's
+    dirty tracker) observe every mutation independently. *)
+
+val remove_mutation_hook : key:string -> unit
+
+val mutation_count : name:string -> int
+(** Intrinsic mutation count for every map ever created with [name],
+    summed over all instances (scratch worlds included).  Always on and
+    independent of the hook registry: atmo_san's [stale-proof] lint
+    compares it against the dirty tracker's observed count, so a
+    mutation that bypassed the tracker is detectable. *)
 
 val accesses : 'a t -> int
 (** Deprecated shim: the borrow/update count now lives in the obs

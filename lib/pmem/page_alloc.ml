@@ -27,15 +27,33 @@ type event =
   | Release of { alloc : t; addr : int; frames : int }
 
 let hook_armed = ref false
-let hook : (event -> unit) ref = ref (fun _ -> ())
+let hooks : (string * (event -> unit)) list ref = ref []
+
+let add_event_hook ~key f =
+  hooks := (key, f) :: List.remove_assoc key !hooks;
+  hook_armed := true
+
+let remove_event_hook ~key =
+  hooks := List.remove_assoc key !hooks;
+  hook_armed := !hooks <> []
+
+let legacy = "legacy-single-slot"
 
 let set_event_hook = function
-  | None ->
-    hook_armed := false;
-    hook := (fun _ -> ())
-  | Some f ->
-    hook := f;
-    hook_armed := true
+  | None -> remove_event_hook ~key:legacy
+  | Some f -> add_event_hook ~key:legacy f
+
+(* Intrinsic allocator-mutation counter: always on, bumped exactly once
+   per event site (create/claim/release/free-request), independent of
+   any subscriber — the stale-proof lint compares it against the dirty
+   tracker's observed count.  Atomic so parallel discharge domains
+   building scratch worlds stay safe. *)
+let muts = Atomic.make 0
+let mutation_count () = Atomic.get muts
+
+let note ev =
+  Atomic.incr muts;
+  if !hook_armed then List.iter (fun (_, f) -> f ev) !hooks
 
 let mem t = t.mem
 
@@ -57,7 +75,7 @@ let create mem ~reserved_frames =
   for i = reserved_frames to nframes - 1 do
     Dll.push_back t.free4k i
   done;
-  if !hook_armed then !hook (Created t);
+  note (Created t);
   t
 
 let managed_frames t = t.nframes - t.first
@@ -84,8 +102,7 @@ let order_of = function S4k -> 0 | S2m -> 1 | S1g -> 2
 
 let claim t i size purpose =
   let m = t.meta.(i) in
-  if !hook_armed then
-    !hook (Claim { alloc = t; addr = frame_addr i; frames = frames_per size; purpose });
+  note (Claim { alloc = t; addr = frame_addr i; frames = frames_per size; purpose });
   m.size <- size;
   m.state <- (match purpose with Kernel -> Allocated | User -> Mapped 1);
   zero_block t i size;
@@ -253,8 +270,7 @@ let rec alloc_1g t ~purpose =
 
 let release t i =
   let m = t.meta.(i) in
-  if !hook_armed then
-    !hook (Release { alloc = t; addr = frame_addr i; frames = frames_per m.size });
+  note (Release { alloc = t; addr = frame_addr i; frames = frames_per m.size });
   m.state <- Free;
   let list =
     match m.size with S4k -> t.free4k | S2m -> t.free2m | S1g -> t.free1g
@@ -267,7 +283,7 @@ let release t i =
   end
 
 let free_kernel_page t ~addr =
-  if !hook_armed then !hook (Free_request { alloc = t; addr; what = "free_kernel_page" });
+  note (Free_request { alloc = t; addr; what = "free_kernel_page" });
   let i, m = head_meta t ~addr "free_kernel_page" in
   match m.state with
   | Allocated -> release t i
@@ -284,7 +300,7 @@ let inc_ref t ~addr =
       (Format.asprintf "Page_alloc.inc_ref: 0x%x is %a" addr pp_state m.state)
 
 let dec_ref t ~addr =
-  if !hook_armed then !hook (Free_request { alloc = t; addr; what = "dec_ref" });
+  note (Free_request { alloc = t; addr; what = "dec_ref" });
   let i, m = head_meta t ~addr "dec_ref" in
   match m.state with
   | Mapped 1 ->

@@ -44,6 +44,20 @@ type event =
       (** a block actually returned to its free list *)
 
 val set_event_hook : (event -> unit) option -> unit
+(** Single-subscriber shim over {!add_event_hook} under a reserved key;
+    kept so existing callers are unchanged. *)
+
+val add_event_hook : key:string -> (event -> unit) -> unit
+(** Subscribe under [key] (replacing any previous subscriber with the
+    same key); all subscribers observe every event. *)
+
+val remove_event_hook : key:string -> unit
+
+val mutation_count : unit -> int
+(** Intrinsic count of allocator events ever dispatched, over all
+    allocator instances; always on, independent of subscribers.
+    atmo_san's [stale-proof] lint compares it against the dirty
+    tracker's observed count. *)
 
 val managed_frames : t -> int
 val free_count_4k : t -> int

@@ -53,6 +53,30 @@ type t = {
   mutable step_hook : (leaf:bool -> unit) option;
 }
 
+(* Global structural-mutation observer for the incremental verifier's
+   dirty tracker: unlike the per-instance [step_hook] (which counts
+   concrete PTE stores for cost models), this fires once per successful
+   structural change to ANY page table — map/unmap/update_perm/
+   create/destroy/prune — with the always-on intrinsic counter the
+   stale-proof lint audits against. *)
+let hook_armed = ref false
+let hooks : (string * (op:string -> unit)) list ref = ref []
+
+let add_mutation_hook ~key f =
+  hooks := (key, f) :: List.remove_assoc key !hooks;
+  hook_armed := true
+
+let remove_mutation_hook ~key =
+  hooks := List.remove_assoc key !hooks;
+  hook_armed := !hooks <> []
+
+let muts = Atomic.make 0
+let mutation_count () = Atomic.get muts
+
+let note ~op =
+  Atomic.incr muts;
+  if !hook_armed then List.iter (fun (_, f) -> f ~op) !hooks
+
 let cr3 t = t.cr3
 let mem t = t.mem
 
@@ -75,6 +99,7 @@ let create mem alloc =
     Tlb.flush_asid mem ~cr3:root;
     let table_levels = Hashtbl.create 64 in
     Hashtbl.replace table_levels root 4;
+    note ~op:"create";
     Ok
       {
         mem;
@@ -138,6 +163,7 @@ let map_4k t ~vaddr ~frame ~perm =
     let e = { frame; size = Page_state.S4k; perm } in
     t.ghost4k <- Imap.add vaddr e t.ghost4k;
     t.space <- Imap.add vaddr e t.space;
+    note ~op:"map";
     Ok ()
   end
 
@@ -152,6 +178,7 @@ let map_2m t ~vaddr ~frame ~perm =
   let e = { frame; size = Page_state.S2m; perm } in
   t.ghost2m <- Imap.add vaddr e t.ghost2m;
   t.space <- Imap.add vaddr e t.space;
+  note ~op:"map";
   Ok ()
 
 let map_1g t ~vaddr ~frame ~perm =
@@ -164,6 +191,7 @@ let map_1g t ~vaddr ~frame ~perm =
   let e = { frame; size = Page_state.S1g; perm } in
   t.ghost1g <- Imap.add vaddr e t.ghost1g;
   t.space <- Imap.add vaddr e t.space;
+  note ~op:"map";
   Ok ()
 
 (* Locate the leaf slot of an existing mapping whose virtual base is
@@ -219,6 +247,7 @@ let unmap t ~vaddr =
    | Page_state.S2m -> t.ghost2m <- Imap.remove vaddr t.ghost2m
    | Page_state.S1g -> t.ghost1g <- Imap.remove vaddr t.ghost1g);
   t.space <- Imap.remove vaddr t.space;
+  note ~op:"unmap";
   Ok entry
 
 let update_perm t ~vaddr ~perm =
@@ -234,6 +263,7 @@ let update_perm t ~vaddr ~perm =
    | Page_state.S2m -> t.ghost2m <- Imap.add vaddr entry' t.ghost2m
    | Page_state.S1g -> t.ghost1g <- Imap.add vaddr entry' t.ghost1g);
   t.space <- Imap.add vaddr entry' t.space;
+  note ~op:"update";
   Ok ()
 
 let resolve t ~vaddr = Mmu.resolve t.mem ~cr3:t.cr3 ~vaddr
@@ -268,6 +298,7 @@ let destroy t =
   t.ghost2m <- Imap.empty;
   t.ghost1g <- Imap.empty;
   t.space <- Imap.empty;
+  note ~op:"destroy";
   still_mapped
 
 (* Which intermediate-table positions does a mapping of [size] at [va]
@@ -354,6 +385,7 @@ let prune_empty_tables t ~keep =
         empties
     end
   done;
+  if !freed > 0 then note ~op:"prune";
   !freed
 
 (* Walk the concrete tables through the flat registry.  Rather than

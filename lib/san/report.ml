@@ -23,6 +23,7 @@ type rule =
   | Drv_dma_escape
   | Drv_irq_storm
   | Drv_lost_completion
+  | Stale_proof
 
 let rule_name = function
   | Use_after_free -> "use-after-free"
@@ -49,6 +50,7 @@ let rule_name = function
   | Drv_dma_escape -> "drv-dma-escape"
   | Drv_irq_storm -> "drv-irq-storm"
   | Drv_lost_completion -> "drv-lost-completion"
+  | Stale_proof -> "stale-proof"
 
 type t = {
   rule : rule;

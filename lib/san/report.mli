@@ -43,6 +43,10 @@ type rule =
   | Drv_lost_completion
       (** a completion the device posted was never harvested by its
           driver (checked at quiescence) *)
+  | Stale_proof
+      (** a state container was mutated with no matching dirty mark in
+          the incremental verifier's tracker — cached verdicts about it
+          are stale proofs *)
 
 val rule_name : rule -> string
 

@@ -123,7 +123,7 @@ let attach k =
 
 let full_check k =
   Pt_lint.lint k + Audit.leaks k + Tlb_lint.lint k + Sched_lint.lint k + Span_lint.lint k
-  + Driver_lint.lint k
+  + Driver_lint.lint k + Proof_lint.lint k
 
 let arm_of_env () =
   match Sys.getenv_opt "SAN" with

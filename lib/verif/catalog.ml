@@ -46,14 +46,20 @@ let build_pt ~mappings =
    | None -> ());
   pt
 
+(* Standalone page-table worlds mutate only through the table itself,
+   so the whole suite reads exactly the "pt" map id. *)
 let pt_obligations_flat pt =
   List.map
-    (fun (name, check) -> Obligation.make ~name ~group:"pt-flat" (fun () -> check pt))
+    (fun (name, check) ->
+      Obligation.make ~reads:[ Incremental.pt_id ] ~name ~group:"pt-flat" (fun () ->
+          check pt))
     Pt_refine.obligations
 
 let pt_obligations_recursive pt =
   List.map
-    (fun (name, check) -> Obligation.make ~name ~group:"pt-rec" (fun () -> check pt))
+    (fun (name, check) ->
+      Obligation.make ~reads:[ Incremental.pt_id ] ~name ~group:"pt-rec" (fun () ->
+          check pt))
     Nros_pt.obligations
 
 (* ------------------------------------------------------------------ *)
@@ -135,18 +141,15 @@ let build_world ~scale =
     note "irq_fire" (Kernel.step k ~thread:init (Syscall.Irq_fire { device = 0 }));
     (match !failed with Some msg -> Error msg | None -> Ok (k, init))
 
-let kernel_obligations k =
-  List.map
-    (fun (name, check) -> Obligation.make ~name ~group:"kernel" (fun () -> check k))
-    Invariants.obligations
-  @ List.map
-      (fun (name, check) ->
-        Obligation.make ~name ~group:"pm" (fun () -> check k.Kernel.pm))
-      Pm_invariants.obligations
-  @ List.map
-      (fun (name, check) ->
-        Obligation.make ~name ~group:"pm-rec" (fun () -> check k.Kernel.pm))
-      Pm_invariants_rec.obligations
+(* Kernel-world obligations are generated from the refinement
+   annotations ({!Refine.builtins}) rather than hand-enumerated here:
+   one obligation per annotated predicate, each carrying the read-set
+   footprint the incremental runner needs.  The hand-written lists in
+   [Invariants]/[Pm_invariants] remain the checks themselves; this
+   module no longer decides which of them exist.  (The aggregate
+   [kernel/pm_wf] entry is gone — it duplicated every [pm/*] obligation
+   verbatim and would shadow their per-name timing.) *)
+let kernel_obligations k = Refine.obligations k
 
 (* ------------------------------------------------------------------ *)
 (* Container-tree worlds (ablation)                                    *)
@@ -258,8 +261,13 @@ let call_of_kind rng kind k ~thread:_ =
   | 19 -> Register_irq { device = Random.State.int rng 2; slot = Random.State.int rng 4 }
   | _ -> Irq_fire { device = Random.State.int rng 3 }
 
+(* Spec obligations build a FRESH scratch world per discharge, so they
+   read nothing of the tracked kernel: [reads = Some []] means a cached
+   verdict stays valid across transitions of the live world.  (Their
+   own mutations are kept out of the dirty set by [Incremental.suspend]
+   around discharge.) *)
 let syscall_obligation ~scale (name, kind) =
-  Obligation.make ~name:("spec/" ^ name) ~group:"spec" (fun () ->
+  Obligation.make ~reads:[] ~name:("spec/" ^ name) ~group:"spec" (fun () ->
       match build_world ~scale with
       | Error msg -> Error msg
       | Ok (k, _) ->
@@ -285,12 +293,14 @@ let syscall_obligation ~scale (name, kind) =
 
 let syscall_obligations ~scale = List.map (syscall_obligation ~scale) syscall_kinds
 
+(* The suite over a caller-supplied kernel: this is what the
+   incremental verifier tracks — the kernel must outlive the suite so
+   transitions can be applied between runs. *)
+let suite_for ~scale k =
+  let pt = build_pt ~mappings:(scale * 64) in
+  pt_obligations_flat pt @ kernel_obligations k @ syscall_obligations ~scale
+
 let full_suite ~scale =
   match build_world ~scale with
   | Error msg -> Error msg
-  | Ok (k, _) ->
-    let pt = build_pt ~mappings:(scale * 64) in
-    Ok
-      (pt_obligations_flat pt
-      @ kernel_obligations k
-      @ syscall_obligations ~scale)
+  | Ok (k, _) -> Ok (suite_for ~scale k)

@@ -26,7 +26,10 @@ val build_world : scale:int -> (Atmo_core.Kernel.t * int, string) result
     endpoint shares.  Returns the kernel and the init thread. *)
 
 val kernel_obligations : Atmo_core.Kernel.t -> Obligation.t list
-(** Every state invariant of every subsystem on the given kernel. *)
+(** Every state invariant of every subsystem on the given kernel —
+    generated from the refinement annotations ({!Refine.obligations}),
+    so each carries the read-set footprint the incremental runner
+    uses. *)
 
 val build_tree : depth:int -> fanout:int -> (Atmo_core.Kernel.t, string) result
 (** A kernel whose container tree is a chain of [depth] containers, each
@@ -45,6 +48,10 @@ val syscall_obligations : scale:int -> Obligation.t list
     workload checking that call's transitions against its top-level
     specification.  Obligation names are [spec/<syscall>], matching the
     per-function presentation of Figure 2. *)
+
+val suite_for : scale:int -> Atmo_core.Kernel.t -> Obligation.t list
+(** The full suite bound to a caller-supplied kernel, for incremental
+    verification: keep the kernel, apply transitions, re-run. *)
 
 val full_suite : scale:int -> (Obligation.t list, string) result
 (** Page-table, kernel-invariant and per-syscall obligations together —

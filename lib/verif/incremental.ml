@@ -1,0 +1,160 @@
+module Perm_map = Atmo_pm.Perm_map
+module Page_alloc = Atmo_pmem.Page_alloc
+module Page_table = Atmo_pt.Page_table
+module Kernel = Atmo_core.Kernel
+
+(* ------------------------------------------------------------------ *)
+(* Map ids                                                             *)
+
+let pm_id name = "pm/" ^ name
+let pm_dom_id name = "pm/" ^ name ^ "/dom"
+let alloc_id = "pmem/alloc"
+let pt_id = "pt"
+let dev_id = "kernel/devices"
+
+(* The permission maps the kernel actually creates (Proc_mgr); the
+   audit baselines are snapshotted for exactly these. *)
+let pm_names = [ "cntr_perms"; "proc_perms"; "thrd_perms"; "edpt_perms" ]
+
+(* Base ids with an always-on intrinsic counter to audit against. *)
+let audited_ids =
+  List.map pm_id pm_names @ [ alloc_id; pt_id; dev_id ]
+
+let intrinsic_of id =
+  if id = alloc_id then Page_alloc.mutation_count ()
+  else if id = pt_id then Page_table.mutation_count ()
+  else if id = dev_id then Kernel.device_mutation_count ()
+  else
+    (* "pm/<name>" *)
+    Perm_map.mutation_count ~name:(String.sub id 3 (String.length id - 3))
+
+(* ------------------------------------------------------------------ *)
+(* The tracker                                                         *)
+
+type counter = { mutable seen : int; mutable acked : int }
+
+type t = {
+  table : (string, counter) Hashtbl.t;  (* map id -> hook-observed counts *)
+  baselines : (string, int) Hashtbl.t;  (* audited id -> intrinsic at sync *)
+  cache : (string, Obligation.result) Hashtbl.t;  (* obligation name -> verdict *)
+  mutable suspended : bool;  (* discharge in progress: ignore scratch worlds *)
+  mutable planted : bool;  (* stale-proof plant: drop marks on the floor *)
+}
+
+let active : t option ref = ref None
+let hook_key = "verif-incremental"
+
+let counter_of t id =
+  match Hashtbl.find_opt t.table id with
+  | Some c -> c
+  | None ->
+    let c = { seen = 0; acked = 0 } in
+    Hashtbl.add t.table id c;
+    c
+
+let bump t id =
+  let c = counter_of t id in
+  c.seen <- c.seen + 1
+
+let mark t id = if not (t.suspended || t.planted) then bump t id
+
+(* Invariant audited by atmo_san's stale-proof lint: for every audited
+   id, intrinsic_now = baseline + seen.  [resync] restores it after a
+   suspended section (obligation discharge builds scratch worlds whose
+   mutations bump intrinsic counters but must not dirty the tracked
+   kernel's maps). *)
+let resync t =
+  List.iter
+    (fun id -> Hashtbl.replace t.baselines id (intrinsic_of id - (counter_of t id).seen))
+    audited_ids
+
+let arm () =
+  let t =
+    {
+      table = Hashtbl.create 16;
+      baselines = Hashtbl.create 8;
+      cache = Hashtbl.create 64;
+      suspended = false;
+      planted = false;
+    }
+  in
+  resync t;
+  Perm_map.add_mutation_hook ~key:hook_key (fun ~name ~op ~ptr:_ ->
+      mark t (pm_id name);
+      if op <> "update" then mark t (pm_dom_id name));
+  Page_alloc.add_event_hook ~key:hook_key (fun _ev -> mark t alloc_id);
+  Page_table.add_mutation_hook ~key:hook_key (fun ~op:_ -> mark t pt_id);
+  Kernel.add_device_hook ~key:hook_key (fun ~op:_ -> mark t dev_id);
+  active := Some t
+
+let disarm () =
+  Perm_map.remove_mutation_hook ~key:hook_key;
+  Page_alloc.remove_event_hook ~key:hook_key;
+  Page_table.remove_mutation_hook ~key:hook_key;
+  Kernel.remove_device_hook ~key:hook_key;
+  active := None
+
+let is_armed () = !active <> None
+
+let set_miss_plant on =
+  match !active with Some t -> t.planted <- on | None -> ()
+
+let suspend f =
+  match !active with
+  | None -> f ()
+  | Some t ->
+    t.suspended <- true;
+    Fun.protect
+      ~finally:(fun () ->
+        t.suspended <- false;
+        resync t)
+      f
+
+let is_dirty_in t id =
+  match Hashtbl.find_opt t.table id with
+  | None -> false
+  | Some c -> c.seen > c.acked
+
+let is_dirty id = match !active with None -> true | Some t -> is_dirty_in t id
+
+let dirty_ids () =
+  match !active with
+  | None -> []
+  | Some t ->
+    Hashtbl.fold (fun id c acc -> if c.seen > c.acked then id :: acc else acc) t.table []
+    |> List.sort compare
+
+(* Audit for the stale-proof lint: ids whose intrinsic mutation count
+   moved past what the tracker observed.  [(id, expected, observed)]
+   where expected = intrinsic_now - baseline. *)
+let audit () =
+  match !active with
+  | None -> []
+  | Some t ->
+    List.filter_map
+      (fun id ->
+        match Hashtbl.find_opt t.baselines id with
+        | None -> None
+        | Some base ->
+          let expected = intrinsic_of id - base in
+          let observed = (counter_of t id).seen in
+          if expected <> observed then Some (id, expected, observed) else None)
+      audited_ids
+
+let cached_verdicts () =
+  match !active with None -> 0 | Some t -> Hashtbl.length t.cache
+
+let run ?(threads = 1) obls =
+  match !active with
+  | None -> Runner.run ~threads obls
+  | Some t ->
+    let ctx =
+      { Runner.is_dirty = is_dirty_in t; cached = Hashtbl.find_opt t.cache }
+    in
+    let report = suspend (fun () -> Runner.run ~threads ~incremental:ctx obls) in
+    List.iter
+      (fun (r : Obligation.result) ->
+        Hashtbl.replace t.cache r.Obligation.name { r with Obligation.cached = false })
+      report.Runner.results;
+    Hashtbl.iter (fun _ c -> c.acked <- c.seen) t.table;
+    report

@@ -3,26 +3,58 @@ type result = {
   ok : bool;
   detail : string option;
   elapsed_s : float;
+  cached : bool;
 }
 
 type t = {
   name : string;
   group : string;
+  reads : string list option;
   run : unit -> (unit, string) Stdlib.result;
 }
 
-let make ~name ~group run = { name; group; run }
+let make ?reads ~name ~group run = { name; group; reads; run }
+
+(* Monotonic-ish clock: this OCaml's Unix lacks [clock_gettime], so
+   clamp gettimeofday through a high-water mark — elapsed times can
+   never go negative under a clock step, which is the property Table 2
+   needs.  Domains race only on a float ref; a lost update merely
+   lowers the water mark back toward real time. *)
+let water = ref 0.
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !water then water := t;
+  !water
 
 let discharge t =
-  let t0 = Unix.gettimeofday () in
-  let outcome = try t.run () with exn -> Error (Printexc.to_string exn) in
-  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let t0 = now () in
+  let outcome =
+    try t.run ()
+    with exn ->
+      let bt = String.trim (Printexc.get_backtrace ()) in
+      let msg = Printexc.to_string exn in
+      Error (if bt = "" then msg else msg ^ "\n" ^ bt)
+  in
+  let elapsed_s = now () -. t0 in
   match outcome with
-  | Ok () -> { name = t.name; ok = true; detail = None; elapsed_s }
-  | Error d -> { name = t.name; ok = false; detail = Some d; elapsed_s }
+  | Ok () -> { name = t.name; ok = true; detail = None; elapsed_s; cached = false }
+  | Error d -> { name = t.name; ok = false; detail = Some d; elapsed_s; cached = false }
 
 let pp_result ppf (r : result) =
-  Format.fprintf ppf "%-40s %s %8.3f ms%s" r.name
+  Format.fprintf ppf "%-40s %s %8.3f ms%s%s" r.name
     (if r.ok then "ok  " else "FAIL")
     (r.elapsed_s *. 1000.)
-    (match r.detail with None -> "" | Some d -> "  (" ^ d ^ ")")
+    (if r.cached then "  [cached]" else "")
+    (match r.detail with
+    | None -> ""
+    | Some d ->
+      (* one-line report: first line of the detail (the violated
+         clause); a captured backtrace stays in [detail] for verbose
+         printers *)
+      let first =
+        match String.index_opt d '\n' with
+        | None -> d
+        | Some i -> String.sub d 0 i ^ " ..."
+      in
+      "  (" ^ first ^ ")")

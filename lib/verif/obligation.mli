@@ -11,19 +11,40 @@
 type result = {
   name : string;
   ok : bool;
-  detail : string option;  (** first violated clause, if any *)
+  detail : string option;
+      (** first violated clause; on an exception, the message followed
+          by the captured backtrace (one frame per line) *)
   elapsed_s : float;
+  cached : bool;  (** verdict reused from a previous run (incremental) *)
 }
 
 type t = {
   name : string;
   group : string;  (** subsystem, e.g. "pt", "pm", "kernel" *)
+  reads : string list option;
+      (** map ids ({!Incremental.map_id}) whose contents the check
+          depends on.  [None] = unannotated, always re-checked;
+          [Some []] = pure / world-independent, never re-checked once
+          discharged; [Some l] = re-checked when a map in [l] is dirty. *)
   run : unit -> (unit, string) Stdlib.result;
 }
 
-val make : name:string -> group:string -> (unit -> (unit, string) Stdlib.result) -> t
+val make :
+  ?reads:string list ->
+  name:string ->
+  group:string ->
+  (unit -> (unit, string) Stdlib.result) ->
+  t
+
+val now : unit -> float
+(** Monotonic-by-clamping clock (gettimeofday through a high-water
+    mark): successive calls never decrease, so elapsed times cannot go
+    negative under wall-clock steps.  [Unix.clock_gettime] is absent
+    from this toolchain's Unix binding. *)
 
 val discharge : t -> result
-(** Run and time one obligation. *)
+(** Run and time one obligation.  A raising obligation fails with the
+    exception message plus its backtrace (arm
+    [Printexc.record_backtrace] — the runner does). *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -2,7 +2,30 @@ type report = {
   results : Obligation.result list;
   wall_s : float;
   threads : int;
+  rechecked : int;
+  reused : int;
 }
+
+type incremental = {
+  is_dirty : string -> bool;
+  cached : string -> Obligation.result option;
+}
+
+(* Duplicate names silently shadow each other in grouped reports and in
+   the incremental verdict cache, so a suite with duplicates is a bug
+   in the catalog, not a property of the kernel. *)
+let duplicate_name obls =
+  let seen = Hashtbl.create (max 8 (List.length obls)) in
+  List.find_map
+    (fun (o : Obligation.t) ->
+      if Hashtbl.mem seen o.Obligation.name then Some o.Obligation.name
+      else (Hashtbl.add seen o.Obligation.name (); None))
+    obls
+
+let check_unique obls =
+  match duplicate_name obls with
+  | Some n -> invalid_arg ("Runner.run: duplicate obligation name " ^ n)
+  | None -> ()
 
 let run_sequential obls = List.map Obligation.discharge obls
 
@@ -17,10 +40,56 @@ let run_parallel ~threads obls =
   in
   Array.to_list domains |> List.concat_map Domain.join
 
-let run ?(threads = 1) obls =
-  let t0 = Unix.gettimeofday () in
-  let results = if threads <= 1 then run_sequential obls else run_parallel ~threads obls in
-  { results; wall_s = Unix.gettimeofday () -. t0; threads }
+(* An obligation may be skipped only when it is annotated, has a cached
+   verdict, and none of its declared reads is dirty.  Unannotated
+   obligations ([reads = None]) are always re-discharged. *)
+let reusable incr (o : Obligation.t) =
+  match o.Obligation.reads with
+  | None -> None
+  | Some reads -> (
+    match incr.cached o.Obligation.name with
+    | None -> None
+    | Some r -> if List.exists incr.is_dirty reads then None else Some r)
+
+let run ?(threads = 1) ?incremental obls =
+  Printexc.record_backtrace true;
+  check_unique obls;
+  let t0 = Obligation.now () in
+  let plan =
+    List.map
+      (fun o ->
+        match incremental with
+        | None -> Either.Left o
+        | Some incr -> (
+          match reusable incr o with
+          | Some r -> Either.Right { r with Obligation.cached = true }
+          | None -> Either.Left o))
+      obls
+  in
+  let to_run = List.filter_map (function Either.Left o -> Some o | _ -> None) plan in
+  let fresh =
+    if threads <= 1 then run_sequential to_run else run_parallel ~threads to_run
+  in
+  (* splice fresh results back into suite order *)
+  let fresh = ref fresh in
+  let results =
+    List.map
+      (function
+        | Either.Right r -> r
+        | Either.Left _ -> (
+          match !fresh with
+          | r :: rest ->
+            fresh := rest;
+            r
+          | [] -> assert false))
+      plan
+  in
+  let rechecked = List.length to_run in
+  { results;
+    wall_s = Obligation.now () -. t0;
+    threads;
+    rechecked;
+    reused = List.length results - rechecked }
 
 let all_ok r = List.for_all (fun (x : Obligation.result) -> x.Obligation.ok) r.results
 let failures r = List.filter (fun (x : Obligation.result) -> not x.Obligation.ok) r.results
@@ -40,7 +109,10 @@ let by_group obls =
   List.rev_map (fun g -> (g, List.rev (Hashtbl.find tbl g))) !order
 
 let pp ppf r =
-  Format.fprintf ppf "@[<v>%d obligations on %d thread(s), wall %.3f s, check %.3f s@,"
-    (List.length r.results) r.threads r.wall_s (total_check_time r);
+  Format.fprintf ppf
+    "@[<v>%d obligations on %d thread(s), wall %.3f s, check %.3f s%s@,"
+    (List.length r.results) r.threads r.wall_s (total_check_time r)
+    (if r.reused > 0 then Printf.sprintf " (%d rechecked, %d reused)" r.rechecked r.reused
+     else "");
   List.iter (fun x -> Format.fprintf ppf "%a@," Obligation.pp_result x) r.results;
   Format.fprintf ppf "@]"

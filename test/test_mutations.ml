@@ -479,6 +479,37 @@ let test_san_span_leak () =
           | None -> Alcotest.fail "span leak not detected"
           | Some _ -> ()))
 
+let test_san_stale_proof () =
+  (* a mutation the dirty tracker never observes: the layer's intrinsic
+     counter advances past the tracker's, and the stale-proof lint must
+     file exactly that divergence *)
+  let module Incremental = Atmo_verif.Incremental in
+  let k, init = world () in
+  Incremental.arm ();
+  Fun.protect
+    ~finally:(fun () ->
+      Incremental.disarm ();
+      San_report.clear ())
+    (fun () ->
+      San_report.clear ();
+      checkb "clean before plant" true (Atmo_san.Proof_lint.lint k = 0);
+      (* observed mutations stay clean: the tracker sees what the layer counts *)
+      ignore (Kernel.step k ~thread:init Syscall.Yield);
+      checkb "observed mutation is not stale" true (Atmo_san.Proof_lint.lint k = 0);
+      (* plant: drop the dirty marks while the intrinsic counters advance
+         (an identity update still counts as a mutation of the map) *)
+      Incremental.set_miss_plant true;
+      Fun.protect
+        ~finally:(fun () -> Incremental.set_miss_plant false)
+        (fun () ->
+          Perm_map.update k.Atmo_core.Kernel.pm.Proc_mgr.thrd_perms ~ptr:init
+            (fun t -> t));
+      checkb "lint fires" true (Atmo_san.Proof_lint.lint k > 0);
+      match san_find San_report.Stale_proof with
+      | None -> Alcotest.fail "stale proof not detected"
+      | Some r ->
+        checkb "filed at proof_lint" true (r.San_report.site = "proof_lint"))
+
 let test_san_lost_completion () =
   (* a driver that silently drops a completion the device posted: the
      ledger ends with delivered > harvested, and Driver_lint must file
@@ -598,6 +629,7 @@ let () =
           Alcotest.test_case "fastpath skip" `Quick test_san_fastpath_skip;
           Alcotest.test_case "span leak" `Quick test_san_span_leak;
         Alcotest.test_case "lost completion" `Quick test_san_lost_completion;
+        Alcotest.test_case "stale proof" `Quick test_san_stale_proof;
         ] );
       ( "spec",
         [

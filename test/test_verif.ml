@@ -110,6 +110,86 @@ let test_catalog_spec_obligations_discharge () =
     report.Runner.results
 
 (* ------------------------------------------------------------------ *)
+(* Obligation-name uniqueness and the incremental runner               *)
+
+let test_unique_names_guard () =
+  (* two obligations sharing a name would make the verdict cache
+     ambiguous: the runner must refuse the suite outright *)
+  let dup = [ ok_obl "a"; ok_obl "b"; ok_obl "a" ] in
+  (match Runner.run dup with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "duplicate obligation name accepted");
+  checkb "unique suite accepted" true
+    (Runner.all_ok (Runner.run [ ok_obl "a"; ok_obl "b" ]))
+
+let test_incremental_matches_full () =
+  (* seeded random syscall traces: after every burst the incremental
+     verdicts must be bit-identical to an oracle full re-check, and a
+     single-syscall mutation must re-discharge a strict subset *)
+  let module Incremental = Atmo_verif.Incremental in
+  let module Harness = Atmo_verif.Refine_harness in
+  let module Kernel = Atmo_core.Kernel in
+  let module Syscall = Atmo_spec.Syscall in
+  match Catalog.build_world ~scale:2 with
+  | Error msg -> Alcotest.failf "world: %s" msg
+  | Ok (k, init) ->
+    let suite = Catalog.suite_for ~scale:2 k in
+    let n = List.length suite in
+    let verdicts (r : Runner.report) =
+      List.map
+        (fun (x : Obligation.result) ->
+          (x.Obligation.name, x.Obligation.ok, x.Obligation.detail))
+        r.Runner.results
+    in
+    Incremental.arm ();
+    Fun.protect ~finally:Incremental.disarm (fun () ->
+        let full = Incremental.run ~threads:1 suite in
+        checki "first run discharges everything" n full.Runner.rechecked;
+        let rng = Random.State.make [| 0xA7705 |] in
+        for _burst = 1 to 3 do
+          (* a seeded burst of plausible-but-arbitrary system calls *)
+          for _step = 1 to 5 do
+            match Harness.random_thread rng k with
+            | None -> ()
+            | Some thread ->
+              ignore (Kernel.step k ~thread (Harness.random_call rng k ~thread))
+          done;
+          let inc = Incremental.run ~threads:1 suite in
+          let oracle = Runner.run ~threads:1 suite in
+          checkb "incremental verdicts bit-identical to full oracle" true
+            (verdicts inc = verdicts oracle);
+          (* the oracle ran outside [suspend]: its scratch worlds fired
+             the hooks, so ack that noise before the next burst *)
+          ignore (Incremental.run ~threads:1 suite)
+        done;
+        (* single-syscall mutation: a yield touches only the thread
+           permission map, so the re-check set is a strict subset *)
+        ignore (Kernel.step k ~thread:init Syscall.Yield);
+        let inc = Incremental.run ~threads:1 suite in
+        checkb "strict subset re-checked" true
+          (inc.Runner.rechecked > 0 && inc.Runner.rechecked < n);
+        checkb "within the 20%% re-check budget" true
+          (5 * inc.Runner.rechecked <= n);
+        checkb "reused the rest from cache" true
+          (inc.Runner.rechecked + inc.Runner.reused = n))
+
+let test_refine_annotations_cover_targets () =
+  (* every annotated container type contributes at least one
+     obligation, and every annotation names a machine-readable read set *)
+  let module Refine = Atmo_verif.Refine in
+  let module Incremental = Atmo_verif.Incremental in
+  let anns = Refine.annotations () in
+  checkb "plenty of annotations" true (List.length anns >= 15);
+  List.iter
+    (fun (a : Refine.annotation) ->
+      checkb (a.Refine.name ^ " has reads") true (a.Refine.reads <> []))
+    anns;
+  let targets = List.sort_uniq compare (List.map (fun a -> a.Refine.target) anns) in
+  List.iter
+    (fun t -> checkb (t ^ " annotated") true (List.mem t targets))
+    [ Incremental.pm_id "cntr_perms"; Incremental.alloc_id; Incremental.pt_id ]
+
+(* ------------------------------------------------------------------ *)
 (* Flat vs recursive agreement                                         *)
 
 let test_flat_recursive_agree () =
@@ -166,6 +246,13 @@ let () =
           Alcotest.test_case "sequential" `Quick test_runner_sequential;
           Alcotest.test_case "parallel matches" `Quick test_runner_parallel_matches;
           Alcotest.test_case "by group" `Quick test_by_group;
+          Alcotest.test_case "unique names guard" `Quick test_unique_names_guard;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "matches full oracle" `Quick test_incremental_matches_full;
+          Alcotest.test_case "annotations cover targets" `Quick
+            test_refine_annotations_cover_targets;
         ] );
       ( "catalog",
         [
