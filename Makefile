@@ -1,7 +1,7 @@
 # Convenience targets over dune; `make check` is the pre-commit gate.
 
 .PHONY: all build test test-san bench bench-tlb bench-ipc bench-span bench-dev \
-	bench-verif bench-all check trace obs profile top san verify clean
+	bench-verif bench-smp bench-all check trace obs profile top san verify clean
 
 all: build
 
@@ -49,6 +49,14 @@ bench-dev:
 bench-verif:
 	dune exec bench/main.exe -- verif
 
+# Broken-up big kernel lock: 1->8 CPU scaling curve on the kv IPC
+# workload under both lock regimes, plus the big-vs-fine on/off oracle
+# (bit-identical returns, scheduling decisions and abstract state).
+# Writes BENCH_smp.json (oracle identity; >= 2.5x fine-grained 8-CPU
+# speedup floor).
+bench-smp:
+	dune exec bench/main.exe -- smp
+
 # Every benchmark that writes a BENCH_*.json artifact, then the merge:
 # `bench report` folds them into BENCH_summary.json, reports deltas
 # >= 5% against the previous summary, and enforces the hard floors
@@ -61,6 +69,7 @@ bench-all:
 	dune exec bench/main.exe -- span
 	dune exec bench/main.exe -- dev
 	dune exec bench/main.exe -- verif
+	dune exec bench/main.exe -- smp
 	dune exec bench/main.exe -- report
 
 # Pre-commit gate: build, tier-1 tests (plain and with the sanitizer
@@ -68,13 +77,15 @@ bench-all:
 # over every suite), the fastpath on/off oracle, the headline IPC
 # table, the sanitizer over the scripted workload + hostile device
 # sweep (clean run must report zero violations; the stale-TLB,
-# fastpath-skip, span-leak and driver plants must each be caught by
-# exactly their rule), the incremental verifier (dirty-set re-check
+# fastpath-skip, span-leak, lock-order, queue-corrupt, lost-steal and
+# driver plants must each be caught by exactly their rule), the
+# big-lock/fine-grained scheduler oracle, the incremental verifier (dirty-set re-check
 # bit-identical to a full oracle within the 20% budget; the stale-proof
 # plant caught by exactly its rule), the profiler's request-path
 # reconstruction over the kv-store demo, and the span + device + verif
-# benches + regression report (bit-identity and performance floors,
-# including the >= 5x incremental speedup, over the BENCH_*.json set).
+# + smp benches + regression report (bit-identity and performance
+# floors, including the >= 5x incremental speedup and the >= 2.5x
+# fine-grained 8-CPU scaling, over the BENCH_*.json set).
 check:
 	dune build && dune runtest && SAN=1 dune runtest --force \
 	&& dune exec test/test_fastpath.exe \
@@ -83,6 +94,9 @@ check:
 	&& dune exec bin/atmo_cli.exe -- san --plant stale-tlb \
 	&& dune exec bin/atmo_cli.exe -- san --plant fastpath-skip \
 	&& dune exec bin/atmo_cli.exe -- san --plant span-leak \
+	&& dune exec bin/atmo_cli.exe -- san --plant lock-order \
+	&& dune exec bin/atmo_cli.exe -- san --plant queue-corrupt \
+	&& dune exec bin/atmo_cli.exe -- san --plant lost-steal \
 	&& dune exec bin/atmo_cli.exe -- san --plant undefined-state \
 	&& dune exec bin/atmo_cli.exe -- san --plant dma-escape \
 	&& dune exec bin/atmo_cli.exe -- san --plant irq-storm \
@@ -93,6 +107,7 @@ check:
 	&& dune exec bench/main.exe -- span \
 	&& dune exec bench/main.exe -- dev \
 	&& dune exec bench/main.exe -- verif \
+	&& dune exec bench/main.exe -- smp \
 	&& dune exec bench/main.exe -- report
 
 trace:
@@ -110,9 +125,9 @@ top:
 	dune exec bin/atmo_cli.exe -- top
 
 # Full sanitizer demonstration: clean workload (including the seeded
-# hostile device sweep), then the ten planted bugs, each of which must
-# be detected with a typed report — the four driver plants by exactly
-# their Driver_lint rule.
+# hostile device sweep), then the thirteen planted bugs, each of which
+# must be detected with a typed report — the four driver plants by
+# exactly their Driver_lint rule.
 san:
 	dune exec bin/atmo_cli.exe -- san
 	dune exec bin/atmo_cli.exe -- san --plant double-free
@@ -121,6 +136,9 @@ san:
 	dune exec bin/atmo_cli.exe -- san --plant stale-tlb
 	dune exec bin/atmo_cli.exe -- san --plant fastpath-skip
 	dune exec bin/atmo_cli.exe -- san --plant span-leak
+	dune exec bin/atmo_cli.exe -- san --plant lock-order
+	dune exec bin/atmo_cli.exe -- san --plant queue-corrupt
+	dune exec bin/atmo_cli.exe -- san --plant lost-steal
 	dune exec bin/atmo_cli.exe -- san --plant undefined-state
 	dune exec bin/atmo_cli.exe -- san --plant dma-escape
 	dune exec bin/atmo_cli.exe -- san --plant irq-storm

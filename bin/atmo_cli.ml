@@ -925,11 +925,11 @@ let plant_fastpath_skip k ~init ~t2 =
   park 8;
   (* put the sender alone on the CPU: with t2 parked, init is the only
      schedulable thread left *)
-  if pm.Atmo_pm.Proc_mgr.current = None then
+  if Atmo_pm.Proc_mgr.current pm = None then
     ignore (Atmo_pm.Proc_mgr.dequeue_next pm);
   if
-    pm.Atmo_pm.Proc_mgr.current <> Some init
-    || not (Atmo_pm.Sched_queue.is_empty pm.Atmo_pm.Proc_mgr.run_queue)
+    Atmo_pm.Proc_mgr.current pm <> Some init
+    || not (Atmo_pm.Sched_queue.is_empty (Atmo_pm.Proc_mgr.cur_queue pm))
   then Fmt.failwith "san: fastpath guard could not be established";
   (* one rendezvous through the fastpath with the requeue skipped: the
      preempted sender ends up Runnable but queued nowhere *)
@@ -972,6 +972,62 @@ let plant_span_leak k ~init ~t2 =
       | Syscall.Runit -> ()
       | r -> Fmt.failwith "san: plant send -> %a" Syscall.pp_ret r);
   ignore (Atmo_san.Span_lint.lint k)
+
+(* Fine-grained-regime plants: the three cross-CPU failure classes the
+   broken-up big lock introduces, each tripping exactly its rule. *)
+
+let plant_lock_order () =
+  (* acquire against the hierarchy: an endpoint shard is rank 1, a CPU
+     queue rank 0, so taking the queue lock second inverts the order
+     every kernel entry must follow (cpu-queue < endpoint < map-writer) *)
+  let ep = Lockcheck.Endpoint_shard 3 and q = Lockcheck.Cpu_queue 0 in
+  Lockcheck.acquire_class ~site:"plant.lock_order" ~cpu:0 ep;
+  Lockcheck.acquire_class ~site:"plant.lock_order" ~cpu:0 q;
+  Lockcheck.release_class ~cpu:0 q;
+  Lockcheck.release_class ~cpu:0 ep
+
+let plant_queue_corrupt k ~init =
+  let pm = k.Kernel.pm in
+  if Atmo_pm.Proc_mgr.sched_cpus pm < 2 then
+    Fmt.failwith "san: queue-corrupt plant needs >= 2 run queues";
+  (* a fresh Runnable thread sits on its home queue (cpu 0)... *)
+  let t3 =
+    match locked_step k ~thread:init Syscall.New_thread with
+    | Syscall.Rptr t -> t
+    | r -> Fmt.failwith "san: plant new_thread -> %a" Syscall.pp_ret r
+  in
+  (* ...and a buggy wakeup path enqueues it on cpu 1 as well.  Each
+     deque stays individually well-formed; only the global census can
+     see the double enqueue. *)
+  Atmo_pm.Sched_queue.push_back (Atmo_pm.Proc_mgr.queue pm ~cpu:1) t3;
+  ignore (Atmo_san.Sched_lint.lint k)
+
+let plant_lost_steal k ~init =
+  let pm = k.Kernel.pm in
+  if Atmo_pm.Proc_mgr.sched_cpus pm < 2 then
+    Fmt.failwith "san: lost-steal plant needs >= 2 run queues";
+  if Atmo_pm.Proc_mgr.current_of pm ~cpu:1 <> None then
+    Fmt.failwith "san: lost-steal plant needs cpu 1 idle";
+  (* a Runnable thread homed on cpu 0, and nothing else to run *)
+  let t3 =
+    match locked_step k ~thread:init Syscall.New_thread with
+    | Syscall.Rptr t -> t
+    | r -> Fmt.failwith "san: plant new_thread -> %a" Syscall.pp_ret r
+  in
+  (* idle cpu 1 steals it — the ledger records (thief, victim, thread) *)
+  Atmo_pm.Proc_mgr.set_cpu pm 1;
+  let stole = Atmo_pm.Proc_mgr.dequeue_next pm in
+  Atmo_pm.Proc_mgr.set_cpu pm 0;
+  if stole <> Some t3 then Fmt.failwith "san: lost-steal plant: steal did not happen";
+  if not (List.exists (fun (_, _, th) -> th = t3) (Atmo_pm.Proc_mgr.steal_ledger pm))
+  then Fmt.failwith "san: lost-steal plant: steal left no ledger entry";
+  (* ...then a terminate races the in-flight steal: the buggy teardown
+     skips the ledger scrub, leaving the thief a dead reference *)
+  Atmo_pm.Proc_mgr.set_lost_steal_plant pm true;
+  Fun.protect
+    ~finally:(fun () -> Atmo_pm.Proc_mgr.set_lost_steal_plant pm false)
+    (fun () -> Atmo_pm.Proc_mgr.destroy_thread pm ~thread:t3);
+  ignore (Atmo_san.Sched_lint.lint k)
 
 let san plant iterations seed =
   setup_logs ();
@@ -1036,6 +1092,10 @@ let san plant iterations seed =
            | "fastpath-skip" ->
              plant_fastpath_skip k ~init ~t2; San_report.Sched_incoherent
            | "span-leak" -> plant_span_leak k ~init ~t2; San_report.Span_leak
+           | "lock-order" -> plant_lock_order (); San_report.Lock_order
+           | "queue-corrupt" ->
+             plant_queue_corrupt k ~init; San_report.Queue_corrupt
+           | "lost-steal" -> plant_lost_steal k ~init; San_report.Lost_steal
            | "undefined-state" ->
              plant_undefined_state k; San_report.Drv_undefined_state
            | "dma-escape" -> plant_dma_escape k; San_report.Drv_dma_escape
@@ -1217,7 +1277,9 @@ let plant_arg =
            [ ("none", "none"); ("double-free", "double-free");
              ("unlocked", "unlocked"); ("bad-pte", "bad-pte");
              ("stale-tlb", "stale-tlb"); ("fastpath-skip", "fastpath-skip");
-             ("span-leak", "span-leak"); ("undefined-state", "undefined-state");
+             ("span-leak", "span-leak"); ("lock-order", "lock-order");
+             ("queue-corrupt", "queue-corrupt"); ("lost-steal", "lost-steal");
+             ("undefined-state", "undefined-state");
              ("dma-escape", "dma-escape"); ("irq-storm", "irq-storm");
              ("lost-completion", "lost-completion") ])
         "none"
@@ -1229,7 +1291,12 @@ let plant_arg =
            (a PTE torn out without a TLB shootdown), $(b,fastpath-skip) \
            (the IPC fastpath forgets to requeue the preempted sender), \
            $(b,span-leak) (the IPC slowpath opens its rendezvous span and never \
-           closes it), $(b,undefined-state) (a device model pushed into the state \
+           closes it), $(b,lock-order) (a kernel path acquires a cpu-queue lock \
+           while holding an endpoint shard, inverting the hierarchy), \
+           $(b,queue-corrupt) (a thread enqueued on two CPUs' run queues at once), \
+           $(b,lost-steal) (a terminate races an in-flight work steal, leaving the \
+           thief a dead thread reference), \
+           $(b,undefined-state) (a device model pushed into the state \
            the driver theorems forbid), $(b,dma-escape) (device DMA outside its \
            IOMMU window reaches memory), $(b,irq-storm) (auto-mask disabled, vector \
            never acked) or $(b,lost-completion) (the NVMe driver silently drops a \

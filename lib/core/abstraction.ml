@@ -61,7 +61,7 @@ let abstract (k : Kernel.t) : A.t =
     endpoints = of_perm_map abstract_endpoint pm.Proc_mgr.edpt_perms;
     root = pm.Proc_mgr.root_container;
     run_queue = Proc_mgr.run_queue_list pm;
-    current = pm.Proc_mgr.current;
+    current = Proc_mgr.current pm;
     free_4k = Page_alloc.free_pages_4k k.Kernel.alloc;
     free_2m = Page_alloc.free_pages_2m k.Kernel.alloc;
     free_1g = Page_alloc.free_pages_1g k.Kernel.alloc;

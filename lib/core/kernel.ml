@@ -393,8 +393,8 @@ let fastpath_ok t ~caller ~(msg : Message.t) =
   && msg.Message.page = None
   && msg.Message.endpoint = None
   && Message.wf msg
-  && t.pm.Proc_mgr.current = Some caller
-  && Sched_queue.is_empty t.pm.Proc_mgr.run_queue
+  && Proc_mgr.current t.pm = Some caller
+  && Sched_queue.is_empty (Proc_mgr.cur_queue t.pm)
 
 (* The generic rendezvous switch: the woken partner goes through the
    scheduler like any other wakeup. *)
@@ -402,10 +402,11 @@ let rendezvous_slow t ~partner ~caller =
   let sid = if Obs.tracing () then Span.begin_ Span.Ipc_rendezvous else 0 in
   let pm = t.pm in
   Proc_mgr.enqueue_runnable pm ~thread:partner;
-  if pm.Proc_mgr.current = Some caller then begin
-    Proc_mgr.preempt_current pm;
-    ignore (Proc_mgr.dequeue_next pm)
-  end;
+  (match Proc_mgr.cpu_of_current pm ~thread:caller with
+   | Some cpu ->
+     Proc_mgr.preempt_on pm ~cpu;
+     ignore (Proc_mgr.dequeue_next_on pm ~cpu)
+   | None -> ());
   Atmo_obs.Metrics.Counter.incr ipc_slowpath_ctr;
   if sid <> 0 && not !span_leak_plant then Span.end_ sid
 
@@ -420,8 +421,8 @@ let rendezvous_fast t ~ep ~sender ~receiver ~caller ~partner ~partner_up ~caller
       { (partner_up th) with Thread.state = Thread.Running });
   Perm_map.update pm.Proc_mgr.thrd_perms ~ptr:caller (fun th ->
       { (caller_up th) with Thread.state = Thread.Runnable });
-  pm.Proc_mgr.current <- Some partner;
-  if not !fastpath_skip_plant then Sched_queue.push_back pm.Proc_mgr.run_queue caller;
+  Proc_mgr.set_current pm (Some partner);
+  if not !fastpath_skip_plant then Proc_mgr.push_ready pm ~thread:caller;
   Atmo_obs.Metrics.Counter.incr ipc_fastpath_ctr;
   if Obs.tracing () then begin
     Obs.emit (Event.Ep_fastpath { ep; sender; receiver });
@@ -511,15 +512,14 @@ let deliver t ~sender ~receiver ~(msg : Message.t) =
    [up] is the full record update (blocked state plus whatever message
    buffer the park leaves behind), applied in one map operation. *)
 let detach_from_scheduler t ~thread up =
-  if t.pm.Proc_mgr.current = Some thread then begin
-    t.pm.Proc_mgr.current <- None;
+  match Proc_mgr.cpu_of_current t.pm ~thread with
+  | Some cpu ->
+    t.pm.Proc_mgr.currents.(cpu) <- None;
     Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:thread up;
-    ignore (Proc_mgr.dequeue_next t.pm)
-  end
-  else begin
-    Sched_queue.remove_if_queued t.pm.Proc_mgr.run_queue thread;
+    ignore (Proc_mgr.dequeue_next_on t.pm ~cpu)
+  | None ->
+    Proc_mgr.remove_from_run_queue t.pm ~thread;
     Perm_map.update t.pm.Proc_mgr.thrd_perms ~ptr:thread up
-  end
 
 let send_impl t ~thread ~slot ~msg ~blocking =
   match calling_thread t ~thread with
@@ -744,8 +744,14 @@ let sys_yield t ~thread =
   | Ok th ->
     (match th.Thread.state with
      | Thread.Running ->
-       Proc_mgr.preempt_current t.pm;
-       ignore (Proc_mgr.dequeue_next t.pm);
+       (* yield on the CPU the thread actually occupies (under per-CPU
+          queues a thread can be current on a CPU other than the one
+          entering the kernel) *)
+       (match Proc_mgr.cpu_of_current t.pm ~thread with
+        | Some cpu ->
+          Proc_mgr.preempt_on t.pm ~cpu;
+          ignore (Proc_mgr.dequeue_next_on t.pm ~cpu)
+        | None -> ());
        Syscall.Runit
      | Thread.Runnable -> Syscall.Runit
      | Thread.Blocked_send _ | Thread.Blocked_recv _ -> assert false)

@@ -16,6 +16,13 @@ type t = {
   cpus : int;
   slots : int;
   slot_size : int;
+  (* Lossless per-CPU drop tally, outside the arena.  The in-arena
+     [dropped] word is part of the decoder-visible ring state and is
+     wiped by [clear] along with everything else; accounting that
+     feeds benchmark output must never itself be droppable, so it
+     lives here and survives clears for the lifetime of the
+     recorder. *)
+  lifetime_dropped : int array;
 }
 
 let header_bytes = 24
@@ -28,7 +35,10 @@ let create ~cpus ~slots ~slot_size =
   if slots <= 0 || slots land (slots - 1) <> 0 then
     invalid_arg "Flight.create: slots must be a positive power of two";
   if slot_size <= 0 then invalid_arg "Flight.create: slot_size <= 0";
-  let t = { arena = Bytes.empty; cpus; slots; slot_size } in
+  let t =
+    { arena = Bytes.empty; cpus; slots; slot_size;
+      lifetime_dropped = Array.make cpus 0 }
+  in
   let total = cpus * ring_bytes t in
   { t with arena = Bytes.make total '\000' }
 
@@ -64,7 +74,8 @@ let push t ~cpu payload =
   let h = head t ~cpu in
   if h - tail t ~cpu >= t.slots then begin
     set_tail t ~cpu (tail t ~cpu + 1);
-    set_dropped t ~cpu (dropped t ~cpu + 1)
+    set_dropped t ~cpu (dropped t ~cpu + 1);
+    t.lifetime_dropped.(cpu) <- t.lifetime_dropped.(cpu) + 1
   end;
   let addr = slot_addr t ~cpu h in
   let len = min (Bytes.length payload) t.slot_size in
@@ -82,12 +93,11 @@ let to_list t ~cpu =
   in
   go tl []
 
-let total_dropped t =
-  let acc = ref 0 in
-  for c = 0 to t.cpus - 1 do
-    acc := !acc + dropped t ~cpu:c
-  done;
-  !acc
+let lifetime_dropped t ~cpu =
+  check_cpu t cpu;
+  t.lifetime_dropped.(cpu)
+
+let total_dropped t = Array.fold_left ( + ) 0 t.lifetime_dropped
 
 let clear t =
   Bytes.fill t.arena 0 (Bytes.length t.arena) '\000'

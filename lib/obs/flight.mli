@@ -25,9 +25,19 @@ val length : t -> cpu:int -> int
 (** Live slots ([head - tail], at most [slots]). *)
 
 val dropped : t -> cpu:int -> int
-(** Events overwritten before being read on this CPU's ring. *)
+(** Events overwritten before being read on this CPU's ring, as
+    recorded in the arena's decoder-visible header word.  Wiped by
+    {!clear} together with the rest of the ring state. *)
+
+val lifetime_dropped : t -> cpu:int -> int
+(** Lossless per-CPU drop count for the lifetime of the recorder.
+    Kept outside the arena so it is never itself droppable: it
+    survives {!clear}, which is what benchmark drop accounting must
+    read (a cleared ring silently under-reported drops through
+    {!dropped}). *)
 
 val total_dropped : t -> int
+(** Sum of {!lifetime_dropped} over all CPUs. *)
 
 val push : t -> cpu:int -> bytes -> unit
 (** Record a payload (truncated / zero-padded to [slot_size]). *)

@@ -4,3 +4,5 @@ let max_threads_per_proc = 64
 let max_endpoint_slots = 16
 let max_endpoint_queue = 64
 let max_ipc_scalars = 8
+let endpoint_lock_shards = 8
+let max_sched_cpus = 8

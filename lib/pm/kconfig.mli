@@ -17,3 +17,12 @@ val max_endpoint_queue : int
 
 val max_ipc_scalars : int
 (** Scalar payload words per IPC message. *)
+
+val endpoint_lock_shards : int
+(** Sharded endpoint-lock count of the fine-grained regime: IPC
+    rendezvous on endpoint [e] serializes on shard
+    [(e / page_size) mod endpoint_lock_shards]. *)
+
+val max_sched_cpus : int
+(** Upper bound on per-CPU run-queue topologies (the scaling curve's
+    1→8 range). *)

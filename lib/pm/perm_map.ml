@@ -9,6 +9,10 @@ type 'a t = {
       (* borrows/updates, under [pm/borrows/<name>] in the obs registry
          so benches and the CLI see them next to every other metric *)
   muts : int Atomic.t;  (* intrinsic mutation counter, shared per name *)
+  mutable epoch : int;
+      (* per-instance write epoch: the seqlock sequence word for the
+         read-mostly regime — readers snapshot it around a borrow-only
+         section and retry when a writer interleaved *)
 }
 
 (* Mutation observers: a keyed registry so independent analyses (the
@@ -64,6 +68,7 @@ let create ~name =
     map = Imap.empty;
     borrows = Atmo_obs.Metrics.counter ("pm/borrows/" ^ name);
     muts = counter_for name;
+    epoch = 0;
   }
 
 let name t = t.name
@@ -73,7 +78,30 @@ let name t = t.name
    double alloc is still an observable mutation attempt). *)
 let note t ~op ~ptr =
   Atomic.incr t.muts;
+  t.epoch <- t.epoch + 1;
   if !hook_armed then List.iter (fun (_, f) -> f ~name:t.name ~op ~ptr) !hooks
+
+let epoch t = t.epoch
+
+(* Seqlock-style read section: writers (note) bump the epoch, so a
+   reader that observes the same epoch on both sides of its borrows saw
+   an unmutated map and needed no lock at all.  The retry bound guards
+   against a reader that itself mutates (a protocol violation, reported
+   by the caller's lints, not hidden by an infinite loop). *)
+let read_retries_ctr = Atmo_obs.Metrics.counter "pm/read_retries"
+
+let read_section t f =
+  let max_retries = 8 in
+  let rec go n =
+    let e0 = t.epoch in
+    let r = f () in
+    if t.epoch = e0 || n >= max_retries then r
+    else begin
+      Atmo_obs.Metrics.Counter.incr read_retries_ctr;
+      go (n + 1)
+    end
+  in
+  go 0
 
 let violation t fmt =
   Format.kasprintf (fun s -> raise (Permission_violation (t.name ^ ": " ^ s))) fmt

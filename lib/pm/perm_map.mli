@@ -65,6 +65,18 @@ val add_mutation_hook :
 
 val remove_mutation_hook : key:string -> unit
 
+val epoch : 'a t -> int
+(** Per-instance write epoch: incremented by every mutation attempt
+    ([alloc]/[update]/[consume]).  The sequence word of the read-mostly
+    regime — a reader that sees the same epoch before and after a
+    borrow-only section raced no writer. *)
+
+val read_section : 'a t -> (unit -> 'b) -> 'b
+(** Seqlock-style optimistic read section: run [f] (borrows only),
+    retry if the epoch moved underneath it (a writer interleaved),
+    bounded at 8 retries.  Retries are counted under the
+    [pm/read_retries] metric. *)
+
 val mutation_count : name:string -> int
 (** Intrinsic mutation count for every map ever created with [name],
     summed over all instances (scratch worlds included).  Always on and

@@ -167,11 +167,17 @@ let count_in_list x l = List.length (List.filter (fun y -> y = x) l)
 
 let scheduler_wf (pm : Proc_mgr.t) =
   let* () =
-    (* the deque itself must be structurally sound before its contents
-       mean anything (forward/backward traversals agree, no cycles) *)
-    match Sched_queue.wf pm.Proc_mgr.run_queue with
-    | Ok () -> Ok ()
-    | Error msg -> err "run queue deque not wf: %s" msg
+    (* every per-CPU deque must be structurally sound before its
+       contents mean anything (traversals agree, no cycles) *)
+    let n = Proc_mgr.sched_cpus pm in
+    let rec check_q c =
+      if c >= n then Ok ()
+      else
+        match Sched_queue.wf (Proc_mgr.queue pm ~cpu:c) with
+        | Ok () -> check_q (c + 1)
+        | Error msg -> err "cpu %d run queue deque not wf: %s" c msg
+    in
+    check_q 0
   in
   let queue = Proc_mgr.run_queue_list pm in
   let* () =
@@ -193,11 +199,11 @@ let scheduler_wf (pm : Proc_mgr.t) =
     (fun ptr (th : Thread.t) ->
       match th.Thread.state with
       | Thread.Runnable ->
-        if Sched_queue.mem pm.Proc_mgr.run_queue ptr then Ok ()
-        else err "runnable thread 0x%x missing from run queue" ptr
+        if Proc_mgr.queued_anywhere pm ~thread:ptr then Ok ()
+        else err "runnable thread 0x%x missing from every run queue" ptr
       | Thread.Running ->
-        if pm.Proc_mgr.current = Some ptr then Ok ()
-        else err "thread 0x%x claims Running but is not current" ptr
+        if Proc_mgr.cpu_of_current pm ~thread:ptr <> None then Ok ()
+        else err "thread 0x%x claims Running but is current on no CPU" ptr
       | Thread.Blocked_send e ->
         (match Perm_map.borrow_opt pm.Proc_mgr.edpt_perms ~ptr:e with
          | None -> err "thread 0x%x blocked sending on dead endpoint 0x%x" ptr e

@@ -12,8 +12,13 @@ type t = {
   thrd_perms : Thread.t Perm_map.t;
   edpt_perms : Endpoint.t Perm_map.t;
   external_used : (int, int) Hashtbl.t;
-  run_queue : Sched_queue.t;
-  mutable current : int option;
+  mutable queues : Sched_queue.t array;
+  mutable currents : int option array;
+  mutable cur_cpu : int;
+  home_cpu : (int, int) Hashtbl.t;
+  mutable steal_state : int;
+  mutable steal_ledger : (int * int * int) list;
+  mutable lost_steal_plant : bool;
 }
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
@@ -39,8 +44,13 @@ let create mem alloc ~root_quota ~cpus =
           thrd_perms = Perm_map.create ~name:"thrd_perms";
           edpt_perms = Perm_map.create ~name:"edpt_perms";
           external_used = Hashtbl.create 8;
-          run_queue = Sched_queue.create mem;
-          current = None;
+          queues = [| Sched_queue.create mem |];
+          currents = [| None |];
+          cur_cpu = 0;
+          home_cpu = Hashtbl.create 8;
+          steal_state = 0x9e3779b9;
+          steal_ledger = [];
+          lost_steal_plant = false;
         }
 
 (* ------------------------------------------------------------------ *)
@@ -192,10 +202,112 @@ let new_process t ~container ~parent =
                 | Ok children -> { parent_proc with Process.children = children }));
          Ok page)
 
+(* ------------------------------------------------------------------ *)
+(* CPU topology: per-CPU run queues, home CPUs, the stealing RNG        *)
+
+let sched_cpus t = Array.length t.queues
+let cpu t = t.cur_cpu
+
+let set_cpu t cpu =
+  if cpu < 0 || cpu >= sched_cpus t then invalid_arg "Proc_mgr.set_cpu: out of range";
+  t.cur_cpu <- cpu
+
+let home_of t ~thread =
+  match Hashtbl.find_opt t.home_cpu thread with
+  | Some c when c < sched_cpus t -> c
+  | Some _ | None -> 0
+
+let set_home t ~thread ~cpu =
+  if cpu < 0 || cpu >= sched_cpus t then invalid_arg "Proc_mgr.set_home: out of range";
+  Hashtbl.replace t.home_cpu thread cpu
+
+let set_steal_seed t seed = t.steal_state <- if seed = 0 then 0x9e3779b9 else seed
+
+(* Resize to [n] per-CPU queues.  Queued threads are redistributed to
+   their home queues in (cpu, FIFO) order so the move is deterministic;
+   a thread current on a CPU that disappears goes back to its home
+   queue.  With n = 1 this is exactly the former single-queue world. *)
+let set_sched_cpus t n =
+  if n <= 0 then invalid_arg "Proc_mgr.set_sched_cpus: cpus <= 0";
+  let old_currents = t.currents in
+  let queued = Array.to_list t.queues |> List.concat_map Sched_queue.to_list in
+  let displaced =
+    Array.to_list old_currents
+    |> List.filteri (fun i _ -> i >= n)
+    |> List.filter_map Fun.id
+  in
+  t.queues <- Array.init n (fun _ -> Sched_queue.create t.mem);
+  t.currents <-
+    Array.init n (fun i ->
+        if i < Array.length old_currents then old_currents.(i) else None);
+  if t.cur_cpu >= n then t.cur_cpu <- 0;
+  List.iter
+    (fun th -> Sched_queue.push_back t.queues.(home_of t ~thread:th) th)
+    queued;
+  List.iter
+    (fun th ->
+      Perm_map.update t.thrd_perms ~ptr:th (fun thread ->
+          { thread with Thread.state = Thread.Runnable });
+      Sched_queue.push_back t.queues.(home_of t ~thread:th) th)
+    displaced
+
+let queue t ~cpu =
+  if cpu < 0 || cpu >= sched_cpus t then invalid_arg "Proc_mgr.queue: out of range";
+  t.queues.(cpu)
+
+let cur_queue t = t.queues.(t.cur_cpu)
+let current_of t ~cpu = t.currents.(cpu)
+let currents_list t = Array.to_list t.currents
+let current t = t.currents.(t.cur_cpu)
+let set_current t v = t.currents.(t.cur_cpu) <- v
+
+let cpu_of_current t ~thread =
+  let n = sched_cpus t in
+  let rec go i =
+    if i >= n then None
+    else if t.currents.(i) = Some thread then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let queued_anywhere t ~thread =
+  Array.exists (fun q -> Sched_queue.mem q thread) t.queues
+
+(* xorshift: deterministic victim selection, seeded per run *)
+let steal_rand t =
+  let x = t.steal_state in
+  let x = x lxor (x lsl 13) land 0x3FFFFFFF in
+  let x = x lxor (x lsr 17) in
+  let x = x lxor (x lsl 5) land 0x3FFFFFFF in
+  t.steal_state <- x;
+  x
+
+let steal_ledger t = t.steal_ledger
+let set_lost_steal_plant t b = t.lost_steal_plant <- b
+
+let ledger_cap = 64
+
+let note_steal t ~thief ~victim ~thread =
+  let keep =
+    if List.length t.steal_ledger >= ledger_cap then
+      List.filteri (fun i _ -> i < ledger_cap - 1) t.steal_ledger
+    else t.steal_ledger
+  in
+  t.steal_ledger <- (thief, victim, thread) :: keep
+
+let scrub_steal_ledger t ~thread =
+  if not t.lost_steal_plant then
+    t.steal_ledger <-
+      List.filter (fun (_, _, th) -> th <> thread) t.steal_ledger
+
 let enqueue_runnable t ~thread =
   Perm_map.update t.thrd_perms ~ptr:thread (fun th ->
       { th with Thread.state = Thread.Runnable });
-  Sched_queue.push_back t.run_queue thread
+  Sched_queue.push_back t.queues.(home_of t ~thread) thread
+
+(* Requeue without the state write: the fastpath updates the thread
+   record itself, exactly once, and only needs the queue push. *)
+let push_ready t ~thread = Sched_queue.push_back t.queues.(home_of t ~thread) thread
 
 let new_thread t ~proc =
   match Perm_map.borrow_opt t.proc_perms ~ptr:proc with
@@ -210,7 +322,7 @@ let new_thread t ~proc =
           match Static_list.push p.Process.threads page with
           | Error `Full -> assert false
           | Ok threads -> { p with Process.threads = threads });
-      Sched_queue.push_back t.run_queue page;
+      push_ready t ~thread:page;
       Ok page
 
 (* ------------------------------------------------------------------ *)
@@ -277,40 +389,83 @@ let close_endpoint_slot t ~thread ~slot =
 (* Scheduler                                                           *)
 
 let ctx_switch_ctr = Atmo_obs.Metrics.counter "sched/ctx_switch"
+let steal_ctr = Atmo_obs.Metrics.counter "sched/steal"
 
-let dequeue_next t =
-  match Sched_queue.pop_front t.run_queue with
+let run_thread t ~cpu th =
+  Perm_map.update t.thrd_perms ~ptr:th (fun thread ->
+      { thread with Thread.state = Thread.Running });
+  t.currents.(cpu) <- Some th;
+  Atmo_obs.Metrics.Counter.incr ctx_switch_ctr;
+  if Atmo_obs.Sink.tracing () then begin
+    (* zero-duration structural span: the switch shows up in the tree
+       under whatever kernel path triggered it *)
+    let sid = Atmo_obs.Span.begin_ ~thread:th Atmo_obs.Span.Ctx_switch in
+    Atmo_obs.Span.end_ sid
+  end;
+  Some th
+
+(* Work stealing: an idle CPU whose own queue is empty takes the OLDEST
+   entry from the BACK of a randomized victim's queue (the classic
+   deque split: owner pops the front, thieves pop the back).  The
+   victim order is a seeded xorshift rotation, so runs are
+   reproducible; a CPU never steals from itself. *)
+let try_steal t ~cpu =
+  let n = sched_cpus t in
+  if n <= 1 then None
+  else begin
+    let start = steal_rand t mod n in
+    let rec go i =
+      if i >= n then None
+      else
+        let victim = (start + i) mod n in
+        if victim = cpu then go (i + 1)
+        else
+          match Sched_queue.pop_back t.queues.(victim) with
+          | None -> go (i + 1)
+          | Some th ->
+            Atmo_obs.Metrics.Counter.incr steal_ctr;
+            note_steal t ~thief:cpu ~victim ~thread:th;
+            (* the stolen thread migrates: future wakeups land here *)
+            Hashtbl.replace t.home_cpu th cpu;
+            Some th
+    in
+    go 0
+  end
+
+let dequeue_next_on t ~cpu =
+  match Sched_queue.pop_front t.queues.(cpu) with
+  | Some th -> run_thread t ~cpu th
   | None ->
-    t.current <- None;
-    None
-  | Some th ->
-    Perm_map.update t.thrd_perms ~ptr:th (fun thread ->
-        { thread with Thread.state = Thread.Running });
-    t.current <- Some th;
-    Atmo_obs.Metrics.Counter.incr ctx_switch_ctr;
-    if Atmo_obs.Sink.tracing () then begin
-      (* zero-duration structural span: the switch shows up in the tree
-         under whatever kernel path triggered it *)
-      let sid = Atmo_obs.Span.begin_ ~thread:th Atmo_obs.Span.Ctx_switch in
-      Atmo_obs.Span.end_ sid
-    end;
-    Some th
+    (match try_steal t ~cpu with
+     | Some th -> run_thread t ~cpu th
+     | None ->
+       t.currents.(cpu) <- None;
+       None)
 
-let preempt_current t =
-  match t.current with
+let dequeue_next t = dequeue_next_on t ~cpu:t.cur_cpu
+
+let preempt_on t ~cpu =
+  match t.currents.(cpu) with
   | None -> ()
   | Some th ->
-    t.current <- None;
+    t.currents.(cpu) <- None;
     enqueue_runnable t ~thread:th
 
-let run_queue_list t = Sched_queue.to_list t.run_queue
+let preempt_current t = preempt_on t ~cpu:t.cur_cpu
+
+let run_queue_list t =
+  Array.to_list t.queues |> List.concat_map Sched_queue.to_list
+
+let queue_lists t = Array.map Sched_queue.to_list t.queues
 
 (* ------------------------------------------------------------------ *)
 (* Termination                                                         *)
 
 let remove_from_run_queue t ~thread =
-  Sched_queue.remove_if_queued t.run_queue thread;
-  if t.current = Some thread then t.current <- None
+  Array.iter (fun q -> Sched_queue.remove_if_queued q thread) t.queues;
+  Array.iteri
+    (fun i c -> if c = Some thread then t.currents.(i) <- None)
+    t.currents
 
 let remove_from_endpoint_queues t ~thread ~endpoint =
   if Perm_map.mem t.edpt_perms ~ptr:endpoint then
@@ -331,6 +486,11 @@ let remove_from_endpoint_queues t ~thread ~endpoint =
 let destroy_thread t ~thread =
   let th = Perm_map.consume t.thrd_perms ~ptr:thread in
   remove_from_run_queue t ~thread;
+  (* a dying thread must leave the steal ledger too — an entry that
+     outlives its thread is exactly the steal-vs-terminate race the
+     lost-steal lint hunts (the plant skips this scrub) *)
+  scrub_steal_ledger t ~thread;
+  Hashtbl.remove t.home_cpu thread;
   (match th.Thread.state with
    | Thread.Blocked_send e | Thread.Blocked_recv e ->
      remove_from_endpoint_queues t ~thread ~endpoint:e

@@ -23,9 +23,23 @@ type t = {
   edpt_perms : Endpoint.t Perm_map.t;
   external_used : (int, int) Hashtbl.t;
       (** container -> frames charged by kernel-level subsystems *)
-  run_queue : Sched_queue.t;
-      (** runnable threads, FIFO order; intrusive O(1) deque *)
-  mutable current : int option;  (** thread on the (modelled) CPU *)
+  mutable queues : Sched_queue.t array;
+      (** per-CPU run queues, FIFO per queue; intrusive O(1) deques.
+          Length 1 (the former single big-lock queue) until
+          {!set_sched_cpus} grows the topology. *)
+  mutable currents : int option array;  (** per-CPU running thread *)
+  mutable cur_cpu : int;
+      (** the CPU executing kernel code right now (set by the SMP
+          simulator before each [Kernel.step]; 0 outside it) *)
+  home_cpu : (int, int) Hashtbl.t;
+      (** thread -> home CPU; wakeups enqueue there (0 when unset) *)
+  mutable steal_state : int;  (** xorshift state for victim selection *)
+  mutable steal_ledger : (int * int * int) list;
+      (** recent steals, newest first: (thief, victim, thread).
+          Scrubbed when the thread dies — a surviving entry naming a
+          dead thread is the steal-vs-terminate race. *)
+  mutable lost_steal_plant : bool;
+      (** atmo-san plant: skip the ledger scrub on thread destruction *)
 }
 
 val create :
@@ -87,27 +101,101 @@ val terminate_process : t -> proc:int -> (unit, Atmo_util.Errno.t) result
     address space is torn down, every page returns to the allocator and
     the quota charges to the container. *)
 
+val remove_from_run_queue : t -> thread:int -> unit
+(** Unlink a thread from every per-CPU queue and clear any [currents]
+    slot naming it. *)
+
+val destroy_thread : t -> thread:int -> unit
+(** Destroy one thread: leave the scheduler and wait queues, scrub the
+    steal ledger, drop endpoint references, free the object page.
+    Exposed for termination paths and sanitizer harnesses. *)
+
 val terminate_container : t -> container:int -> (unit, Atmo_util.Errno.t) result
 (** Terminate a container subtree and harvest its resources into the
     parent (the paper's coarse-grained revocation): all delegated quota
     returns; endpoints that outlive the subtree (still referenced from
     outside) are re-owned by the parent. The root cannot be terminated. *)
 
-(** {2 Scheduler} *)
+(** {2 Scheduler}
+
+    One {!Sched_queue} per CPU.  The default topology is a single CPU,
+    bit-identical to the former global run queue; the SMP simulator
+    grows it with {!set_sched_cpus} and steers each kernel entry with
+    {!set_cpu}.  An idle CPU whose own queue is empty steals from the
+    back of a randomized victim's queue (never its own). *)
+
+val sched_cpus : t -> int
+(** Number of per-CPU run queues (>= 1). *)
+
+val set_sched_cpus : t -> int -> unit
+(** Resize the topology.  Queued threads are redistributed to their
+    home queues deterministically; threads current on removed CPUs are
+    requeued. *)
+
+val cpu : t -> int
+val set_cpu : t -> int -> unit
+(** The CPU executing kernel code; raises on out-of-range. *)
+
+val home_of : t -> thread:int -> int
+val set_home : t -> thread:int -> cpu:int -> unit
+(** A thread's home CPU: wakeups enqueue there.  Stolen threads
+    migrate (their home follows the thief). *)
+
+val set_steal_seed : t -> int -> unit
+(** Seed the victim-selection xorshift (0 resets to the default). *)
+
+val queue : t -> cpu:int -> Sched_queue.t
+val cur_queue : t -> Sched_queue.t
+(** The executing CPU's run queue. *)
+
+val current : t -> int option
+(** The thread running on the executing CPU. *)
+
+val set_current : t -> int option -> unit
+val current_of : t -> cpu:int -> int option
+val currents_list : t -> int option list
+(** Per-CPU running threads in CPU order — the per-CPU scheduling
+    decision vector the on/off oracle compares. *)
+
+val cpu_of_current : t -> thread:int -> int option
+(** The CPU a thread is current on, if any. *)
+
+val queued_anywhere : t -> thread:int -> bool
 
 val enqueue_runnable : t -> thread:int -> unit
-(** Mark a thread runnable and append it to the run queue. *)
+(** Mark a thread runnable and append it to its home CPU's queue. *)
+
+val push_ready : t -> thread:int -> unit
+(** Queue push without the state write (the IPC fastpath writes the
+    thread record itself, exactly once). *)
 
 val dequeue_next : t -> int option
-(** Pop the next runnable thread and mark it [Running], updating
-    [current].  [None] leaves the CPU idle. *)
+(** Pop the executing CPU's next runnable thread and mark it
+    [Running]; an empty queue tries to steal before going idle. *)
+
+val dequeue_next_on : t -> cpu:int -> int option
 
 val preempt_current : t -> unit
-(** Move the running thread (if any) to the back of the run queue. *)
+(** Move the executing CPU's running thread (if any) to the back of
+    its home queue. *)
+
+val preempt_on : t -> cpu:int -> unit
 
 val run_queue_list : t -> int list
-(** The run queue as a front-to-back list — the abstraction function
-    for specs, invariants and tests (allocates; not for hot paths). *)
+(** All queued threads, CPU 0's queue front-to-back first — the
+    abstraction function for specs, invariants and tests (allocates;
+    not for hot paths).  With one CPU this is exactly the old global
+    run-queue list. *)
+
+val queue_lists : t -> int list array
+(** Per-CPU queue contents, for the census lint and oracle digests. *)
+
+val steal_ledger : t -> (int * int * int) list
+(** Recent (thief, victim, thread) steals, newest first. *)
+
+val set_lost_steal_plant : t -> bool -> unit
+(** atmo-san plant: make thread destruction skip the ledger scrub,
+    modelling a terminate racing an in-flight steal. *)
 
 (** {2 Views} *)
 

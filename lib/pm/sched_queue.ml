@@ -28,6 +28,7 @@ let mem t thread = Dll.mem t (id_of thread)
 let push_back t thread = Dll.push_back t (id_of thread)
 let push_front t thread = Dll.push_front t (id_of thread)
 let pop_front t = Option.map thread_of (Dll.pop_front t)
+let pop_back t = Option.map thread_of (Dll.pop_back t)
 let peek_front t = Option.map thread_of (Dll.peek_front t)
 let remove t thread = Dll.remove t (id_of thread)
 

@@ -23,6 +23,11 @@ val push_back : t -> int -> unit
 
 val push_front : t -> int -> unit
 val pop_front : t -> int option
+
+val pop_back : t -> int option
+(** Dequeue from the tail — the thief's end of the work-stealing split:
+    owners pop the front, stealing CPUs take the back. *)
+
 val peek_front : t -> int option
 
 val remove : t -> int -> unit

@@ -34,6 +34,34 @@ val locked : site:string -> cpu:int -> (unit -> 'a) -> 'a
 
 val held : unit -> bool
 
+(** {2 Fine-grained lock classes}
+
+    The broken-up big lock: per-CPU run-queue locks, sharded endpoint
+    locks, and the exclusive permission-map writer lock, with the
+    explicit hierarchy cpu-queue (rank 0) < endpoint shard (rank 1) <
+    map-writer (rank 2).  Rank must strictly grow along any chain of
+    acquisitions on one CPU; a violation files [Lock_order].  Holding
+    any class licenses kernel-state mutations exactly as the big lock
+    does. *)
+
+type klass = Cpu_queue of int | Endpoint_shard of int | Map_writer
+
+val rank : klass -> int
+val klass_name : klass -> string
+
+val acquire_class : site:string -> cpu:int -> klass -> unit
+(** Push onto [cpu]'s held stack; files [Lock_order] when the rank
+    does not strictly grow. *)
+
+val release_class : cpu:int -> klass -> unit
+(** Pop; releasing a class not held innermost files [Lock_misuse]. *)
+
+val with_classes : site:string -> cpu:int -> klass list -> (unit -> 'a) -> 'a
+(** Acquire the classes in list order, run the thunk, release in
+    reverse. *)
+
+val classes_held : unit -> bool
+
 val enter_step : unit -> unit
 (** Step-observer brackets: mutations are only judged between
     [enter_step] and [exit_step] (kernel code running on behalf of a

@@ -24,6 +24,9 @@ type rule =
   | Drv_irq_storm
   | Drv_lost_completion
   | Stale_proof
+  | Lock_order
+  | Queue_corrupt
+  | Lost_steal
 
 let rule_name = function
   | Use_after_free -> "use-after-free"
@@ -51,6 +54,9 @@ let rule_name = function
   | Drv_irq_storm -> "drv-irq-storm"
   | Drv_lost_completion -> "drv-lost-completion"
   | Stale_proof -> "stale-proof"
+  | Lock_order -> "lock-order"
+  | Queue_corrupt -> "queue-corrupt"
+  | Lost_steal -> "lost-steal"
 
 type t = {
   rule : rule;

@@ -47,6 +47,15 @@ type rule =
       (** a state container was mutated with no matching dirty mark in
           the incremental verifier's tracker — cached verdicts about it
           are stale proofs *)
+  | Lock_order
+      (** fine-grained lock acquired against the hierarchy
+          (cpu-queue < endpoint < map-writer): a deadlock-shaped cycle *)
+  | Queue_corrupt
+      (** per-CPU run-queue census broken: a thread enqueued on more
+          than one CPU, or a queue structurally damaged cross-CPU *)
+  | Lost_steal
+      (** steal ledger names a dead thread — a terminate raced an
+          in-flight steal and the thief holds a dangling reference *)
 
 val rule_name : rule -> string
 

@@ -4,64 +4,109 @@ module Perm_map = Atmo_pm.Perm_map
 module Thread = Atmo_pm.Thread
 module Kernel = Atmo_core.Kernel
 
-(* Scheduler coherence: the run queue, the current thread and every
-   thread's scheduling state must tell one consistent story.  The IPC
-   fastpath writes this state directly instead of going through the
-   generic enqueue/preempt/dequeue machinery, so a fastpath bug shows up
-   exactly here — most tellingly as a Runnable thread queued nowhere
-   (the [--plant fastpath-skip] scenario). *)
+(* Scheduler coherence across the per-CPU run queues: every queue, the
+   per-CPU current threads and every thread's scheduling state must
+   tell one consistent story.  The IPC fastpath writes this state
+   directly instead of going through the generic enqueue/preempt/
+   dequeue machinery, so a fastpath bug shows up exactly here — most
+   tellingly as a Runnable thread queued nowhere (the
+   [--plant fastpath-skip] scenario).
+
+   The fine-grained regime adds two cross-CPU failure classes:
+
+   - Queue corruption ([Queue_corrupt]): each per-CPU deque must be
+     well-formed AND the global census must hold — no thread may sit
+     in more than one CPU's queue (a double enqueue keeps both deques
+     individually well-formed, so only the census sees it).
+
+   - Lost steals ([Lost_steal]): every steal-ledger entry must name a
+     live thread.  A terminate racing an in-flight steal leaves the
+     thief holding a reference to a dead thread — the
+     [--plant lost-steal] scenario skips the ledger scrub on
+     destruction to model exactly that. *)
 
 let site = "sched_lint"
 
 let check (k : Kernel.t) =
   let pm = k.Kernel.pm in
-  let q = pm.Proc_mgr.run_queue in
-  (match Sched_queue.wf q with
-   | Ok () -> ()
-   | Error msg ->
-     Report.record Report.Sched_incoherent ~site ~page:(-1)
-       ~detail:("run-queue deque not well-formed: " ^ msg));
-  Sched_queue.iter q (fun th ->
-      match Perm_map.borrow_opt pm.Proc_mgr.thrd_perms ~ptr:th with
-      | None ->
-        Report.record Report.Sched_incoherent ~site ~page:th
-          ~detail:"queued thread is not alive"
-      | Some t ->
-        if not (Thread.equal_sched_state t.Thread.state Thread.Runnable) then
-          Report.record Report.Sched_incoherent ~site ~page:th
-            ~detail:"queued thread is not Runnable");
-  (match pm.Proc_mgr.current with
-   | None -> ()
-   | Some cur ->
-     (match Perm_map.borrow_opt pm.Proc_mgr.thrd_perms ~ptr:cur with
-      | None ->
-        Report.record Report.Sched_incoherent ~site ~page:cur
-          ~detail:"current thread is not alive"
-      | Some t ->
-        if not (Thread.equal_sched_state t.Thread.state Thread.Running) then
-          Report.record Report.Sched_incoherent ~site ~page:cur
-            ~detail:"current thread is not Running");
-     if Sched_queue.mem q cur then
-       Report.record Report.Sched_incoherent ~site ~page:cur
-         ~detail:"current thread still sits in the run queue");
-  Perm_map.iter
-    (fun ptr (t : Thread.t) ->
-      match t.Thread.state with
-      | Thread.Runnable ->
-        if not (Sched_queue.mem q ptr) then
-          Report.record Report.Sched_incoherent ~site ~page:ptr
-            ~detail:
-              "Runnable thread is queued nowhere (a fastpath that forgets to \
-               requeue the preempted caller strands it here)"
-      | Thread.Running ->
-        if pm.Proc_mgr.current <> Some ptr then
-          Report.record Report.Sched_incoherent ~site ~page:ptr
-            ~detail:"Running thread is not the current thread"
-      | Thread.Blocked_send _ | Thread.Blocked_recv _ ->
-        if Sched_queue.mem q ptr then
-          Report.record Report.Sched_incoherent ~site ~page:ptr
-            ~detail:"blocked thread still sits in the run queue")
-    pm.Proc_mgr.thrd_perms
+  let cpus = Proc_mgr.sched_cpus pm in
+  (* the read-mostly protocol: the census only borrows thread
+     permissions, so it runs as a seqlock read section over the map *)
+  Perm_map.read_section pm.Proc_mgr.thrd_perms (fun () ->
+      for c = 0 to cpus - 1 do
+        match Sched_queue.wf (Proc_mgr.queue pm ~cpu:c) with
+        | Ok () -> ()
+        | Error msg ->
+          Report.record Report.Queue_corrupt ~site ~page:(-1)
+            ~detail:(Printf.sprintf "cpu %d run-queue deque not well-formed: %s" c msg)
+      done;
+      (* global thread census over all queues *)
+      let seen : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      for c = 0 to cpus - 1 do
+        Sched_queue.iter (Proc_mgr.queue pm ~cpu:c) (fun th ->
+            (match Hashtbl.find_opt seen th with
+             | Some first ->
+               Report.record Report.Queue_corrupt ~site ~page:th
+                 ~detail:
+                   (Printf.sprintf
+                      "thread queued on cpu %d and cpu %d at once (census: a \
+                       thread owns exactly one queue slot)"
+                      first c)
+             | None -> Hashtbl.replace seen th c);
+            match Perm_map.borrow_opt pm.Proc_mgr.thrd_perms ~ptr:th with
+            | None ->
+              Report.record Report.Sched_incoherent ~site ~page:th
+                ~detail:"queued thread is not alive"
+            | Some t ->
+              if not (Thread.equal_sched_state t.Thread.state Thread.Runnable) then
+                Report.record Report.Sched_incoherent ~site ~page:th
+                  ~detail:"queued thread is not Runnable")
+      done;
+      for c = 0 to cpus - 1 do
+        match Proc_mgr.current_of pm ~cpu:c with
+        | None -> ()
+        | Some cur ->
+          (match Perm_map.borrow_opt pm.Proc_mgr.thrd_perms ~ptr:cur with
+           | None ->
+             Report.record Report.Sched_incoherent ~site ~page:cur
+               ~detail:(Printf.sprintf "cpu %d current thread is not alive" c)
+           | Some t ->
+             if not (Thread.equal_sched_state t.Thread.state Thread.Running) then
+               Report.record Report.Sched_incoherent ~site ~page:cur
+                 ~detail:(Printf.sprintf "cpu %d current thread is not Running" c));
+          if Proc_mgr.queued_anywhere pm ~thread:cur then
+            Report.record Report.Sched_incoherent ~site ~page:cur
+              ~detail:(Printf.sprintf "cpu %d current thread still sits in a run queue" c)
+      done;
+      Perm_map.iter
+        (fun ptr (t : Thread.t) ->
+          match t.Thread.state with
+          | Thread.Runnable ->
+            if not (Proc_mgr.queued_anywhere pm ~thread:ptr) then
+              Report.record Report.Sched_incoherent ~site ~page:ptr
+                ~detail:
+                  "Runnable thread is queued nowhere (a fastpath that forgets to \
+                   requeue the preempted caller strands it here)"
+          | Thread.Running ->
+            if Proc_mgr.cpu_of_current pm ~thread:ptr = None then
+              Report.record Report.Sched_incoherent ~site ~page:ptr
+                ~detail:"Running thread is current on no CPU"
+          | Thread.Blocked_send _ | Thread.Blocked_recv _ ->
+            if Proc_mgr.queued_anywhere pm ~thread:ptr then
+              Report.record Report.Sched_incoherent ~site ~page:ptr
+                ~detail:"blocked thread still sits in a run queue")
+        pm.Proc_mgr.thrd_perms;
+      (* steal-vs-terminate: the ledger must never outlive its threads *)
+      List.iter
+        (fun (thief, victim, th) ->
+          if not (Perm_map.mem pm.Proc_mgr.thrd_perms ~ptr:th) then
+            Report.record Report.Lost_steal ~site ~page:th
+              ~detail:
+                (Printf.sprintf
+                   "steal ledger entry (cpu %d stole from cpu %d) names a dead \
+                    thread: terminate raced the steal"
+                   thief victim))
+        (Proc_mgr.steal_ledger pm))
 
 let lint k =
   let before = Report.count () in

@@ -1,14 +1,19 @@
-(** Scheduler-coherence lint.
+(** Scheduler-coherence lint over the per-CPU run queues.
 
-    Cross-checks the run queue, [current] and every thread's scheduling
-    state: queued threads are alive and Runnable, Runnable threads are
-    queued somewhere, the current thread is Running and not queued, and
-    the underlying intrusive deque is structurally well-formed.  These
-    are exactly the obligations the IPC fastpath discharges by hand when
-    it bypasses the generic scheduler machinery, so this lint is the
-    sanitizer's oracle for fastpath bugs ([atmo san --plant
-    fastpath-skip] strands a Runnable thread outside the queue and must
-    be caught here as [Sched_incoherent]). *)
+    Cross-checks every CPU's queue, the per-CPU [currents] and every
+    thread's scheduling state: queued threads are alive and Runnable,
+    Runnable threads are queued somewhere, current threads are Running
+    and not queued, and each intrusive deque is structurally
+    well-formed ([Sched_incoherent]).  These are exactly the
+    obligations the IPC fastpath discharges by hand when it bypasses
+    the generic scheduler machinery ([atmo san --plant fastpath-skip]).
+
+    The fine-grained regime adds a global census — no thread may sit in
+    more than one CPU's queue, and every deque must be individually
+    well-formed ([Queue_corrupt], [--plant queue-corrupt]) — and the
+    steal ledger check: an entry naming a dead thread is a terminate
+    that raced an in-flight steal ([Lost_steal], [--plant
+    lost-steal]). *)
 
 val lint : Atmo_core.Kernel.t -> int
 (** Run all checks; returns the number of violations filed. *)

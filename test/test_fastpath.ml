@@ -135,7 +135,7 @@ let test_fastpath_counter () =
    | r -> Alcotest.failf "send: %a" Syscall.pp_ret r);
   checki "fastpath taken" (before + 1) (Metrics.Counter.value fast);
   (* direct switch: the parked receiver now owns the CPU *)
-  checkb "receiver current" true (k.Kernel.pm.Proc_mgr.current = Some actors.(1));
+  checkb "receiver current" true (Proc_mgr.current k.Kernel.pm = Some actors.(1));
   checkb "sender requeued" true
     (Proc_mgr.run_queue_list k.Kernel.pm = [ actors.(0) ]);
   expect_wf "after fastpath" k

@@ -74,7 +74,7 @@ let test_boot_loader_rejects_tiny_map () =
 let test_boot_wf () =
   let k, init = boot () in
   checkb "init thread alive" true (Kernel.thread_alive k ~thread:init);
-  checkb "init is current" true (k.Kernel.pm.Proc_mgr.current = Some init);
+  checkb "init is current" true (Proc_mgr.current k.Kernel.pm = Some init);
   expect_wf k
 
 let test_mmap_munmap () =
@@ -177,7 +177,7 @@ let test_ipc_rendezvous () =
      preempted to the run queue *)
   (match Perm_map.borrow k.Kernel.pm.Proc_mgr.thrd_perms ~ptr:init with
    | th -> checkb "sender running" true (th.Thread.state = Thread.Running));
-  checkb "sender current" true (k.Kernel.pm.Proc_mgr.current = Some init);
+  checkb "sender current" true (Proc_mgr.current k.Kernel.pm = Some init);
   checkb "receiver requeued" true
     (Proc_mgr.run_queue_list k.Kernel.pm = [ t2 ]);
   expect_wf k
@@ -257,9 +257,9 @@ let test_yield_round_robin () =
   let k, init = boot () in
   let t2 = ptr "t2" (step k ~thread:init Syscall.New_thread) in
   ok "yield" (step k ~thread:init Syscall.Yield);
-  checkb "t2 scheduled" true (k.Kernel.pm.Proc_mgr.current = Some t2);
+  checkb "t2 scheduled" true (Proc_mgr.current k.Kernel.pm = Some t2);
   ok "yield back" (step k ~thread:t2 Syscall.Yield);
-  checkb "init scheduled" true (k.Kernel.pm.Proc_mgr.current = Some init);
+  checkb "init scheduled" true (Proc_mgr.current k.Kernel.pm = Some init);
   expect_wf k
 
 let test_terminate_container_revokes () =

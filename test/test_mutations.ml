@@ -207,7 +207,7 @@ let test_pm_mutation_thread_owner () =
 
 let test_pm_mutation_runqueue () =
   mutate_and_expect "scheduler"
-    (fun k -> Atmo_pm.Sched_queue.push_front k.Kernel.pm.Proc_mgr.run_queue 0xbad000)
+    (fun k -> Atmo_pm.Sched_queue.push_front (Proc_mgr.queue k.Kernel.pm ~cpu:0) 0xbad000)
     Pm_invariants.scheduler_wf
 
 let test_pm_mutation_refcount () =

@@ -55,7 +55,15 @@ let test_ring_per_cpu_isolation () =
   Alcotest.(check int) "total drops" 6 (Flight.total_dropped f);
   Flight.clear f;
   Alcotest.(check int) "clear resets length" 0 (Flight.length f ~cpu:1);
-  Alcotest.(check int) "clear resets drops" 0 (Flight.total_dropped f)
+  Alcotest.(check int) "clear resets ring drop word" 0 (Flight.dropped f ~cpu:1);
+  (* the lossless tally is not part of the ring state: drop accounting
+     must survive a clear or benchmarks under-report *)
+  Alcotest.(check int) "lifetime drops survive clear" 6 (Flight.total_dropped f);
+  for i = 0 to 4 do
+    Flight.push f ~cpu:1 (payload i)
+  done;
+  Alcotest.(check int) "post-clear drops accumulate" 7 (Flight.total_dropped f);
+  Alcotest.(check int) "per-cpu lifetime view" 7 (Flight.lifetime_dropped f ~cpu:1)
 
 let test_ring_rejects_bad_geometry () =
   Alcotest.check_raises "slots must be a power of two"
