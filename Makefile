@@ -82,10 +82,12 @@ bench-all:
 # big-lock/fine-grained scheduler oracle, the incremental verifier (dirty-set re-check
 # bit-identical to a full oracle within the 20% budget; the stale-proof
 # plant caught by exactly its rule), the profiler's request-path
-# reconstruction over the kv-store demo, and the span + device + verif
-# + smp benches + regression report (bit-identity and performance
-# floors, including the >= 5x incremental speedup and the >= 2.5x
-# fine-grained 8-CPU scaling, over the BENCH_*.json set).
+# reconstruction over the kv-store demo, the trace CLI's per-kind
+# --filter and --sample admission paths, and the obs + span + device +
+# verif + smp benches + regression report (bit-identity and
+# performance floors, including the <= 100% traced kv overhead with
+# zero drops and exact accounting, the >= 5x incremental speedup and
+# the >= 2.5x fine-grained 8-CPU scaling, over the BENCH_*.json set).
 check:
 	dune build && dune runtest && SAN=1 dune runtest --force \
 	&& dune exec test/test_fastpath.exe \
@@ -104,6 +106,11 @@ check:
 	&& dune exec bin/atmo_cli.exe -- verify --incremental \
 	&& dune exec bin/atmo_cli.exe -- verify --plant stale-proof \
 	&& dune exec bin/atmo_cli.exe -- profile --requests 8 \
+	&& dune exec bin/atmo_cli.exe -- trace --workload kv --iterations 20 \
+	     --slots 4096 --events 0 --filter syscall_enter,syscall_exit,span_begin,span_end \
+	&& dune exec bin/atmo_cli.exe -- trace --workload kv --iterations 20 \
+	     --slots 4096 --events 0 --sample 2 \
+	&& dune exec bench/main.exe -- obs \
 	&& dune exec bench/main.exe -- span \
 	&& dune exec bench/main.exe -- dev \
 	&& dune exec bench/main.exe -- verif \

@@ -473,12 +473,38 @@ let run_trace_workload k ~init ~iterations =
   ignore (Atmo_drivers.Nvme.wait_all nvme);
   (stats, !vnow, Atmo_hw.Clock.now dclock)
 
-let trace sink_kind workload iterations max_events slots export out =
+let trace sink_kind workload iterations max_events slots filter sample export out =
   setup_logs ();
   if slots <= 0 || slots land (slots - 1) <> 0 then begin
     Format.eprintf "trace: --slots must be a positive power of two (got %d)@." slots;
     exit 2
   end;
+  if sample < 0 || sample > 30 then begin
+    Format.eprintf "trace: --sample must be in 0..30 (got %d)@." sample;
+    exit 2
+  end;
+  (* admission config before install: the sink snapshots the filter
+     mask when the recorder goes live *)
+  (match filter with
+   | None -> Obs_sink.set_filter Obs_event.all_tags_mask
+   | Some spec ->
+     let mask =
+       List.fold_left
+         (fun acc name ->
+           let name = String.trim name in
+           match Obs_event.tag_of_name name with
+           | Some tag -> acc lor (1 lsl tag)
+           | None ->
+             Format.eprintf
+               "trace: unknown event kind %S in --filter (names as printed under \
+                'event kinds', e.g. syscall_enter,page_alloc)@."
+               name;
+             exit 2)
+         0
+         (String.split_on_char ',' spec)
+     in
+     Obs_sink.set_filter mask);
+  Obs_sink.set_sample_all ~shift:sample;
   Obs_metrics.reset ();
   Obs_span.reset ();
   let recorder =
@@ -490,6 +516,8 @@ let trace sink_kind workload iterations max_events slots export out =
    | other -> Fmt.failwith "trace: unknown sink %S (flight|disabled)" other);
   let finish code =
     Obs_sink.install Obs_sink.Disabled;
+    Obs_sink.set_filter Obs_event.all_tags_mask;
+    Obs_sink.set_sample_all ~shift:0;
     Obs_sink.set_clock (fun () -> 0);
     Obs_sink.set_cpu 0;
     Obs_span.reset ();
@@ -532,6 +560,15 @@ let trace sink_kind workload iterations max_events slots export out =
      | _ ->
        Format.printf "@.-- flight recorder: %d live events (%d dropped, oldest-first) --@."
          (List.length records) (Obs_sink.dropped ());
+       if filter <> None || sample > 0 then begin
+         let emitted = ref 0 and sampled = ref 0 in
+         for tag = 1 to Obs_event.tag_count do
+           emitted := !emitted + Obs_sink.emitted_count ~tag;
+           sampled := !sampled + Obs_sink.sampled_out_count ~tag
+         done;
+         Format.printf "-- admission: %d emitted, %d sampled out (shift %d) --@."
+           !emitted !sampled sample
+       end;
        let shown = ref 0 in
        List.iter
          (fun r ->
@@ -1213,6 +1250,25 @@ let trace_export_arg =
 let trace_out_arg =
   Arg.(value & opt string "trace_chrome.json" & info [ "out" ] ~doc:"Output file for --export.")
 
+let trace_filter_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "filter" ]
+        ~doc:
+          "Record only these event kinds: a comma-separated list of names as printed \
+           under 'event kinds' (e.g. $(b,syscall_enter,syscall_exit,page_alloc)).  \
+           Masked kinds cost one load+mask at the tracepoint and touch no counters.")
+
+let trace_sample_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "sample" ]
+        ~doc:
+          "Keep 1 in 2^$(docv) admitted events per kind (0 = keep all).  Rejected \
+           events are counted exactly in obs/sampled_out/<kind>."
+        ~docv:"SHIFT")
+
 let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
@@ -1221,7 +1277,8 @@ let trace_cmd =
           a Chrome trace")
     Term.(
       const trace $ sink_arg $ workload_arg $ trace_iters_arg $ trace_events_arg
-      $ trace_slots_arg $ trace_export_arg $ trace_out_arg)
+      $ trace_slots_arg $ trace_filter_arg $ trace_sample_arg $ trace_export_arg
+      $ trace_out_arg)
 
 let requests_arg =
   Arg.(

@@ -399,7 +399,7 @@ let fastpath_ok t ~caller ~(msg : Message.t) =
 (* The generic rendezvous switch: the woken partner goes through the
    scheduler like any other wakeup. *)
 let rendezvous_slow t ~partner ~caller =
-  let sid = if Obs.tracing () then Span.begin_ Span.Ipc_rendezvous else 0 in
+  let sid = Span.begin_ Span.Ipc_rendezvous in
   let pm = t.pm in
   Proc_mgr.enqueue_runnable pm ~thread:partner;
   (match Proc_mgr.cpu_of_current pm ~thread:caller with
@@ -415,7 +415,7 @@ let rendezvous_slow t ~partner ~caller =
    carry the message-buffer effect of the specific rendezvous so the
    record copy happens exactly once per thread. *)
 let rendezvous_fast t ~ep ~sender ~receiver ~caller ~partner ~partner_up ~caller_up =
-  let sid = if Obs.tracing () then Span.begin_ Span.Ipc_rendezvous else 0 in
+  let sid = Span.begin_ Span.Ipc_rendezvous in
   let pm = t.pm in
   Perm_map.update pm.Proc_mgr.thrd_perms ~ptr:partner (fun th ->
       { (partner_up th) with Thread.state = Thread.Running });
@@ -424,10 +424,8 @@ let rendezvous_fast t ~ep ~sender ~receiver ~caller ~partner ~partner_up ~caller
   Proc_mgr.set_current pm (Some partner);
   if not !fastpath_skip_plant then Proc_mgr.push_ready pm ~thread:caller;
   Atmo_obs.Metrics.Counter.incr ipc_fastpath_ctr;
-  if Obs.tracing () then begin
-    Obs.emit (Event.Ep_fastpath { ep; sender; receiver });
-    Span.end_ sid
-  end
+  Obs.emit_ep_fastpath ~ep ~sender ~receiver ();
+  Span.end_ sid
 
 (* Map an already-[Mapped] 4 KiB frame into [proc]'s address space at
    [va], charging the owning container for the frame share and any new
@@ -545,7 +543,7 @@ let send_impl t ~thread ~slot ~msg ~blocking =
           if Obs.tracing () then begin
             Span.edge Span.Ipc ~src:(Span.current ())
               ~dst:(Span.take_blocked ~thread:receiver);
-            Obs.emit (Event.Ep_send { ep; sender = thread; receiver })
+            Obs.emit_ep_send ~ep ~sender:thread ~receiver ()
           end;
           Syscall.Runit
         | Some receiver ->
@@ -562,7 +560,7 @@ let send_impl t ~thread ~slot ~msg ~blocking =
              if Obs.tracing () then begin
                Span.edge Span.Ipc ~src:(Span.current ())
                  ~dst:(Span.take_blocked ~thread:receiver);
-               Obs.emit (Event.Ep_send { ep; sender = thread; receiver })
+               Obs.emit_ep_send ~ep ~sender:thread ~receiver ()
              end;
              Syscall.Runit)
         | None ->
@@ -601,7 +599,7 @@ let send_impl t ~thread ~slot ~msg ~blocking =
                             state = Thread.Blocked_send ep });
               if Obs.tracing () then begin
                 Span.note_blocked ~thread ~span:(Span.current ());
-                Obs.emit (Event.Ep_block { ep; thread; dir = Event.Dir_send })
+                Obs.emit_ep_block ~ep ~thread ~dir:Event.Dir_send ()
               end;
               Syscall.Rblocked
             end
@@ -635,7 +633,7 @@ let recv_impl t ~thread ~slot ~blocking =
             if Obs.tracing () then begin
               Span.edge Span.Ipc ~src:(Span.take_blocked ~thread:sender)
                 ~dst:(Span.current ());
-              Obs.emit (Event.Ep_recv { ep; receiver = thread; sender })
+              Obs.emit_ep_recv ~ep ~receiver:thread ~sender ()
             end;
             Syscall.Rmsg msg
           end
@@ -655,7 +653,7 @@ let recv_impl t ~thread ~slot ~blocking =
                if Obs.tracing () then begin
                  Span.edge Span.Ipc ~src:(Span.take_blocked ~thread:sender)
                    ~dst:(Span.current ());
-                 Obs.emit (Event.Ep_recv { ep; receiver = thread; sender })
+                 Obs.emit_ep_recv ~ep ~receiver:thread ~sender ()
                end;
                Syscall.Rmsg msg)
         | None ->
@@ -702,7 +700,7 @@ let recv_impl t ~thread ~slot ~blocking =
                              state = Thread.Blocked_recv ep });
                if Obs.tracing () then begin
                  Span.note_blocked ~thread ~span:(Span.current ());
-                 Obs.emit (Event.Ep_block { ep; thread; dir = Event.Dir_recv })
+                 Obs.emit_ep_block ~ep ~thread ~dir:Event.Dir_recv ()
                end;
                Syscall.Rblocked
              end)))
@@ -985,11 +983,7 @@ let irq_fire t ~device =
      | None -> Syscall.Runit
      | Some ep ->
        let e = Perm_map.borrow t.pm.Proc_mgr.edpt_perms ~ptr:ep in
-       let sid =
-         if Obs.tracing () then
-           Span.begin_ ~container:e.Endpoint.owner_container Span.Irq
-         else 0
-       in
+       let sid = Span.begin_ ~container:e.Endpoint.owner_container Span.Irq in
        (match Static_list.peek_front e.Endpoint.recv_queue with
         | Some receiver ->
           Perm_map.update t.pm.Proc_mgr.edpt_perms ~ptr:ep (fun e ->
@@ -1046,16 +1040,19 @@ let dispatch t ~thread (call : Syscall.t) =
   | Syscall.Register_irq { device; slot } -> sys_register_irq t ~thread ~device ~slot
   | Syscall.Irq_fire { device } -> irq_fire t ~device
 
+let syscalls_ctr = Atmo_obs.Metrics.counter "kernel/syscalls"
+let syscall_errors_ctr = Atmo_obs.Metrics.counter "kernel/syscall_errors"
+
 let step_inner t ~thread (call : Syscall.t) =
   if not (Obs.tracing ()) then dispatch t ~thread call
   else begin
     let sysno = Syscall.number call in
-    Obs.emit (Event.Syscall_enter { thread; sysno });
-    Atmo_obs.Metrics.bump "kernel/syscalls";
+    Obs.emit_syscall_enter ~thread ~sysno ();
+    Atmo_obs.Metrics.Counter.incr syscalls_ctr;
     let ret = dispatch t ~thread call in
     let errno = match ret with Syscall.Rerr e -> Some e | _ -> None in
-    (match errno with None -> () | Some _ -> Atmo_obs.Metrics.bump "kernel/syscall_errors");
-    Obs.emit (Event.Syscall_exit { thread; sysno; errno });
+    (match errno with None -> () | Some _ -> Atmo_obs.Metrics.Counter.incr syscall_errors_ctr);
+    Obs.emit_syscall_exit ~thread ~sysno ~errno ();
     ret
   end
 

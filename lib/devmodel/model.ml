@@ -72,7 +72,7 @@ let note_fault t f =
    | Reset | Ready | Active | Recovering -> t.state <- Recovering);
   if Obs.tracing () then begin
     Metrics.bump (Printf.sprintf "dev/%s/faults" t.name);
-    Obs.emit (Event.Dev_fault { device = t.device; fault = Fault.code f })
+    Obs.emit_dev_fault ~device:t.device ~fault:(Fault.code f) ()
   end
 
 let inject t ~site candidates =
@@ -92,7 +92,7 @@ let recovered t f =
   (match t.state with Recovering -> t.state <- Active | _ -> ());
   if Obs.tracing () then begin
     Metrics.bump (Printf.sprintf "dev/%s/recovered" t.name);
-    Obs.emit (Event.Dev_recover { device = t.device; fault = Fault.code f })
+    Obs.emit_dev_recover ~device:t.device ~fault:(Fault.code f) ()
   end
 
 let on_setup t = (match t.state with Failed -> () | _ -> t.state <- Ready)

@@ -124,7 +124,7 @@ let setup_rx t ~ring_iova ~buffers =
     Model.on_setup t.model;
     (* arming the ring is the first tail-register write *)
     if Obs.tracing () then
-      Obs.emit (Event.Drv_doorbell { device = t.device; queue = rx_queue });
+      Obs.emit_drv_doorbell ~device:t.device ~queue:rx_queue ();
     Ok ()
 
 let setup_tx t ~ring_iova ~buffers =
@@ -155,8 +155,7 @@ let deliver_into t ring frame =
       if Obs.tracing () then begin
         (* wire-side delivery: remembered per device so the next
            rx burst can link its completion back causally *)
-        let sid = Span.begin_ Span.Drv_submit in
-        Span.end_ sid;
+        let sid = Span.pair Span.Drv_submit in
         Span.note_submit ~device:t.device ~tag:rx_queue ~span:sid
       end;
       true
@@ -295,14 +294,13 @@ let rx_burst t ~max =
     let frames = List.rev (harvest [] 0) in
     let n = List.length frames in
     if n > 0 && Obs.tracing () then begin
-      Obs.emit (Event.Drv_completion { device = t.device; count = n });
+      Obs.emit_drv_completion ~device:t.device ~count:n ();
       (* recycled descriptors are published with a tail-register write *)
-      Obs.emit (Event.Drv_doorbell { device = t.device; queue = rx_queue });
+      Obs.emit_drv_doorbell ~device:t.device ~queue:rx_queue ();
       Atmo_obs.Metrics.bump ~by:n "drv/ixgbe_rx";
-      let sid = Span.begin_ Span.Drv_complete in
+      let sid = Span.pair Span.Drv_complete in
       Span.edge Span.Drv ~src:(Span.take_submit ~device:t.device ~tag:rx_queue)
-        ~dst:sid;
-      Span.end_ sid
+        ~dst:sid
     end;
     frames
 
@@ -339,7 +337,7 @@ let tx_burst t frames =
       Model.note_deliver t.model accepted;
       Model.note_harvest t.model accepted;
       if Obs.tracing () then begin
-        Obs.emit (Event.Drv_doorbell { device = t.device; queue = tx_queue });
+        Obs.emit_drv_doorbell ~device:t.device ~queue:tx_queue ();
         Atmo_obs.Metrics.bump ~by:accepted "drv/ixgbe_tx"
       end
     end;

@@ -127,9 +127,8 @@ let submit t op ~lba ~data =
     Model.on_op t.model;
     (* submission-queue tail write *)
     if Obs.tracing () then begin
-      let sid = Span.begin_ Span.Drv_submit in
-      Obs.emit (Event.Drv_doorbell { device = t.device; queue = submission_queue });
-      Span.end_ sid;
+      let sid = Span.pair Span.Drv_submit in
+      Obs.emit_drv_doorbell ~device:t.device ~queue:submission_queue ();
       (* remembered per (device, tag) so the completion span can be
          causally linked back to this submission *)
       Span.note_submit ~device:t.device ~tag ~span:sid
@@ -241,15 +240,14 @@ let poll t =
       cqes
   in
   if accepted <> [] && Obs.tracing () then begin
-    Obs.emit (Event.Drv_completion { device = t.device; count = List.length accepted });
+    Obs.emit_drv_completion ~device:t.device ~count:(List.length accepted) ();
     (* modeled submit-to-completion latency, in cycles *)
     List.iter
       (fun (p, _) ->
         Atmo_obs.Metrics.observe "lat/nvme_io" (p.due - p.submitted);
-        let sid = Span.begin_ Span.Drv_complete in
+        let sid = Span.pair Span.Drv_complete in
         Span.edge Span.Drv ~src:(Span.take_submit ~device:t.device ~tag:p.p_tag)
-          ~dst:sid;
-        Span.end_ sid)
+          ~dst:sid)
       accepted
   end;
   List.map snd accepted

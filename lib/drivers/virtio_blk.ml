@@ -229,9 +229,8 @@ let submit t op ~lba ~data =
                  (* chain the device cannot parse: fail the request *)
                  Model.fault t.model Fault.Malformed_desc);
               if Obs.tracing () then begin
-                let sid = Span.begin_ Span.Drv_submit in
-                Obs.emit (Event.Drv_doorbell { device = t.device; queue = submission_queue });
-                Span.end_ sid;
+                let sid = Span.pair Span.Drv_submit in
+                Obs.emit_drv_doorbell ~device:t.device ~queue:submission_queue ();
                 Span.note_submit ~device:t.device ~tag ~span:sid
               end;
               Ok tag
@@ -368,10 +367,9 @@ let poll t =
             Model.note_harvest t.model 1;
             if Obs.tracing () then begin
               Atmo_obs.Metrics.observe "lat/nvme_io" (now - i.i_submitted);
-              let sid = Span.begin_ Span.Drv_complete in
+              let sid = Span.pair Span.Drv_complete in
               Span.edge Span.Drv ~src:(Span.take_submit ~device:t.device ~tag:i.i_tag)
-                ~dst:sid;
-              Span.end_ sid
+                ~dst:sid
             end;
             drain
               ({ tag = i.i_tag; op = i.i_op; lba = i.i_lba; ok = status = 0; data } :: acc)
@@ -379,7 +377,7 @@ let poll t =
     in
     let completions = drain [] in
     if completions <> [] && Obs.tracing () then
-      Obs.emit (Event.Drv_completion { device = t.device; count = List.length completions });
+      Obs.emit_drv_completion ~device:t.device ~count:(List.length completions) ();
     completions
 
 let wait_all t =

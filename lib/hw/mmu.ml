@@ -33,8 +33,7 @@ let entry_addr ~table ~index =
 
 let load mem ~table ~index =
   Atmo_obs.Metrics.Counter.incr walk_loads;
-  if Atmo_obs.Sink.tracing () then
-    Atmo_obs.Sink.emit (Atmo_obs.Event.Pte_touch { table; index });
+  Atmo_obs.Sink.emit_pte_touch ~table ~index ();
   Phys_mem.read_u64 mem ~addr:(entry_addr ~table ~index)
 
 (* Intersection of permissions along the walk: hardware allows an access
@@ -101,19 +100,13 @@ let resolve mem ~cr3 ~vaddr =
       let tlb = Tlb.space mem ~cr3 in
       match Tlb.lookup tlb ~vaddr with
       | Some (frame, size, perm) ->
-        if Atmo_obs.Sink.tracing () then
-          Atmo_obs.Sink.emit (Atmo_obs.Event.Tlb_hit { vaddr });
+        Atmo_obs.Sink.emit_tlb_hit ~vaddr ();
         (* same reconstruction as the walk's leaf cases, so a hit is
            bit-identical to the walk it replaces *)
         Some { paddr = frame + (vaddr land (size - 1)); frame; size; perm }
       | None ->
-        let sid =
-          if Atmo_obs.Sink.tracing () then begin
-            Atmo_obs.Sink.emit (Atmo_obs.Event.Tlb_miss { vaddr });
-            Atmo_obs.Span.begin_ Atmo_obs.Span.Mmu_fill
-          end
-          else 0
-        in
+        Atmo_obs.Sink.emit_tlb_miss ~vaddr ();
+        let sid = Atmo_obs.Span.begin_ Atmo_obs.Span.Mmu_fill in
         let r = walk mem ~cr3 ~vaddr in
         (match r with
          | Some tr -> Tlb.insert tlb ~vaddr ~frame:tr.frame ~size:tr.size ~perm:tr.perm
@@ -122,8 +115,8 @@ let resolve mem ~cr3 ~vaddr =
         r
     end
   in
-  if Atmo_obs.Sink.tracing () then
-    Atmo_obs.Sink.emit (Atmo_obs.Event.Mmu_walk { vaddr; ok = r <> None });
+  if Atmo_obs.Sink.tracing_tag Atmo_obs.Event.tag_mmu_walk then
+    Atmo_obs.Sink.emit_mmu_walk ~vaddr ~ok:(r <> None) ();
   r
 
 let read_u64 mem ~cr3 ~vaddr =

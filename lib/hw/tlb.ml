@@ -141,8 +141,7 @@ let invalidate_page t ~vaddr =
 
 let flush t =
   Metrics.Counter.incr t.c.flushes;
-  if Atmo_obs.Sink.tracing () then
-    Atmo_obs.Sink.emit (Atmo_obs.Event.Tlb_flush { asid = t.asid; entries = t.live });
+  Atmo_obs.Sink.emit_tlb_flush ~asid:t.asid ~entries:t.live ();
   Array.iter (fun s -> s.vpn <- -1) t.slots;
   t.live <- 0
 

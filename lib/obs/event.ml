@@ -26,6 +26,7 @@ type t =
   | Causal of { edge : int; src : int; dst : int }
   | Dev_fault of { device : int; fault : int }
   | Dev_recover of { device : int; fault : int }
+  | Span_pair of { span : int; parent : int; kind : int; owner : int }
 
 type record = { ts : int; cpu : int; ev : t }
 
@@ -83,6 +84,57 @@ let fault_name = function
   | 7 -> "dma-escape"
   | n -> Printf.sprintf "fault%d" n
 
+(* ------------------------------------------------------------------ *)
+(* Tags                                                                *)
+
+(* 1-based tag byte of each constructor (0 marks an empty slot); the
+   same codes index [fields]/[decode] and the sink's per-tag filter
+   bitmask, sampling shifts, and emitted/sampled-out counters. *)
+let tag_syscall_enter = 1
+let tag_syscall_exit = 2
+let tag_page_alloc = 3
+let tag_page_free = 4
+let tag_superpage_merge = 5
+let tag_ep_create = 6
+let tag_ep_send = 7
+let tag_ep_recv = 8
+let tag_ep_block = 9
+let tag_mmu_walk = 10
+let tag_pte_touch = 11
+let tag_drv_doorbell = 12
+let tag_drv_completion = 13
+let tag_lock_acquire = 14
+let tag_tlb_hit = 15
+let tag_tlb_miss = 16
+let tag_tlb_flush = 17
+let tag_ep_fastpath = 18
+let tag_span_begin = 19
+let tag_span_end = 20
+let tag_causal = 21
+let tag_dev_fault = 22
+let tag_dev_recover = 23
+let tag_span_pair = 24
+let tag_count = 24
+
+(* Index 0 is the empty slot and has no name. *)
+let tag_names =
+  [|
+    ""; "syscall_enter"; "syscall_exit"; "page_alloc"; "page_free";
+    "superpage_merge"; "ep_create"; "ep_send"; "ep_recv"; "ep_block";
+    "mmu_walk"; "pte_touch"; "drv_doorbell"; "drv_completion";
+    "lock_acquire"; "tlb_hit"; "tlb_miss"; "tlb_flush"; "ep_fastpath";
+    "span_begin"; "span_end"; "causal"; "dev_fault"; "dev_recover";
+    "span_pair";
+  |]
+
+let tag_name t = if t >= 1 && t <= tag_count then tag_names.(t) else Printf.sprintf "tag?%d" t
+
+let tag_of_name name =
+  let rec go i = if i > tag_count then None else if tag_names.(i) = name then Some i else go (i + 1) in
+  go 1
+
+let all_tags_mask = ((1 lsl (tag_count + 1)) - 1) land lnot 1
+
 let kind = function
   | Syscall_enter _ -> "syscall_enter"
   | Syscall_exit _ -> "syscall_exit"
@@ -107,6 +159,7 @@ let kind = function
   | Causal _ -> "causal"
   | Dev_fault _ -> "dev_fault"
   | Dev_recover _ -> "dev_recover"
+  | Span_pair _ -> "span_pair"
 
 (* ------------------------------------------------------------------ *)
 (* Binary encoding                                                     *)
@@ -171,6 +224,11 @@ let fields = function
   | Causal { edge; src; dst } -> (21, edge land 0xff, src, dst, 0)
   | Dev_fault { device; fault } -> (22, fault land 0xff, device, 0, 0)
   | Dev_recover { device; fault } -> (23, fault land 0xff, device, 0, 0)
+  | Span_pair { span; parent; kind; owner } -> (24, kind land 0xff, span, parent, owner)
+
+let tag_of ev =
+  let tag, _, _, _, _ = fields ev in
+  tag
 
 let encode ~ts ~cpu ev =
   let tag, aux, a, b, c = fields ev in
@@ -184,16 +242,18 @@ let encode ~ts ~cpu ev =
   Bytes.set_int64_le buf 32 (Int64.of_int c);
   buf
 
-let decode buf =
-  if Bytes.length buf < slot_bytes then None
+(* Decode one slot at an arbitrary arena offset — the sink's merged
+   stream decodes rings in place instead of [Bytes.sub]-ing every slot. *)
+let decode_at buf off =
+  if off < 0 || Bytes.length buf - off < slot_bytes then None
   else begin
-    let tag = Bytes.get_uint8 buf 0 in
-    let aux = Bytes.get_uint8 buf 1 in
-    let cpu = Bytes.get_uint8 buf 2 in
-    let ts = Int64.to_int (Bytes.get_int64_le buf 8) in
-    let a = Int64.to_int (Bytes.get_int64_le buf 16) in
-    let b = Int64.to_int (Bytes.get_int64_le buf 24) in
-    let c = Int64.to_int (Bytes.get_int64_le buf 32) in
+    let tag = Bytes.get_uint8 buf off in
+    let aux = Bytes.get_uint8 buf (off + 1) in
+    let cpu = Bytes.get_uint8 buf (off + 2) in
+    let ts = Int64.to_int (Bytes.get_int64_le buf (off + 8)) in
+    let a = Int64.to_int (Bytes.get_int64_le buf (off + 16)) in
+    let b = Int64.to_int (Bytes.get_int64_le buf (off + 24)) in
+    let c = Int64.to_int (Bytes.get_int64_le buf (off + 32)) in
     let ev =
       match tag with
       | 1 -> Some (Syscall_enter { thread = a; sysno = aux })
@@ -220,10 +280,13 @@ let decode buf =
       | 21 -> Some (Causal { edge = aux; src = a; dst = b })
       | 22 -> Some (Dev_fault { device = a; fault = aux })
       | 23 -> Some (Dev_recover { device = a; fault = aux })
+      | 24 -> Some (Span_pair { span = a; parent = b; kind = aux; owner = c })
       | _ -> None
     in
     Option.map (fun ev -> { ts; cpu; ev }) ev
   end
+
+let decode buf = decode_at buf 0
 
 let equal (a : t) (b : t) = a = b
 
@@ -274,6 +337,9 @@ let pp ppf = function
     Format.fprintf ppf "dev_fault      device=%d %s" device (fault_name fault)
   | Dev_recover { device; fault } ->
     Format.fprintf ppf "dev_recover    device=%d %s" device (fault_name fault)
+  | Span_pair { span; parent; kind; owner } ->
+    Format.fprintf ppf "span_pair      %-14s #%d parent=#%d owner=0x%x" (span_kind_name kind)
+      span parent owner
 
 let pp_record ppf r =
   Format.fprintf ppf "[cpu%d @%10d] %a" r.cpu r.ts pp r.ev

@@ -59,6 +59,13 @@ type t =
   | Dev_recover of { device : int; fault : int }
       (** The driver absorbed a device fault with a typed error and the
           device model returned to its operating state. *)
+  | Span_pair of { span : int; parent : int; kind : int; owner : int }
+      (** A zero-duration span batched into one packed record: the
+          begin and end happened at the same cycle timestamp (driver
+          submit/complete markers, context switches).  {!Sink.records}
+          expands it back into a {!Span_begin}/{!Span_end} pair so the
+          profiler and exporters see an unchanged stream at half the
+          ring cost. *)
 
 type record = { ts : int; cpu : int; ev : t }
 (** A decoded flight-recorder slot: cycle timestamp, recording CPU, event. *)
@@ -84,8 +91,61 @@ val fault_name : int -> string
 val kind : t -> string
 (** Constructor name, for grouping decoded streams. *)
 
+(** {2 Tags}
+
+    The 1-based tag byte of each constructor (0 marks an empty slot).
+    The sink's per-tag filter bitmask, sampling shifts, and
+    emitted/sampled-out counters are all indexed by these codes, and
+    the zero-allocation [Sink.emit_*] writers store them directly. *)
+
+val tag_syscall_enter : int
+val tag_syscall_exit : int
+val tag_page_alloc : int
+val tag_page_free : int
+val tag_superpage_merge : int
+val tag_ep_create : int
+val tag_ep_send : int
+val tag_ep_recv : int
+val tag_ep_block : int
+val tag_mmu_walk : int
+val tag_pte_touch : int
+val tag_drv_doorbell : int
+val tag_drv_completion : int
+val tag_lock_acquire : int
+val tag_tlb_hit : int
+val tag_tlb_miss : int
+val tag_tlb_flush : int
+val tag_ep_fastpath : int
+val tag_span_begin : int
+val tag_span_end : int
+val tag_causal : int
+val tag_dev_fault : int
+val tag_dev_recover : int
+val tag_span_pair : int
+
+val tag_count : int
+(** Highest valid tag (tags are [1..tag_count]). *)
+
+val tag_of : t -> int
+(** Tag code of a boxed event (allocating path only; the fast writers
+    never construct a [t]). *)
+
+val tag_name : int -> string
+(** Constructor name of a tag code, matching {!kind}. *)
+
+val tag_of_name : string -> int option
+(** Inverse of {!tag_name} — how [atmo trace --filter] resolves kind
+    names to mask bits. *)
+
+val all_tags_mask : int
+(** Bitmask with every valid tag bit set (bit [t] for tag [t]). *)
+
 val slot_bytes : int
 (** Fixed size of one encoded event: 40 bytes. *)
+
+val errno_code : Atmo_util.Errno.t -> int
+(** Stable wire code of an errno as stored in [Syscall_exit] slots
+    (0 means success); used by the sink's zero-allocation writer. *)
 
 val encode : ts:int -> cpu:int -> t -> bytes
 (** Encode into a fresh [slot_bytes] buffer (little-endian u64 fields,
@@ -93,6 +153,11 @@ val encode : ts:int -> cpu:int -> t -> bytes
 
 val decode : bytes -> record option
 (** Inverse of {!encode}; [None] on an empty or corrupt slot. *)
+
+val decode_at : bytes -> int -> record option
+(** [decode_at buf off] decodes the slot starting at byte [off] of a
+    larger buffer (the flight-recorder arena) without copying it out;
+    [None] on an empty or corrupt slot or an out-of-bounds offset. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

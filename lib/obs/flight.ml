@@ -50,8 +50,38 @@ let size_bytes t = Bytes.length t.arena
 let check_cpu t cpu =
   if cpu < 0 || cpu >= t.cpus then invalid_arg "Flight: cpu out of range"
 
-let read_u64 t addr = Int64.to_int (Bytes.get_int64_le t.arena addr)
-let write_u64 t addr v = Bytes.set_int64_le t.arena addr (Int64.of_int v)
+(* Hot-path u64 accessors.  Semantically [Bytes.get_int64_le] /
+   [Bytes.set_int64_le (Int64.of_int v)], but spelled as byte loads and
+   stores: without flambda the stdlib int64 accessors are out-of-line
+   calls that box an [Int64.t] per access, and the reserve/emit path
+   runs once per traced event.  Sign extension matches [Int64.of_int]
+   bit for bit ([asr] carries the int's sign through byte 7); the
+   encode-oracle test in test_obs pins the equivalence. *)
+let get8 b i = Char.code (Bytes.unsafe_get b i)
+let set8 b i v = Bytes.unsafe_set b i (Char.unsafe_chr (v land 0xff))
+
+let load_u64 b addr =
+  get8 b addr
+  lor (get8 b (addr + 1) lsl 8)
+  lor (get8 b (addr + 2) lsl 16)
+  lor (get8 b (addr + 3) lsl 24)
+  lor (get8 b (addr + 4) lsl 32)
+  lor (get8 b (addr + 5) lsl 40)
+  lor (get8 b (addr + 6) lsl 48)
+  lor (get8 b (addr + 7) lsl 56)
+
+let store_u64 b addr v =
+  set8 b addr v;
+  set8 b (addr + 1) (v asr 8);
+  set8 b (addr + 2) (v asr 16);
+  set8 b (addr + 3) (v asr 24);
+  set8 b (addr + 4) (v asr 32);
+  set8 b (addr + 5) (v asr 40);
+  set8 b (addr + 6) (v asr 48);
+  set8 b (addr + 7) (v asr 56)
+
+let read_u64 t addr = load_u64 t.arena addr
+let write_u64 t addr v = store_u64 t.arena addr v
 
 let head t ~cpu = read_u64 t (cpu_base t cpu)
 let tail t ~cpu = read_u64 t (cpu_base t cpu + 8)
@@ -82,6 +112,28 @@ let push t ~cpu payload =
   Bytes.fill t.arena addr t.slot_size '\000';
   Bytes.blit payload 0 t.arena addr len;
   set_head t ~cpu (h + 1)
+
+(* The zero-allocation emit path: advance the cursor (with the same
+   overwrite-oldest drop accounting as [push]) and hand back the arena
+   offset of the claimed slot; the caller writes all [slot_size] bytes
+   in place, so the victim slot is not zeroed first. *)
+let reserve t ~cpu =
+  let base = cpu_base t cpu in
+  let h = load_u64 t.arena base in
+  let tl = load_u64 t.arena (base + 8) in
+  if h - tl >= t.slots then begin
+    store_u64 t.arena (base + 8) (tl + 1);
+    store_u64 t.arena (base + 16) (load_u64 t.arena (base + 16) + 1);
+    t.lifetime_dropped.(cpu) <- t.lifetime_dropped.(cpu) + 1
+  end;
+  store_u64 t.arena base (h + 1);
+  base + header_bytes + ((h land (t.slots - 1)) * t.slot_size)
+
+let arena t = t.arena
+
+let slot_offset t ~cpu idx =
+  check_cpu t cpu;
+  slot_addr t ~cpu idx
 
 let to_list t ~cpu =
   check_cpu t cpu;

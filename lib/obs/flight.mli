@@ -42,6 +42,30 @@ val total_dropped : t -> int
 val push : t -> cpu:int -> bytes -> unit
 (** Record a payload (truncated / zero-padded to [slot_size]). *)
 
+val reserve : t -> cpu:int -> int
+(** Claim the next slot on [cpu]'s ring and return its byte offset in
+    {!arena}: the zero-allocation emit path.  Advances the head with
+    the same overwrite-oldest drop accounting as {!push}, but does not
+    zero the slot — the caller must write all [slot_size] bytes.
+    [cpu] must already be in range (the sink clamps before calling). *)
+
+val arena : t -> bytes
+(** The backing arena itself, for in-place encode ({!reserve}) and
+    in-place decode ({!Event.decode_at} over {!slot_offset}). *)
+
+val slot_offset : t -> cpu:int -> int -> int
+(** Arena offset of the slot a free-running index maps to (the index
+    is masked by [slots-1], as in ring addressing). *)
+
+val store_u64 : bytes -> int -> int -> unit
+(** [store_u64 buf off v] writes [v] at [off] exactly as
+    [Bytes.set_int64_le buf off (Int64.of_int v)] would, spelled as
+    byte stores so the non-flambda compiler emits no boxed [Int64] on
+    the per-event path (the encode-oracle test pins the equivalence). *)
+
+val load_u64 : bytes -> int -> int
+(** Inverse of {!store_u64} (i.e. [Int64.to_int] of the LE word). *)
+
 val to_list : t -> cpu:int -> bytes list
 (** Live slots, oldest first. *)
 

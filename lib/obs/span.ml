@@ -52,6 +52,10 @@ let code = function
 let app_names : (int, string) Hashtbl.t = Hashtbl.create 8
 let next_app = ref 16
 
+(* Cached cycles/kind counter handles, indexed by span code; codes in
+   the app range are invalidated when [register_app] renames them. *)
+let kind_ctrs : Metrics.Counter.t option array = Array.make 512 None
+
 let register_app name =
   let found =
     Hashtbl.fold (fun c n acc -> if n = name then Some c else acc) app_names None
@@ -62,6 +66,7 @@ let register_app name =
     let c = if !next_app < 64 then !next_app else 63 in
     if !next_app < 64 then incr next_app;
     Hashtbl.replace app_names c name;
+    kind_ctrs.(c) <- None;
     App c
 
 let label_of_code c =
@@ -113,12 +118,45 @@ let reset () =
 (* Begin / end                                                         *)
 
 let total_name = "cycles/total"
+let total_ctr = lazy (Metrics.counter total_name)
+
+(* Every span close charges up to three owner families and one kind
+   counter; resolved through cached handles because a registry probe
+   (string concat + string hash) per close would dominate the
+   zero-alloc emit path next to it.  Keys pack [owner * 4 + family];
+   [Metrics.reset] zeroes counters in place, so handles stay valid. *)
+let family_names = [| "cycles/container/"; "cycles/process/"; "cycles/thread/" |]
+let owner_ctrs : (int, Metrics.Counter.t) Hashtbl.t = Hashtbl.create 64
 
 let charge family owner by =
-  if owner >= 0 && by > 0 then Metrics.bump ~by (family ^ string_of_int owner)
+  if owner >= 0 && by > 0 then begin
+    let key = (owner * 4) + family in
+    let c =
+      match Hashtbl.find_opt owner_ctrs key with
+      | Some c -> c
+      | None ->
+        let c = Metrics.counter (family_names.(family) ^ string_of_int owner) in
+        Hashtbl.replace owner_ctrs key c;
+        c
+    in
+    Metrics.Counter.incr ~by c
+  end
 
+let kind_ctr fcode =
+  match kind_ctrs.(fcode) with
+  | Some c -> c
+  | None ->
+    let c = Metrics.counter ("cycles/kind/" ^ label_of_code fcode) in
+    kind_ctrs.(fcode) <- Some c;
+    c
+
+(* The whole span layer is governed by the span_begin tag: one
+   [Sink.admit] decision per span, made here, keeps begins and ends
+   balanced — a masked or sampled-out span returns id 0, so [end_]
+   (keyed off [id > 0]) skips it whole.  The [Sink.emit_span_*]
+   writers below are post-admission and never drop half a span. *)
 let begin_ ?ts ?(container = -1) ?(proc = -1) ?(thread = -1) kind =
-  if not (Sink.tracing ()) then 0
+  if not (Sink.admit Event.tag_span_begin) then 0
   else begin
     let cpu = Sink.current_cpu () in
     let st = stack_for cpu in
@@ -137,7 +175,30 @@ let begin_ ?ts ?(container = -1) ?(proc = -1) ?(thread = -1) kind =
     let c = code kind in
     let t0 = match ts with Some t -> t | None -> Sink.now () in
     st := { id; fcode = c; container; fproc = proc; fthread = thread; t0; child = 0 } :: !st;
-    Sink.emit ?ts (Event.Span_begin { span = id; parent; kind = c; owner = container });
+    Sink.emit_span_begin ?ts ~span:id ~parent ~kind:c ~owner:container ();
+    id
+  end
+
+(* A batched zero-duration span: begin and end at the same timestamp,
+   packed into one [Span_pair] record (half the ring cost of the
+   begin/end pair it replaces; [Sink.records] re-expands it).  For the
+   driver submit/complete markers and context switches whose frames
+   never enclose other work — zero duration means zero self cycles, so
+   skipping the stack push/pop changes no accounting.  Returns the
+   span id for causal linking, 0 when not admitted. *)
+let pair ?ts ?(container = -1) kind =
+  if not (Sink.admit Event.tag_span_begin) then 0
+  else begin
+    let cpu = Sink.current_cpu () in
+    let st = stack_for cpu in
+    let id = !next_id in
+    incr next_id;
+    let parent, container =
+      match !st with
+      | [] -> (0, container)
+      | f :: _ -> (f.id, if container >= 0 then container else f.container)
+    in
+    Sink.emit_span_pair ?ts ~span:id ~parent ~kind:(code kind) ~owner:container ();
     id
   end
 
@@ -148,12 +209,12 @@ let close_frame ?ts st f rest =
   let self = max 0 (dur - f.child) in
   (match rest with
   | p :: _ -> p.child <- p.child + dur
-  | [] -> Metrics.bump ~by:dur total_name);
-  charge "cycles/container/" f.container self;
-  charge "cycles/process/" f.fproc self;
-  charge "cycles/thread/" f.fthread self;
-  if self > 0 then Metrics.bump ~by:self ("cycles/kind/" ^ label_of_code f.fcode);
-  Sink.emit ?ts (Event.Span_end { span = f.id; kind = f.fcode; owner = f.container })
+  | [] -> Metrics.Counter.incr ~by:dur (Lazy.force total_ctr));
+  charge 0 f.container self;
+  charge 1 f.fproc self;
+  charge 2 f.fthread self;
+  if self > 0 then Metrics.Counter.incr ~by:self (kind_ctr f.fcode);
+  Sink.emit_span_end ?ts ~span:f.id ~kind:f.fcode ~owner:f.container ()
 
 let rec end_ ?ts id =
   if Sink.tracing () && id > 0 then begin
@@ -189,8 +250,7 @@ type edge_kind = Ipc | Irq_delivery | Drv | Wakeup
 let edge_code = function Ipc -> 1 | Irq_delivery -> 2 | Drv -> 3 | Wakeup -> 4
 
 let edge kind ~src ~dst =
-  if Sink.tracing () && src > 0 && dst > 0 then
-    Sink.emit (Event.Causal { edge = edge_code kind; src; dst })
+  if src > 0 && dst > 0 then Sink.emit_causal ~edge:(edge_code kind) ~src ~dst ()
 
 let note_blocked ~thread ~span = if span > 0 then Hashtbl.replace blocked thread span
 

@@ -60,6 +60,21 @@ val end_ : ?ts:int -> int -> unit
     Children still open above it are recorded as leaks (see {!leaked})
     and unwound. *)
 
+val pair : ?ts:int -> ?container:int -> kind -> int
+(** A batched zero-duration span: begin and end at one timestamp,
+    written as a single packed {!Event.Span_pair} record (half the
+    ring cost; {!Sink.records} re-expands it, so consumers see a
+    normal begin/end pair).  For instantaneous markers — driver
+    submit/complete, context switches — whose frames never enclose
+    other work; zero duration charges no cycles, so no stack frame is
+    pushed.  Parent and owner default from the enclosing open span.
+    Returns the span id for causal linking, or 0 when tracing is off
+    or the span was masked/sampled out.
+
+    Admission (filtering {e and} sampling) for the whole span layer is
+    decided per span at {!begin_}/{!pair} under the [span_begin] tag,
+    so spans are always recorded whole or skipped whole. *)
+
 val current : unit -> int
 (** Id of the innermost open span on the current CPU, or 0. *)
 

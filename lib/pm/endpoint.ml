@@ -5,10 +5,12 @@ type t = {
   refcount : int;
 }
 
+let created_ctr = Atmo_obs.Metrics.counter "pm/endpoints_created"
+
 let make ~owner_container =
   if Atmo_obs.Sink.tracing () then begin
-    Atmo_obs.Sink.emit (Atmo_obs.Event.Ep_create { container = owner_container });
-    Atmo_obs.Metrics.bump "pm/endpoints_created"
+    Atmo_obs.Sink.emit_ep_create ~container:owner_container ();
+    Atmo_obs.Metrics.Counter.incr created_ctr
   end;
   {
     owner_container;

@@ -396,12 +396,10 @@ let run_thread t ~cpu th =
       { thread with Thread.state = Thread.Running });
   t.currents.(cpu) <- Some th;
   Atmo_obs.Metrics.Counter.incr ctx_switch_ctr;
-  if Atmo_obs.Sink.tracing () then begin
-    (* zero-duration structural span: the switch shows up in the tree
-       under whatever kernel path triggered it *)
-    let sid = Atmo_obs.Span.begin_ ~thread:th Atmo_obs.Span.Ctx_switch in
-    Atmo_obs.Span.end_ sid
-  end;
+  (* zero-duration structural span, batched into one packed record:
+     the switch shows up in the tree under whatever kernel path
+     triggered it *)
+  ignore (Atmo_obs.Span.pair Atmo_obs.Span.Ctx_switch);
   Some th
 
 (* Work stealing: an idle CPU whose own queue is empty takes the OLDEST

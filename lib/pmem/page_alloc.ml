@@ -100,6 +100,10 @@ let zero_block t i size =
 
 let order_of = function S4k -> 0 | S2m -> 1 | S1g -> 2
 
+let alloc_ctr = Atmo_obs.Metrics.counter "pmem/alloc"
+let free_ctr = Atmo_obs.Metrics.counter "pmem/free"
+let merge_ctr = Atmo_obs.Metrics.counter "pmem/superpage_merge"
+
 let claim t i size purpose =
   let m = t.meta.(i) in
   note (Claim { alloc = t; addr = frame_addr i; frames = frames_per size; purpose });
@@ -107,9 +111,8 @@ let claim t i size purpose =
   m.state <- (match purpose with Kernel -> Allocated | User -> Mapped 1);
   zero_block t i size;
   if Atmo_obs.Sink.tracing () then begin
-    Atmo_obs.Sink.emit
-      (Atmo_obs.Event.Page_alloc { addr = frame_addr i; order = order_of size });
-    Atmo_obs.Metrics.bump "pmem/alloc"
+    Atmo_obs.Sink.emit_page_alloc ~addr:(frame_addr i) ~order:(order_of size) ();
+    Atmo_obs.Metrics.Counter.incr alloc_ctr
   end;
   frame_addr i
 
@@ -156,10 +159,9 @@ let try_merge t ~sub ~super ~sub_list ~super_list =
         t.meta.(head).size <- super;
         Dll.push_back super_list head;
         if Atmo_obs.Sink.tracing () then begin
-          Atmo_obs.Sink.emit
-            (Atmo_obs.Event.Superpage_merge
-               { head = frame_addr head; order = order_of super });
-          Atmo_obs.Metrics.bump "pmem/superpage_merge"
+          Atmo_obs.Sink.emit_superpage_merge ~head:(frame_addr head)
+            ~order:(order_of super) ();
+          Atmo_obs.Metrics.Counter.incr merge_ctr
         end;
         true
       end
@@ -195,10 +197,9 @@ let merge_all t ~sub ~super ~sub_list ~super_list =
       t.meta.(!head).size <- super;
       Dll.push_back super_list !head;
       if Atmo_obs.Sink.tracing () then begin
-        Atmo_obs.Sink.emit
-          (Atmo_obs.Event.Superpage_merge
-             { head = frame_addr !head; order = order_of super });
-        Atmo_obs.Metrics.bump "pmem/superpage_merge"
+        Atmo_obs.Sink.emit_superpage_merge ~head:(frame_addr !head)
+          ~order:(order_of super) ();
+        Atmo_obs.Metrics.Counter.incr merge_ctr
       end;
       incr merged
     end;
@@ -277,9 +278,8 @@ let release t i =
   in
   Dll.push_back list i;
   if Atmo_obs.Sink.tracing () then begin
-    Atmo_obs.Sink.emit
-      (Atmo_obs.Event.Page_free { addr = frame_addr i; order = order_of m.size });
-    Atmo_obs.Metrics.bump "pmem/free"
+    Atmo_obs.Sink.emit_page_free ~addr:(frame_addr i) ~order:(order_of m.size) ();
+    Atmo_obs.Metrics.Counter.incr free_ctr
   end
 
 let free_kernel_page t ~addr =

@@ -91,6 +91,22 @@ let footprint k ~thread ~cpu call =
 
 let steal_metric = Atmo_obs.Metrics.counter "sched/steal"
 
+(* Traced-path metrics are looked up once and fed through cached
+   handles: a registry probe (string concat + hash) per kernel entry
+   would dominate the zero-alloc emit path it sits next to. *)
+let lock_wait_hist = lazy (Atmo_obs.Metrics.histogram "smp/lock_wait")
+
+let syscall_lat : Atmo_obs.Metrics.Histogram.t option array = Array.make 32 None
+
+let syscall_lat_hist call =
+  let n = Syscall.number call in
+  match syscall_lat.(n) with
+  | Some h -> h
+  | None ->
+    let h = Atmo_obs.Metrics.histogram ("lat/syscall/" ^ Syscall.name call) in
+    syscall_lat.(n) <- Some h;
+    h
+
 let run ?(regime = Big_lock) ?(steal_seed = 42) ?observe k ~cost ~cpus ~programs
     ~iterations =
   if cpus <= 0 then Error "Smp.run: cpus <= 0"
@@ -230,11 +246,11 @@ let run ?(regime = Big_lock) ?(steal_seed = 42) ?observe k ~cost ~cpus ~programs
                   in
                   Atmo_obs.Span.end_ ~ts:grant w
                 end;
-                Atmo_obs.Sink.emit
-                  (Atmo_obs.Event.Lock_acquire
-                     { cpu; wait_cycles = grant - lock_request });
-                Atmo_obs.Metrics.observe "smp/lock_wait" (grant - lock_request);
-                Atmo_obs.Metrics.observe ("lat/syscall/" ^ Syscall.name call) kcycles;
+                Atmo_obs.Sink.emit_lock_acquire ~cpu_id:cpu
+                  ~wait_cycles:(grant - lock_request) ();
+                Atmo_obs.Metrics.Histogram.observe (Lazy.force lock_wait_hist)
+                  (grant - lock_request);
+                Atmo_obs.Metrics.Histogram.observe (syscall_lat_hist call) kcycles;
                 Atmo_obs.Span.begin_ ~ts:grant ?container ?proc ~thread:p.thread
                   (Atmo_obs.Span.Syscall (Syscall.number call))
               end

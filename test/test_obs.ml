@@ -92,10 +92,24 @@ let sample_events =
     Event.Drv_doorbell { device = 7; queue = 0 };
     Event.Drv_completion { device = 7; count = 32 };
     Event.Lock_acquire { cpu = 3; wait_cycles = 458 };
+    Event.Tlb_hit { vaddr = 0x4000_1000 };
+    Event.Tlb_miss { vaddr = 0x4000_2000 };
+    Event.Tlb_flush { asid = 0x3000; entries = 17 };
+    Event.Ep_fastpath { ep = 0x15000; sender = 0x13000; receiver = 0x14000 };
+    Event.Span_begin { span = 42; parent = 7; kind = 2; owner = 0x10000 };
+    Event.Span_end { span = 42; kind = 2; owner = 0x10000 };
+    Event.Causal { edge = 1; src = 42; dst = 43 };
     Event.Dev_fault { device = 11; fault = 1 };
     Event.Dev_fault { device = 13; fault = 7 };
     Event.Dev_recover { device = 11; fault = 4 };
+    Event.Span_pair { span = 44; parent = 42; kind = 3; owner = 0x10000 };
   ]
+
+let test_samples_cover_every_tag () =
+  let tags = List.sort_uniq compare (List.map Event.tag_of sample_events) in
+  Alcotest.(check (list int)) "one sample per tag code"
+    (List.init Event.tag_count (fun i -> i + 1))
+    tags
 
 let test_roundtrip_samples () =
   List.iter
@@ -290,6 +304,193 @@ let test_disabled_sink_records_nothing () =
   Alcotest.(check (list reject)) "no records when disabled" [] (Sink.records ());
   Alcotest.(check int) "no drops when disabled" 0 (Sink.dropped ())
 
+(* ------------------------------------------------------------------ *)
+(* zero-allocation writers vs the Event.encode oracle                  *)
+
+(* Dispatch a boxed event to the matching per-tag fast writer. *)
+let emit_fast ?ts ?cpu ev =
+  match ev with
+  | Event.Syscall_enter { thread; sysno } ->
+    Sink.emit_syscall_enter ?ts ?cpu ~thread ~sysno ()
+  | Event.Syscall_exit { thread; sysno; errno } ->
+    Sink.emit_syscall_exit ?ts ?cpu ~thread ~sysno ~errno ()
+  | Event.Page_alloc { addr; order } -> Sink.emit_page_alloc ?ts ?cpu ~addr ~order ()
+  | Event.Page_free { addr; order } -> Sink.emit_page_free ?ts ?cpu ~addr ~order ()
+  | Event.Superpage_merge { head; order } ->
+    Sink.emit_superpage_merge ?ts ?cpu ~head ~order ()
+  | Event.Ep_create { container } -> Sink.emit_ep_create ?ts ?cpu ~container ()
+  | Event.Ep_send { ep; sender; receiver } ->
+    Sink.emit_ep_send ?ts ?cpu ~ep ~sender ~receiver ()
+  | Event.Ep_recv { ep; receiver; sender } ->
+    Sink.emit_ep_recv ?ts ?cpu ~ep ~receiver ~sender ()
+  | Event.Ep_block { ep; thread; dir } -> Sink.emit_ep_block ?ts ?cpu ~ep ~thread ~dir ()
+  | Event.Mmu_walk { vaddr; ok } -> Sink.emit_mmu_walk ?ts ?cpu ~vaddr ~ok ()
+  | Event.Pte_touch { table; index } -> Sink.emit_pte_touch ?ts ?cpu ~table ~index ()
+  | Event.Drv_doorbell { device; queue } ->
+    Sink.emit_drv_doorbell ?ts ?cpu ~device ~queue ()
+  | Event.Drv_completion { device; count } ->
+    Sink.emit_drv_completion ?ts ?cpu ~device ~count ()
+  | Event.Lock_acquire { cpu = cpu_id; wait_cycles } ->
+    Sink.emit_lock_acquire ?ts ?cpu ~cpu_id ~wait_cycles ()
+  | Event.Tlb_hit { vaddr } -> Sink.emit_tlb_hit ?ts ?cpu ~vaddr ()
+  | Event.Tlb_miss { vaddr } -> Sink.emit_tlb_miss ?ts ?cpu ~vaddr ()
+  | Event.Tlb_flush { asid; entries } -> Sink.emit_tlb_flush ?ts ?cpu ~asid ~entries ()
+  | Event.Ep_fastpath { ep; sender; receiver } ->
+    Sink.emit_ep_fastpath ?ts ?cpu ~ep ~sender ~receiver ()
+  | Event.Span_begin { span; parent; kind; owner } ->
+    Sink.emit_span_begin ?ts ?cpu ~span ~parent ~kind ~owner ()
+  | Event.Span_end { span; kind; owner } ->
+    Sink.emit_span_end ?ts ?cpu ~span ~kind ~owner ()
+  | Event.Causal { edge; src; dst } -> Sink.emit_causal ?ts ?cpu ~edge ~src ~dst ()
+  | Event.Dev_fault { device; fault } -> Sink.emit_dev_fault ?ts ?cpu ~device ~fault ()
+  | Event.Dev_recover { device; fault } ->
+    Sink.emit_dev_recover ?ts ?cpu ~device ~fault ()
+  | Event.Span_pair { span; parent; kind; owner } ->
+    Sink.emit_span_pair ?ts ?cpu ~span ~parent ~kind ~owner ()
+
+let arena_slot f idx =
+  Bytes.sub (Flight.arena f) (Flight.slot_offset f ~cpu:0 idx) Event.slot_bytes
+
+(* Every tag: the in-arena writer must lay down the exact bytes the
+   boxed [emit] (via [Event.encode]) produces. *)
+let test_writers_bit_identical_to_oracle () =
+  List.iter
+    (fun ev ->
+      let f = Flight.create ~cpus:1 ~slots:4 ~slot_size:Event.slot_bytes in
+      Sink.install (Sink.Flight f);
+      Sink.emit ~ts:987654 ~cpu:0 ev;
+      emit_fast ~ts:987654 ~cpu:0 ev;
+      Sink.install Sink.Disabled;
+      Alcotest.(check int) "both paths recorded" 2 (Flight.length f ~cpu:0);
+      Alcotest.(check string)
+        (Printf.sprintf "arena bytes identical for %s" (Event.kind ev))
+        (Bytes.to_string (arena_slot f 0))
+        (Bytes.to_string (arena_slot f 1)))
+    sample_events
+
+let prop_fast_writer_matches_encode =
+  QCheck.Test.make ~name:"fast writers byte-identical to Event.encode" ~count:300
+    QCheck.(pair arb_event (int_bound 0x3fff_ffff))
+    (fun (ev, ts) ->
+      let f = Flight.create ~cpus:1 ~slots:4 ~slot_size:Event.slot_bytes in
+      Sink.install (Sink.Flight f);
+      emit_fast ~ts ~cpu:0 ev;
+      Sink.install Sink.Disabled;
+      Bytes.equal (arena_slot f 0) (Event.encode ~ts ~cpu:0 ev))
+
+(* ------------------------------------------------------------------ *)
+(* per-tag filtering and sampling                                      *)
+
+let test_filter_mask_gates_kinds () =
+  let f = Flight.create ~cpus:1 ~slots:64 ~slot_size:Event.slot_bytes in
+  Sink.set_filter (1 lsl Event.tag_page_alloc);
+  Sink.install (Sink.Flight f);
+  Alcotest.(check bool) "enabled tag live" true (Sink.tracing_tag Event.tag_page_alloc);
+  Alcotest.(check bool) "masked tag off" false (Sink.tracing_tag Event.tag_tlb_hit);
+  Sink.emit_page_alloc ~ts:1 ~addr:0x1000 ~order:0 ();
+  Sink.emit_tlb_hit ~ts:2 ~vaddr:0x2000 ();
+  Sink.emit ~ts:3 (Event.Tlb_miss { vaddr = 0x3000 });
+  let rs = Sink.records () in
+  let emitted_on = Sink.emitted_count ~tag:Event.tag_page_alloc in
+  let emitted_off = Sink.emitted_count ~tag:Event.tag_tlb_hit in
+  Sink.install Sink.Disabled;
+  Sink.set_filter Event.all_tags_mask;
+  Alcotest.(check int) "only the enabled kind recorded" 1 (List.length rs);
+  Alcotest.(check int) "enabled kind tallied" 1 emitted_on;
+  (* a masked-off kind is one load+mask: no counter may move *)
+  Alcotest.(check int) "masked kind tallies nothing" 0 emitted_off;
+  Alcotest.(check bool) "mask restored" true (Sink.get_filter () = Event.all_tags_mask)
+
+let sampling_session () =
+  let f = Flight.create ~cpus:1 ~slots:64 ~slot_size:Event.slot_bytes in
+  Sink.set_sample ~tag:Event.tag_page_alloc ~shift:2;
+  (* install starts a fresh session: tallies and sampling phase reset *)
+  Sink.install (Sink.Flight f);
+  for i = 0 to 15 do
+    Sink.emit_page_alloc ~ts:i ~addr:(0x1000 + i) ~order:0 ()
+  done;
+  let ts = List.map (fun r -> r.Event.ts) (Sink.records ()) in
+  let emitted = Sink.emitted_count ~tag:Event.tag_page_alloc in
+  let sampled = Sink.sampled_out_count ~tag:Event.tag_page_alloc in
+  Sink.install Sink.Disabled;
+  (ts, emitted, sampled)
+
+let test_sampling_deterministic_and_lossless () =
+  let a = sampling_session () in
+  let b = sampling_session () in
+  Sink.set_sample_all ~shift:0;
+  let ts, emitted, sampled = a in
+  Alcotest.(check (list int)) "keeps 1 in 4, phase 0" [ 0; 4; 8; 12 ] ts;
+  Alcotest.(check int) "admitted tally exact" 4 emitted;
+  Alcotest.(check int) "rejected tally exact" 12 sampled;
+  Alcotest.(check bool) "seeded sessions identical" true (a = b);
+  Alcotest.check_raises "bad shift rejected"
+    (Invalid_argument "Sink.set_sample: bad shift") (fun () ->
+      Sink.set_sample ~tag:Event.tag_page_alloc ~shift:31)
+
+let test_bad_cpu_counted_not_silent () =
+  Metrics.reset ();
+  let f = Flight.create ~cpus:1 ~slots:8 ~slot_size:Event.slot_bytes in
+  Sink.install (Sink.Flight f);
+  Sink.emit_page_alloc ~ts:1 ~cpu:5 ~addr:0x1000 ~order:0 ();
+  Sink.emit ~ts:2 ~cpu:9 (Event.Ep_create { container = 1 });
+  let rs = Sink.records () in
+  let bad = Sink.bad_cpu_count () in
+  Sink.publish_counters ();
+  Sink.install Sink.Disabled;
+  (* misfiled events still land (on ring 0) and the misfiling is loud *)
+  Alcotest.(check int) "events filed on ring 0" 2 (List.length rs);
+  List.iter (fun r -> Alcotest.(check int) "cpu rewritten to 0" 0 r.Event.cpu) rs;
+  Alcotest.(check int) "bad-cpu tally" 2 bad;
+  Alcotest.(check int) "obs/bad_cpu metric" 2
+    (Metrics.Counter.value (Metrics.counter "obs/bad_cpu"))
+
+let test_span_pair_expands_balanced () =
+  let f = Flight.create ~cpus:1 ~slots:8 ~slot_size:Event.slot_bytes in
+  Sink.install (Sink.Flight f);
+  Atmo_obs.Span.reset ();
+  let id = Atmo_obs.Span.pair ~ts:5 Atmo_obs.Span.Ctx_switch in
+  let rs = Sink.records () in
+  Sink.install Sink.Disabled;
+  Atmo_obs.Span.reset ();
+  Alcotest.(check bool) "pair admitted" true (id > 0);
+  Alcotest.(check int) "one ring slot" 1 (Flight.length f ~cpu:0);
+  match rs with
+  | [
+      { Event.ev = Event.Span_begin { span = b; _ }; ts = 5; _ };
+      { Event.ev = Event.Span_end { span = e; _ }; ts = 5; _ };
+    ] ->
+    Alcotest.(check int) "begin carries the span id" id b;
+    Alcotest.(check int) "end matches begin" id e
+  | _ -> Alcotest.fail "expected exactly [begin; end] at ts 5"
+
+(* ------------------------------------------------------------------ *)
+(* the zero-drop contract on the kv workload                           *)
+
+let test_kv_workload_zero_drops () =
+  let module Kv = Atmo_workloads.Kv_demo in
+  let f = Flight.create ~cpus:2 ~slots:16384 ~slot_size:Event.slot_bytes in
+  Sink.install (Sink.Flight f);
+  Atmo_obs.Span.reset ();
+  ignore (Kv.run ~requests:40 ());
+  let records = Sink.records () in
+  let dropped = Sink.dropped () in
+  let emitted = ref 0 in
+  for tag = 1 to Event.tag_count do
+    emitted := !emitted + Sink.emitted_count ~tag
+  done;
+  let pairs = Sink.emitted_count ~tag:Event.tag_span_pair in
+  Sink.install Sink.Disabled;
+  Sink.set_clock (fun () -> 0);
+  Sink.set_cpu 0;
+  Atmo_obs.Span.reset ();
+  Alcotest.(check bool) "workload emitted events" true (!emitted > 0);
+  Alcotest.(check int) "zero drops on a sized ring" 0 dropped;
+  (* lossless accounting: every admitted event is a live record (span
+     pairs decode into two) *)
+  Alcotest.(check int) "records = emitted + pairs" (!emitted + pairs)
+    (List.length records)
+
 let test_sink_records_merged_sorted () =
   let f = Flight.create ~cpus:2 ~slots:8 ~slot_size:Event.slot_bytes in
   Sink.install (Sink.Flight f);
@@ -322,6 +523,8 @@ let () =
       ( "event",
         [
           Alcotest.test_case "round-trip samples" `Quick test_roundtrip_samples;
+          Alcotest.test_case "samples cover every tag" `Quick
+            test_samples_cover_every_tag;
           Alcotest.test_case "empty slot" `Quick test_empty_slot_decodes_to_none;
           Alcotest.test_case "syscall names match the spec" `Quick
             test_syscall_names_match_spec;
@@ -340,7 +543,26 @@ let () =
           Alcotest.test_case "records merged and sorted" `Quick
             test_sink_records_merged_sorted;
         ] );
+      ( "admission",
+        [
+          Alcotest.test_case "writers bit-identical to encode oracle" `Quick
+            test_writers_bit_identical_to_oracle;
+          Alcotest.test_case "filter mask gates kinds" `Quick
+            test_filter_mask_gates_kinds;
+          Alcotest.test_case "sampling deterministic and lossless" `Quick
+            test_sampling_deterministic_and_lossless;
+          Alcotest.test_case "bad cpu counted, not silent" `Quick
+            test_bad_cpu_counted_not_silent;
+          Alcotest.test_case "span pair expands balanced" `Quick
+            test_span_pair_expands_balanced;
+          Alcotest.test_case "kv workload records with zero drops" `Quick
+            test_kv_workload_zero_drops;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_encode_decode_roundtrip; prop_quantiles_monotone ] );
+          [
+            prop_encode_decode_roundtrip;
+            prop_fast_writer_matches_encode;
+            prop_quantiles_monotone;
+          ] );
     ]
